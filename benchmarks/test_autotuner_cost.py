@@ -1,0 +1,18 @@
+"""Bench: quantify the exploration-cost gap vs. search-based tuning (§3)."""
+
+from repro.experiments import autotuner_cost
+
+
+def test_autotuner_cost(benchmark, cluster):
+    result = benchmark.pedantic(
+        lambda: autotuner_cost.run(cluster, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    for row in result.rows:
+        # STELLAR needs at most 6 application executions (initial + <=5
+        # attempts); the search needs an order of magnitude more to land in
+        # the same neighbourhood.
+        assert row.stellar_executions <= 6
+        assert row.execution_ratio >= 8, row.workload
+        assert row.stellar_speedup >= row.search_speedup * 0.8, row.workload

@@ -1,0 +1,17 @@
+"""Bench: regenerate the Figure 10 case study timeline."""
+
+from repro.experiments import casestudy
+
+
+def test_fig10_case_study(benchmark, cluster):
+    study = benchmark(lambda: casestudy.run(cluster, seed=3))
+    print("\n" + study.render())
+
+    session = study.session
+    # Paper shape: the initial report is produced, the Tuning Agent asks
+    # useful follow-ups (file sizes, metadata/data ratio), the first
+    # prediction is already a solid improvement, and a rule is distilled.
+    assert session.transcript.of_kind("io_report")
+    assert len(session.transcript.of_kind("followup")) >= 2
+    assert session.attempts[0].speedup > 1.15
+    assert session.rules_json

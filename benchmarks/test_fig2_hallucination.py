@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 2 (hallucinated parameter details vs. RAG)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_hallucination(benchmark, cluster):
+    result = benchmark(lambda: fig2.run(cluster, seed=0))
+    print("\n" + result.render())
+
+    # Paper shape: none of the three frontier models is fully correct; all
+    # miss the true maximum; STELLAR's RAG extraction is correct.
+    assert all(not a.range_correct for a in result.answers)
+    assert any(not a.definition_correct for a in result.answers)
+    assert result.rag_correct

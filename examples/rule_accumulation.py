@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Rule-set accumulation and transfer (paper §5.3).
+
+Tunes the five benchmark workloads one after another, accumulating the
+global rule set, then applies that knowledge to a *previously unseen* real
+application (MACSio) — showing the improved first guess and the shorter
+tuning run the paper reports in Figures 6 and 7.
+
+Run:  python examples/rule_accumulation.py
+"""
+
+from repro import Stellar, get_workload, make_cluster
+from repro.workloads.registry import BENCHMARKS
+
+
+def main() -> None:
+    cluster = make_cluster(seed=0)
+    engine = Stellar.build(cluster, model="claude-3.7-sonnet", seed=0)
+
+    print("Phase 1 — accumulate rules from the benchmarks:")
+    for name in BENCHMARKS:
+        session = engine.tune_and_accumulate(get_workload(name))
+        print(
+            f"  {name:16s} best {session.best_speedup:4.2f}x in "
+            f"{len(session.attempts)} attempts -> "
+            f"{len(session.rules_json)} new rules"
+        )
+    print(f"\nGlobal rule set now holds {len(engine.rule_set)} rules. Sample:")
+    sample = engine.rule_set.rules[0]
+    print(f"  Parameter:      {sample.parameter}")
+    print(f"  Rule:           {sample.rule_description}")
+    print(f"  Tuning context: {sample.tuning_context}")
+
+    print("\nPhase 2 — tune an UNSEEN application with and without the rules:")
+    workload_name = "MACSio_16M"
+    fresh = engine.fresh_copy()
+    without = fresh.tune(get_workload(workload_name))
+    with_rules = engine.tune(get_workload(workload_name))
+    print(f"  {workload_name} without rules: "
+          f"iteration speedups {[round(x, 2) for x in without.speedup_series()]}")
+    print(f"  {workload_name} with rules:    "
+          f"iteration speedups {[round(x, 2) for x in with_rules.speedup_series()]}")
+    print(
+        f"\nFirst-guess speedup: {without.attempts[0].speedup:.2f}x without "
+        f"rules vs {with_rules.attempts[0].speedup:.2f}x with rules "
+        f"(final: {without.best_speedup:.2f}x vs {with_rules.best_speedup:.2f}x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``python setup.py develop``).
+
+Fully offline environments may lack the ``wheel`` package that PEP 660
+editable installs require; this shim enables the classic develop-mode
+fallback. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

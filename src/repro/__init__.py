@@ -1,0 +1,55 @@
+"""repro — a reproduction of STELLAR (SC'25).
+
+STELLAR is an autonomous, agentic-LLM tuner for high-performance parallel file
+systems.  This package implements the full system described in the paper plus
+every substrate its evaluation depends on:
+
+- :mod:`repro.pfs` — a Lustre-like parallel file system performance simulator
+  with a ``/proc``-style tunable parameter tree.
+- :mod:`repro.workloads` — IOR, MDWorkbench, IO500, AMReX and MACSio workload
+  generators.
+- :mod:`repro.darshan` — Darshan-style I/O tracing, log format and parsing.
+- :mod:`repro.llm` — a deterministic mock LLM with per-model capability
+  profiles, tool-calling, token accounting and prompt-cache simulation.
+- :mod:`repro.rag` — chunking, embeddings, a vector index and the RAG-based
+  parameter-extraction pipeline.
+- :mod:`repro.agents` — the Analysis Agent and Tuning Agent.
+- :mod:`repro.rules` — tuning rule sets with conflict-resolving merges.
+- :mod:`repro.core` — the STELLAR engine orchestrating offline extraction and
+  the online trial-and-error tuning loop.
+- :mod:`repro.experiments` — reproductions of every figure in the paper's
+  evaluation section.
+
+Quickstart::
+
+    from repro import Stellar, make_cluster, get_workload
+
+    cluster = make_cluster(seed=0)
+    stellar = Stellar.build(cluster, model="claude-3.7-sonnet", seed=0)
+    session = stellar.tune(get_workload("IOR_16M"), max_attempts=5)
+    print(session.best_config, session.best_speedup)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__", "Stellar", "make_cluster", "get_workload"]
+
+_LAZY = {
+    "Stellar": ("repro.core.engine", "Stellar"),
+    "make_cluster": ("repro.cluster", "make_cluster"),
+    "get_workload": ("repro.workloads", "get_workload"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public facade to avoid import cycles at startup."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,29 @@
+"""The STELLAR agents (§4.3).
+
+- :class:`~repro.agents.analysis.AnalysisAgent` — a code-executing agent
+  (OpenInterpreter-style) that writes and runs Python against the parsed
+  Darshan frames to produce the I/O Report and answer follow-up questions.
+- :class:`~repro.agents.tuning.TuningAgent` — the primary controller of the
+  trial-and-error loop, interacting with the environment through three tool
+  calls: request more analysis, run a new configuration, or end tuning.
+- :mod:`~repro.agents.reflection` — the Reflect & Summarize step that
+  distills each run into rules and merges them into the global rule set.
+- :mod:`~repro.agents.sandbox` — the restricted Python executor behind the
+  Analysis Agent.
+- :mod:`~repro.agents.transcript` — structured event capture for case-study
+  rendering (paper Figure 10).
+"""
+
+from repro.agents.analysis import AnalysisAgent
+from repro.agents.sandbox import SandboxError, run_in_sandbox
+from repro.agents.transcript import Transcript, TranscriptEvent
+from repro.agents.tuning import TuningAgent
+
+__all__ = [
+    "AnalysisAgent",
+    "TuningAgent",
+    "Transcript",
+    "TranscriptEvent",
+    "run_in_sandbox",
+    "SandboxError",
+]

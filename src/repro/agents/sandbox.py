@@ -1,0 +1,76 @@
+"""Restricted Python executor for the Analysis Agent.
+
+Executes model-generated analysis code against the parsed Darshan frames
+with a captured stdout and a restricted import surface (numpy, math,
+statistics only).  Dangerous builtins are removed; errors are surfaced as
+:class:`SandboxError` so the agent can report execution failures back to the
+model.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import math
+import statistics
+from contextlib import redirect_stdout
+
+import numpy
+
+_ALLOWED_IMPORTS = {"numpy": numpy, "math": math, "statistics": statistics, "np": numpy}
+
+_BLOCKED_BUILTINS = {
+    "open",
+    "exec",
+    "eval",
+    "compile",
+    "input",
+    "breakpoint",
+    "exit",
+    "quit",
+    "globals",
+    "locals",
+    "vars",
+    "memoryview",
+    "__import__",
+}
+
+
+class SandboxError(RuntimeError):
+    """Raised when generated code fails or violates the sandbox policy."""
+
+
+def _restricted_import(name, globals=None, locals=None, fromlist=(), level=0):
+    root = name.split(".")[0]
+    if root not in _ALLOWED_IMPORTS:
+        raise SandboxError(f"import of {name!r} is not allowed in the sandbox")
+    return _ALLOWED_IMPORTS[root]
+
+
+def _safe_builtins() -> dict:
+    safe = {
+        name: getattr(builtins, name)
+        for name in dir(builtins)
+        if not name.startswith("_") and name not in _BLOCKED_BUILTINS
+    }
+    safe["__import__"] = _restricted_import
+    return safe
+
+
+def run_in_sandbox(code: str, namespace: dict | None = None, max_output: int = 20_000) -> str:
+    """Execute ``code``; returns captured stdout (truncated to ``max_output``)."""
+    scope: dict = {"__builtins__": _safe_builtins()}
+    if namespace:
+        scope.update(namespace)
+    buffer = io.StringIO()
+    try:
+        with redirect_stdout(buffer):
+            exec(compile(code, "<analysis>", "exec"), scope)  # noqa: S102
+    except SandboxError:
+        raise
+    except Exception as exc:  # surface model-code bugs to the agent
+        raise SandboxError(f"{type(exc).__name__}: {exc}") from exc
+    output = buffer.getvalue()
+    if len(output) > max_output:
+        output = output[:max_output] + "\n...[truncated]"
+    return output

@@ -1,0 +1,35 @@
+"""Structured transcripts of agent activity (case-study rendering)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TranscriptEvent:
+    """One step of a tuning run."""
+
+    kind: str  # e.g. "initial_run", "io_report", "followup", "config", ...
+    detail: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Transcript:
+    """Ordered event log for one tuning run."""
+
+    events: list[TranscriptEvent] = field(default_factory=list)
+
+    def add(self, kind: str, detail: str, **payload: Any) -> None:
+        self.events.append(TranscriptEvent(kind=kind, detail=detail, payload=payload))
+
+    def of_kind(self, kind: str) -> list[TranscriptEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self) -> str:
+        """Human-readable timeline (Figure 10 style)."""
+        lines = []
+        for i, event in enumerate(self.events, 1):
+            lines.append(f"[{i:02d}] {event.kind}: {event.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""The Tuning Agent (§4.3.2): the primary controller of the tuning loop.
+
+Each turn, the agent assembles its full context — tunable parameters,
+hardware, the global rule set, the I/O report and the tuning history — and
+asks the model for its next environment interaction via three tools:
+
+- ``analysis_question`` — delegate a specific question to the Analysis Agent
+  (the minor loop);
+- ``run_configuration`` — apply a configuration and rerun the application,
+  observing real performance feedback;
+- ``end_tuning`` — conclude, with justification, when further tuning is not
+  expected to help.
+
+Prompt sections are ordered stable-first so the provider prompt cache hits
+on the shared prefix every turn (§5.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.agents.analysis import AnalysisAgent
+from repro.agents.transcript import Transcript
+from repro.llm import promptparse as pp
+from repro.llm.api import ChatMessage, ToolSpec
+from repro.llm.client import LLMClient
+
+TOOLS = [
+    ToolSpec(
+        name="analysis_question",
+        description=(
+            "Ask the Analysis Agent to run additional analysis over the "
+            "application's Darshan trace."
+        ),
+        parameters={"question": "the specific analysis question"},
+    ),
+    ToolSpec(
+        name="run_configuration",
+        description=(
+            "Apply a set of parameter values and rerun the target "
+            "application to measure performance."
+        ),
+        parameters={
+            "changes": "mapping of parameter name to value",
+            "rationale": "documented reasoning for each value",
+        },
+    ),
+    ToolSpec(
+        name="end_tuning",
+        description=(
+            "Conclude the tuning process; only when further tuning is not "
+            "expected to deliver additional gains."
+        ),
+        parameters={"reason": "justification for stopping"},
+    ),
+]
+
+_SYSTEM = (
+    "You are the Tuning Agent of STELLAR, an autonomous tuner for a Lustre "
+    "parallel file system. Generate high-quality configurations, observe "
+    "measured performance, and reflect on the outcomes. When generating a "
+    "configuration, document the rationale behind each value. Finalize the "
+    "process only when you believe further tuning would not elicit further "
+    "performance gains, and justify the decision."
+)
+
+
+class ConfigurationRunnerLike(Protocol):
+    """What the Tuning Agent needs from the environment."""
+
+    initial_seconds: float
+
+    def measure(self, changes: dict[str, int]) -> tuple[float, dict[str, int]]:
+        """Run with changes applied; returns (seconds, applied_changes)."""
+        ...
+
+
+@dataclass
+class TuningLoopResult:
+    """Raw outcome of the agent loop."""
+
+    attempts: list[pp.AttemptRecord] = field(default_factory=list)
+    end_reason: str = ""
+    rules_json: list[dict] = field(default_factory=list)
+    followups: dict[str, str] = field(default_factory=dict)
+
+
+class TuningAgent:
+    """Drives the trial-and-error loop for one application."""
+
+    def __init__(
+        self,
+        client: LLMClient,
+        parameters: list[pp.ParameterInfo],
+        hardware_description: str,
+        facts: dict[str, float],
+        runner: ConfigurationRunnerLike,
+        report: pp.IOReport | None,
+        analysis_agent: AnalysisAgent | None = None,
+        rules_json: list[dict] | None = None,
+        max_attempts: int = 5,
+        transcript: Transcript | None = None,
+        session: str = "tuning",
+    ):
+        self.client = client
+        self.parameters = parameters
+        self.hardware_description = hardware_description
+        self.facts = facts
+        self.runner = runner
+        self.report = report
+        self.analysis_agent = analysis_agent
+        self.rules_json = list(rules_json or [])
+        self.max_attempts = max_attempts
+        self.transcript = transcript if transcript is not None else Transcript()
+        self.session = session
+
+    # ------------------------------------------------------------------
+    def run_loop(self) -> TuningLoopResult:
+        result = TuningLoopResult()
+        # Safety valve: tool turns are bounded by attempts + a few
+        # analysis/ending turns.
+        for _ in range(self.max_attempts + 6):
+            completion = self.client.complete(
+                self._messages(result),
+                tools=TOOLS,
+                agent="tuning",
+                session=self.session,
+            )
+            call = completion.called
+            if call is None:
+                result.end_reason = "model returned no tool call"
+                break
+            if call.name == "analysis_question":
+                self._handle_analysis(call.arguments.get("question", ""), result)
+            elif call.name == "run_configuration":
+                self._handle_run(call.arguments, result)
+            elif call.name == "end_tuning":
+                result.end_reason = call.arguments.get("reason", "")
+                self.transcript.add("end_tuning", result.end_reason)
+                break
+            else:
+                raise RuntimeError(f"model called unknown tool {call.name!r}")
+        result.rules_json = self._reflect(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _handle_analysis(self, question: str, result: TuningLoopResult) -> None:
+        if self.analysis_agent is None or self.report is None:
+            answer = "analysis unavailable"
+            if self.report is not None:
+                self.report.followups[question] = answer
+            result.followups[question] = answer
+            self.transcript.add("followup", f"Q: {question} -> unavailable")
+            return
+        answer, metrics = self.analysis_agent.answer(question)
+        self.report.followups[question] = answer
+        self.report.metrics.update(metrics)
+        result.followups[question] = answer
+
+    def _handle_run(self, arguments: dict, result: TuningLoopResult) -> None:
+        requested = {
+            str(name): int(value)
+            for name, value in dict(arguments.get("changes", {})).items()
+        }
+        rationale = str(arguments.get("rationale", ""))
+        seconds, applied = self.runner.measure(requested)
+        speedup = self.runner.initial_seconds / seconds if seconds > 0 else 0.0
+        attempt = pp.AttemptRecord(
+            index=len(result.attempts) + 1,
+            changes=applied,
+            seconds=seconds,
+            speedup=speedup,
+            rationale=rationale,
+        )
+        result.attempts.append(attempt)
+        self.transcript.add(
+            "config",
+            f"attempt {attempt.index}: {applied} -> {seconds:.2f}s "
+            f"({speedup:.2f}x)",
+            rationale=rationale,
+            changes=applied,
+            seconds=seconds,
+            speedup=speedup,
+        )
+
+    # ------------------------------------------------------------------
+    def _messages(self, result: TuningLoopResult) -> list[ChatMessage]:
+        sections = [
+            pp.build_hardware_section(self.hardware_description, self.facts),
+            pp.build_parameter_section(self.parameters),
+            pp.build_rules_section(self.rules_json),
+        ]
+        if self.report is not None:
+            sections.append(pp.build_io_report_section(self.report))
+        sections.append(
+            pp.build_history_section(self.runner.initial_seconds, result.attempts)
+        )
+        sections.append(
+            f"You may try at most {self.max_attempts} configurations. "
+            "Choose your next action."
+        )
+        return [
+            ChatMessage(role="system", content=_SYSTEM),
+            ChatMessage(role="user", content="\n\n".join(sections)),
+        ]
+
+    def _reflect(self, result: TuningLoopResult) -> list[dict]:
+        """Reflect & Summarize: distill the run into rules (§4.4)."""
+        if not result.attempts:
+            return []
+        sections = [
+            pp.build_hardware_section(self.hardware_description, self.facts),
+            pp.build_parameter_section(self.parameters),
+        ]
+        if self.report is not None:
+            sections.append(pp.build_io_report_section(self.report))
+        sections.append(
+            pp.build_history_section(self.runner.initial_seconds, result.attempts)
+        )
+        sections.append(
+            "## TASK: SUMMARIZE RULES\n"
+            "Summarize what was learned during this tuning run as a strict "
+            "JSON rule set (a list of objects with parameter, "
+            "rule_description and tuning_context). Exclude the application "
+            "name; make recommendations general rather than specific."
+        )
+        content = self.client.complete(
+            [
+                ChatMessage(role="system", content=_SYSTEM),
+                ChatMessage(role="user", content="\n\n".join(sections)),
+            ],
+            agent="tuning",
+            session=self.session,
+        ).content
+        import json
+
+        rules = json.loads(content)
+        self.transcript.add(
+            "reflection", f"distilled {len(rules)} rule(s)", rules=rules
+        )
+        return rules

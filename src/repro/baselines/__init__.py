@@ -1,0 +1,23 @@
+"""Comparison baselines for the evaluation.
+
+- :mod:`repro.baselines.default` — stock Lustre settings;
+- :mod:`repro.baselines.expert` — the human I/O expert's per-workload
+  configurations (given the full benchmark description, Darshan logs and
+  unbounded time, §5.2);
+- :mod:`repro.baselines.search` — an oracle coordinate-descent search used
+  to calibrate how close the expert and STELLAR get to the attainable
+  optimum (traditional autotuners need hundreds of such evaluations — the
+  cost argument of §3).
+"""
+
+from repro.baselines.default import default_updates
+from repro.baselines.expert import expert_updates, expert_rationale
+from repro.baselines.search import OracleSearch, SearchResult
+
+__all__ = [
+    "default_updates",
+    "expert_updates",
+    "expert_rationale",
+    "OracleSearch",
+    "SearchResult",
+]

@@ -1,0 +1,8 @@
+"""The default (stock Lustre 2.15) configuration baseline."""
+
+from __future__ import annotations
+
+
+def default_updates(workload: str | None = None) -> dict[str, int]:
+    """No changes: every parameter at its shipped default."""
+    return {}

@@ -1,0 +1,104 @@
+"""Oracle coordinate-descent search over the 13 tunable parameters.
+
+A stand-in for the traditional autotuners the paper declines to compare
+against directly (they need hundreds to thousands of evaluations): this
+search measures real simulated runs and greedily improves one parameter at
+a time.  It serves two purposes: (1) calibrating how close the expert and
+STELLAR land to the attainable optimum, and (2) demonstrating the iteration
+cost gap — the search's evaluation count is reported alongside its result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.config import PfsConfig
+from repro.pfs.simulator import Simulator
+from repro.workloads.base import Workload
+
+KiB = 1024
+MiB = 1024 * KiB
+
+#: Candidate grids per parameter (coordinate descent sweeps these).
+CANDIDATES: dict[str, list[int]] = {
+    "lov.stripe_count": [1, 2, 5, -1],
+    "lov.stripe_size": [1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB],
+    "osc.max_rpcs_in_flight": [8, 16, 32, 64],
+    "osc.max_pages_per_rpc": [256, 1024, 4096],
+    "osc.max_dirty_mb": [32, 128, 512],
+    "osc.short_io_bytes": [0, 16 * KiB, 64 * KiB],
+    "llite.max_read_ahead_mb": [64, 512, 2048],
+    "llite.max_read_ahead_per_file_mb": [32, 256, 1024],
+    "llite.max_read_ahead_whole_mb": [2, 16],
+    "llite.max_cached_mb": [65536, 147456],
+    "llite.statahead_max": [32, 128, 512, 2048],
+    "mdc.max_rpcs_in_flight": [8, 32, 128],
+    "mdc.max_mod_rpcs_in_flight": [7, 16, 64],
+}
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an oracle search."""
+
+    best_updates: dict[str, int]
+    best_seconds: float
+    default_seconds: float
+    evaluations: int
+    trace: list[tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.default_seconds / self.best_seconds
+
+
+class OracleSearch:
+    """Greedy coordinate descent with a bounded evaluation budget."""
+
+    def __init__(self, cluster: ClusterSpec, seed: int = 0, max_rounds: int = 2):
+        self.cluster = cluster
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.sim = Simulator(cluster)
+
+    def _measure(self, workload: Workload, updates: dict[str, int], rep: int) -> float:
+        config = PfsConfig(
+            facts={
+                "system_memory_mb": self.cluster.system_memory_mb,
+                "n_ost": self.cluster.n_ost,
+            }
+        ).with_updates(updates).clipped()
+        return self.sim.run(workload, config, seed=self.seed * 7919 + rep).seconds
+
+    def run(self, workload: Workload) -> SearchResult:
+        evaluations = 0
+        best: dict[str, int] = {}
+        default_seconds = self._measure(workload, {}, rep=evaluations)
+        evaluations += 1
+        best_seconds = default_seconds
+        trace: list[tuple[str, int, float]] = []
+        for _ in range(self.max_rounds):
+            improved = False
+            for name, candidates in CANDIDATES.items():
+                for value in candidates:
+                    if best.get(name) == value:
+                        continue
+                    trial = dict(best)
+                    trial[name] = value
+                    seconds = self._measure(workload, trial, rep=evaluations)
+                    evaluations += 1
+                    trace.append((name, value, seconds))
+                    if seconds < best_seconds * 0.995:
+                        best = trial
+                        best_seconds = seconds
+                        improved = True
+            if not improved:
+                break
+        return SearchResult(
+            best_updates=best,
+            best_seconds=best_seconds,
+            default_seconds=default_seconds,
+            evaluations=evaluations,
+            trace=trace,
+        )

@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+Examples::
+
+    stellar extract                 # offline RAG extraction report
+    stellar tune IOR_16M            # one tuning run with transcript
+    stellar experiment fig5         # reproduce a paper figure
+    stellar experiment all --reps 4
+    stellar list                    # available workloads and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import make_cluster
+from repro.core.engine import Stellar
+from repro.workloads import get_workload, list_workloads
+
+EXPERIMENTS = (
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "cost",
+    "casestudy",
+    "extraction",
+    "userspace",
+    "autotuner-cost",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stellar",
+        description="STELLAR (SC'25) reproduction: autonomous PFS tuning.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments")
+
+    extract = sub.add_parser("extract", help="run the offline RAG extraction")
+    extract.add_argument("--model", default="gpt-4o")
+
+    tune = sub.add_parser("tune", help="run one tuning run for a workload")
+    tune.add_argument("workload", choices=list_workloads())
+    tune.add_argument("--model", default="claude-3.7-sonnet")
+    tune.add_argument("--max-attempts", type=int, default=5)
+    tune.add_argument("--no-descriptions", action="store_true")
+    tune.add_argument("--no-analysis", action="store_true")
+    tune.add_argument("--transcript", action="store_true")
+
+    experiment = sub.add_parser("experiment", help="reproduce a paper figure")
+    experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
+    experiment.add_argument("--reps", type=int, default=8)
+    return parser
+
+
+def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
+    from repro.experiments import (
+        casestudy,
+        cost,
+        extraction_report,
+        fig2,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+    )
+
+    if name == "fig2":
+        return fig2.run(cluster, seed=seed).render()
+    if name == "fig5":
+        return fig5.run(cluster, reps=reps, seed=seed).render()
+    if name == "fig6":
+        return fig6.run(cluster, reps=reps, seed=seed).render()
+    if name == "fig7":
+        return fig7.run(cluster, reps=reps, seed=seed).render()
+    if name == "fig8":
+        return fig8.run(cluster, reps=reps, seed=seed).render()
+    if name == "fig9":
+        return fig9.run(cluster, reps=reps, seed=seed).render()
+    if name == "cost":
+        return cost.run(cluster, seed=seed).render()
+    if name == "casestudy":
+        return casestudy.run(cluster, seed=seed or 3).render()
+    if name == "extraction":
+        return extraction_report.run(cluster, seed=seed).render()
+    if name == "userspace":
+        from repro.experiments import userspace
+
+        return userspace.run(cluster, reps=reps, seed=seed).render()
+    if name == "autotuner-cost":
+        from repro.experiments import autotuner_cost
+
+        return autotuner_cost.run(cluster, seed=seed).render()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    cluster = make_cluster(seed=args.seed)
+
+    if args.command == "list":
+        print("workloads:", ", ".join(list_workloads()))
+        print("experiments:", ", ".join(EXPERIMENTS))
+        return 0
+
+    if args.command == "extract":
+        from repro.experiments import extraction_report
+
+        print(extraction_report.run(cluster, seed=args.seed, model=args.model).render())
+        return 0
+
+    if args.command == "tune":
+        engine = Stellar.build(cluster, model=args.model, seed=args.seed)
+        session = engine.tune(
+            get_workload(args.workload),
+            max_attempts=args.max_attempts,
+            use_descriptions=not args.no_descriptions,
+            use_analysis=not args.no_analysis,
+        )
+        print(session.summary())
+        if args.transcript:
+            print()
+            print(session.transcript.render())
+        return 0
+
+    if args.command == "experiment":
+        names = EXPERIMENTS if args.name == "all" else (args.name,)
+        for name in names:
+            print(_run_experiment(name, cluster, args.reps, args.seed))
+            print()
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

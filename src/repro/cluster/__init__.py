@@ -1,0 +1,20 @@
+"""Simulated evaluation testbed.
+
+Models the paper's CloudLab allocation: 10 machines (Intel Xeon Silver 4114,
+10 physical cores, ~196 GB RAM, 10 Gbps switch), Lustre 2.15.5 with five
+object storage servers, a combined MGS/MDS, and five client nodes running the
+benchmarks with 50 MPI processes.
+"""
+
+from repro.cluster.hardware import ClusterSpec, NodeSpec, make_cluster
+from repro.cluster.mpi import MpiJob, RankPlacement
+from repro.cluster.topology import build_topology
+
+__all__ = [
+    "ClusterSpec",
+    "NodeSpec",
+    "make_cluster",
+    "MpiJob",
+    "RankPlacement",
+    "build_topology",
+]

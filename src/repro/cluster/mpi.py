@@ -1,0 +1,64 @@
+"""Simulated MPI job launch and rank placement.
+
+The benchmarks run as ``mpiexec -n 50`` across five client nodes.  The PFS
+model needs to know which client node hosts each rank (client-side limits such
+as ``max_rpcs_in_flight`` apply per node per target, and NIC bandwidth is
+shared by co-located ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.hardware import ClusterSpec
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Mapping of MPI rank -> client node index (block placement)."""
+
+    n_ranks: int
+    n_clients: int
+
+    def __post_init__(self):
+        if self.n_ranks < 1 or self.n_clients < 1:
+            raise ValueError("ranks and clients must be positive")
+
+    def client_of(self, rank: int) -> int:
+        """Client node hosting ``rank`` (block distribution, like mpiexec)."""
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError(f"rank {rank} out of range")
+        per_client = -(-self.n_ranks // self.n_clients)  # ceil div
+        return min(rank // per_client, self.n_clients - 1)
+
+    def ranks_per_client(self) -> np.ndarray:
+        """Vector of rank counts per client node."""
+        counts = np.zeros(self.n_clients, dtype=int)
+        for rank in range(self.n_ranks):
+            counts[self.client_of(rank)] += 1
+        return counts
+
+
+@dataclass
+class MpiJob:
+    """A launched (simulated) MPI application instance."""
+
+    name: str
+    n_ranks: int
+    placement: RankPlacement
+    cluster: ClusterSpec
+
+    @classmethod
+    def launch(cls, name: str, n_ranks: int, cluster: ClusterSpec) -> "MpiJob":
+        """Place ``n_ranks`` ranks across the cluster's client nodes."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        placement = RankPlacement(n_ranks=n_ranks, n_clients=cluster.n_clients)
+        return cls(name=name, n_ranks=n_ranks, placement=placement, cluster=cluster)
+
+    def ranks_on_client(self, client: int) -> list[int]:
+        return [
+            r for r in range(self.n_ranks) if self.placement.client_of(r) == client
+        ]

@@ -1,0 +1,42 @@
+"""Network topology as a graph.
+
+A single non-blocking switch connects every node; the graph form exists so
+path capacities can be queried uniformly (and so richer topologies — fat
+trees, multi-rail — can slot in without touching the performance model).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cluster.hardware import ClusterSpec
+
+
+def build_topology(spec: ClusterSpec) -> nx.Graph:
+    """Star topology: every node -- switch, edge capacity = NIC bandwidth."""
+    graph = nx.Graph()
+    graph.add_node("switch", kind="switch", bandwidth=spec.switch_bandwidth)
+    for node in spec.oss_nodes + spec.mds_nodes + spec.client_nodes:
+        graph.add_node(node.name, kind=node.role, spec=node)
+        graph.add_edge(
+            node.name,
+            "switch",
+            bandwidth=node.nic_bandwidth,
+            latency=node.nic_latency + spec.switch_latency,
+        )
+    return graph
+
+
+def path_bandwidth(graph: nx.Graph, src: str, dst: str) -> float:
+    """Bottleneck bandwidth along the (unique) src→dst path."""
+    path = nx.shortest_path(graph, src, dst)
+    capacities = [
+        graph.edges[a, b]["bandwidth"] for a, b in zip(path[:-1], path[1:])
+    ]
+    return min(capacities)
+
+
+def path_latency(graph: nx.Graph, src: str, dst: str) -> float:
+    """Total one-way latency along the src→dst path."""
+    path = nx.shortest_path(graph, src, dst)
+    return sum(graph.edges[a, b]["latency"] for a, b in zip(path[:-1], path[1:]))

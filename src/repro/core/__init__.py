@@ -1,0 +1,12 @@
+"""The STELLAR engine (the paper's primary contribution).
+
+Orchestrates the offline RAG extraction phase and the online agentic tuning
+loop over the simulated cluster, accumulating the global rule set across
+tuning runs.
+"""
+
+from repro.core.engine import Stellar
+from repro.core.runner import ConfigurationRunner
+from repro.core.session import TuningSession
+
+__all__ = ["Stellar", "ConfigurationRunner", "TuningSession"]

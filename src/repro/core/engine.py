@@ -1,0 +1,180 @@
+"""The STELLAR engine: offline extraction + online agentic tuning (§4.1).
+
+``Stellar.build`` runs the offline phase once (RAG over the manual,
+producing the filtered tunable-parameter list with accurate descriptions
+and dependent ranges).  ``tune`` executes one complete Tuning Run:
+
+1. initial instrumented execution of the target application (Darshan log);
+2. the Analysis Agent distills the log into the I/O Report;
+3. the Tuning Agent iterates: optional follow-up analyses, configuration
+   proposals executed on the real (simulated) system, feedback, and an
+   autonomous end decision — at most ``max_attempts`` configurations;
+4. Reflect & Summarize distills rules, which ``accumulate`` merges into the
+   global rule set used by subsequent runs.
+
+The ablation switches mirror §5.4: ``use_descriptions=False`` removes the
+RAG-generated parameter descriptions (keeping ranges), ``use_analysis=False``
+removes the Analysis Agent entirely; ``use_rules`` gates the global rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.agents.analysis import AnalysisAgent
+from repro.agents.reflection import merge_rules_via_llm
+from repro.agents.transcript import Transcript
+from repro.agents.tuning import TuningAgent
+from repro.cluster.hardware import ClusterSpec
+from repro.core.runner import ConfigurationRunner
+from repro.core.session import TuningSession
+from repro.corpus import render_hardware_doc
+from repro.darshan import parse_log
+from repro.llm.client import LLMClient
+from repro.llm.tokens import UsageLedger
+from repro.rag.extraction import ExtractionResult, ParameterExtractor
+from repro.rules.model import RuleSet
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Stellar:
+    """The assembled tuning engine."""
+
+    cluster: ClusterSpec
+    model: str
+    extraction: ExtractionResult
+    seed: int = 0
+    analysis_model: str | None = None  # defaults to gpt-4o like the paper
+
+    def __post_init__(self):
+        self.rule_set = RuleSet()
+        self._run_counter = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        cluster: ClusterSpec,
+        model: str = "claude-3.7-sonnet",
+        seed: int = 0,
+        extraction_model: str = "gpt-4o",
+        extraction: ExtractionResult | None = None,
+    ) -> "Stellar":
+        """Run (or reuse) the offline phase and assemble the engine."""
+        if extraction is None:
+            client = LLMClient(extraction_model, seed=seed)
+            extraction = ParameterExtractor(cluster, client).run()
+        return cls(cluster=cluster, model=model, extraction=extraction, seed=seed)
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        workload: Workload,
+        max_attempts: int = 5,
+        use_rules: bool = True,
+        use_descriptions: bool = True,
+        use_analysis: bool = True,
+        user_accessible_only: bool = False,
+        seed: int | None = None,
+    ) -> TuningSession:
+        """One complete Tuning Run for ``workload``.
+
+        ``user_accessible_only`` restricts the tunable surface to parameters
+        a user can set without root privileges (``lfs setstripe`` layout
+        settings) — the paper's §5.6 deployment direction for production
+        systems where ``/proc`` parameters are off limits.
+        """
+        self._run_counter += 1
+        run_seed = self.seed * 100 + self._run_counter if seed is None else seed
+        ledger = UsageLedger()
+        tuning_client = LLMClient(self.model, seed=run_seed, ledger=ledger)
+        analysis_client = LLMClient(
+            self.analysis_model or "gpt-4o", seed=run_seed, ledger=ledger
+        )
+        transcript = Transcript()
+
+        runner = ConfigurationRunner(self.cluster, workload, seed=run_seed)
+        initial_run, darshan_log = runner.initial_execution()
+        transcript.add(
+            "initial_run",
+            f"{workload.name} under defaults: {initial_run.seconds:.2f}s",
+            seconds=initial_run.seconds,
+        )
+
+        report = None
+        analysis_agent = None
+        if use_analysis:
+            parsed = parse_log(darshan_log)
+            analysis_agent = AnalysisAgent(
+                analysis_client,
+                parsed,
+                transcript=transcript,
+                session=f"analysis:{workload.name}:{run_seed}",
+            )
+            report = analysis_agent.initial_report()
+
+        selected = self.extraction.selected
+        if user_accessible_only:
+            from repro.pfs import params as P
+
+            selected = [
+                p for p in selected if P.REGISTRY[p.name].user_settable
+            ]
+        parameters = [
+            p.to_info(include_description=use_descriptions) for p in selected
+        ]
+        facts = {
+            "system_memory_mb": float(self.cluster.system_memory_mb),
+            "n_ost": float(self.cluster.n_ost),
+            "n_clients": float(self.cluster.n_clients),
+        }
+        agent = TuningAgent(
+            client=tuning_client,
+            parameters=parameters,
+            hardware_description=render_hardware_doc(self.cluster),
+            facts=facts,
+            runner=runner,
+            report=report,
+            analysis_agent=analysis_agent,
+            rules_json=self.rule_set.to_json() if use_rules else [],
+            max_attempts=max_attempts,
+            transcript=transcript,
+            session=f"tuning:{workload.name}:{run_seed}",
+        )
+        loop = agent.run_loop()
+        return TuningSession(
+            workload=workload.name,
+            model=self.model,
+            initial_seconds=runner.initial_seconds,
+            attempts=loop.attempts,
+            end_reason=loop.end_reason,
+            rules_json=loop.rules_json,
+            transcript=transcript,
+            executions=runner.execution_count,
+            usage=dict(ledger.per_agent),
+            llm_latency=ledger.wall_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def accumulate(self, session: TuningSession) -> None:
+        """Merge a run's rules into the global rule set (LLM-mediated)."""
+        if not session.rules_json:
+            return
+        client = LLMClient(self.model, seed=self.seed)
+        merged = merge_rules_via_llm(
+            client, self.rule_set.to_json(), session.rules_json
+        )
+        self.rule_set = RuleSet.from_json(merged)
+
+    def tune_and_accumulate(self, workload: Workload, **kwargs) -> TuningSession:
+        session = self.tune(workload, **kwargs)
+        self.accumulate(session)
+        return session
+
+    def fresh_copy(self) -> "Stellar":
+        """An engine sharing the offline extraction but with empty rules."""
+        clone = replace(self)
+        clone.rule_set = RuleSet()
+        clone._run_counter = 0
+        return clone

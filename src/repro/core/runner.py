@@ -1,0 +1,90 @@
+"""The Configuration Runner tool.
+
+Applies a proposed configuration, runs the target application on the
+(simulated) cluster with full between-run hygiene, and returns measured wall
+time.  Out-of-range proposals are clipped to the nearest valid values — the
+behaviour of ``lctl set_param`` refusing invalid writes and the admin tool
+falling back — and the applied values are what the agent sees in its
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.core.hygiene import HygieneLog
+from repro.darshan import DarshanLog, trace_run
+from repro.pfs.config import PfsConfig
+from repro.pfs.simulator import RunResult, Simulator
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Execution:
+    """One application execution performed by the runner."""
+
+    changes: dict[str, int]
+    seconds: float
+    run: RunResult
+
+
+class ConfigurationRunner:
+    """Runs one workload under proposed configurations."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        workload: Workload,
+        seed: int = 0,
+        base_config: PfsConfig | None = None,
+    ):
+        self.cluster = cluster
+        self.workload = workload
+        self.seed = seed
+        facts = {
+            "system_memory_mb": cluster.system_memory_mb,
+            "n_ost": cluster.n_ost,
+        }
+        self.base_config = (
+            base_config.copy() if base_config is not None else PfsConfig(facts=facts)
+        )
+        self.hygiene = HygieneLog()
+        self.executions: list[Execution] = []
+        self.initial_seconds: float = 0.0
+        self.initial_run: RunResult | None = None
+
+    # ------------------------------------------------------------------
+    def initial_execution(self) -> tuple[RunResult, DarshanLog]:
+        """The instrumented first run under the current defaults."""
+        self.hygiene.run("before initial execution")
+        sim = Simulator(self.cluster)
+        run = sim.run(self.workload, self.base_config, seed=self._next_seed())
+        self.initial_seconds = run.seconds
+        self.initial_run = run
+        self.executions.append(Execution(changes={}, seconds=run.seconds, run=run))
+        log = trace_run(run, n_ranks=self.workload.n_ranks)
+        return run, log
+
+    def measure(self, changes: dict[str, int]) -> tuple[float, dict[str, int]]:
+        """Run with ``changes`` applied on top of defaults (clipped valid)."""
+        if self.initial_run is None:
+            raise RuntimeError("call initial_execution() before measure()")
+        self.hygiene.run(f"before attempt {len(self.executions)}")
+        config = self.base_config.with_updates(changes).clipped()
+        applied = {
+            name: config[name]
+            for name in changes
+            if name in config
+        }
+        sim = Simulator(self.cluster)
+        run = sim.run(self.workload, config, seed=self._next_seed())
+        self.executions.append(Execution(changes=applied, seconds=run.seconds, run=run))
+        return run.seconds, applied
+
+    def _next_seed(self) -> int:
+        return self.seed * 1000 + len(self.executions)
+
+    @property
+    def execution_count(self) -> int:
+        return len(self.executions)

@@ -1,0 +1,69 @@
+"""Tuning session records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.transcript import Transcript
+from repro.llm.promptparse import AttemptRecord
+from repro.llm.tokens import TokenUsage
+
+
+@dataclass
+class TuningSession:
+    """Everything one STELLAR Tuning Run produced."""
+
+    workload: str
+    model: str
+    initial_seconds: float
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    end_reason: str = ""
+    rules_json: list[dict] = field(default_factory=list)
+    transcript: Transcript = field(default_factory=Transcript)
+    executions: int = 0
+    usage: dict[str, TokenUsage] = field(default_factory=dict)
+    llm_latency: float = 0.0
+
+    @property
+    def best_attempt(self) -> AttemptRecord | None:
+        improving = [a for a in self.attempts if a.speedup > 1.0]
+        pool = improving or self.attempts
+        return max(pool, key=lambda a: a.speedup) if pool else None
+
+    @property
+    def best_config(self) -> dict[str, int]:
+        best = self.best_attempt
+        if best is None or best.speedup <= 1.0:
+            return {}
+        return dict(best.changes)
+
+    @property
+    def best_speedup(self) -> float:
+        best = self.best_attempt
+        return max(best.speedup, 1.0) if best else 1.0
+
+    @property
+    def best_seconds(self) -> float:
+        best = self.best_attempt
+        if best is None or best.speedup <= 1.0:
+            return self.initial_seconds
+        return best.seconds
+
+    def speedup_series(self) -> list[float]:
+        """Speedup per iteration, iteration 0 being the initial run."""
+        return [1.0] + [a.speedup for a in self.attempts]
+
+    def summary(self) -> str:
+        lines = [
+            f"Tuning run: {self.workload} with {self.model}",
+            f"initial runtime: {self.initial_seconds:.2f}s",
+        ]
+        for attempt in self.attempts:
+            lines.append(
+                f"  attempt {attempt.index}: {attempt.seconds:.2f}s "
+                f"({attempt.speedup:.2f}x) changes={attempt.changes}"
+            )
+        lines.append(f"best speedup: {self.best_speedup:.2f}x")
+        lines.append(f"end reason: {self.end_reason}")
+        lines.append(f"application executions: {self.executions}")
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Synthetic documentation corpus.
+
+The RAG pipeline needs the artifacts the paper feeds it: the parallel file
+system operations manual (rendered from the ground-truth parameter registry,
+with deliberate gaps for under-documented parameters) and the cluster
+hardware specification document.
+"""
+
+from repro.corpus.manual import render_manual, render_parameter_section
+from repro.corpus.hardware_docs import render_hardware_doc
+
+__all__ = ["render_manual", "render_parameter_section", "render_hardware_doc"]

@@ -1,0 +1,23 @@
+"""Cluster hardware specification document.
+
+Part of the domain knowledge STELLAR integrates via RAG — hardware facts
+(OST count, memory, network) parameterize dependent ranges and inform the
+Tuning Agent's value choices.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import ClusterSpec
+
+
+def render_hardware_doc(cluster: ClusterSpec, fsname: str = "testfs") -> str:
+    return (
+        f"Hardware specification for the {fsname} evaluation cluster\n\n"
+        + cluster.describe()
+        + "\n\n"
+        + "Facts for dependent parameter ranges:\n"
+        + f"system_memory_mb = {cluster.system_memory_mb}\n"
+        + f"n_ost = {cluster.n_ost}\n"
+        + f"n_clients = {cluster.n_clients}\n"
+        + f"mds_service_threads = {cluster.mds_service_threads}\n"
+    )

@@ -1,0 +1,20 @@
+"""Darshan-style I/O tracing substrate.
+
+The paper's online loop starts from a Darshan log of the target application.
+This package provides the pieces that pipeline needs:
+
+- :mod:`repro.darshan.counters` — POSIX/MPIIO counter definitions with the
+  per-counter descriptions the Analysis Agent receives;
+- :mod:`repro.darshan.tracer` — instruments a simulated run and produces a
+  :class:`~repro.darshan.log.DarshanLog`;
+- :mod:`repro.darshan.log` — the log container plus a darshan-parser-like
+  text serialization;
+- :mod:`repro.darshan.parser` — the paper's preprocessing step: log →
+  columnar Frames (one per module) + column-description strings.
+"""
+
+from repro.darshan.log import DarshanLog, DarshanRecord
+from repro.darshan.parser import ParsedLog, parse_log
+from repro.darshan.tracer import trace_run
+
+__all__ = ["DarshanLog", "DarshanRecord", "trace_run", "parse_log", "ParsedLog"]

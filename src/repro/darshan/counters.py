@@ -1,0 +1,55 @@
+"""Counter definitions for the POSIX and MPIIO modules.
+
+Names and semantics follow Darshan 3.x; the subset covers everything the
+paper's Analysis Agent needs: op counts, byte totals, access-size statistics,
+sequentiality, sharing, and time split across read/write/metadata.
+"""
+
+from __future__ import annotations
+
+POSIX_COUNTERS: dict[str, str] = {
+    "POSIX_OPENS": "number of open/create calls on this file",
+    "POSIX_READS": "number of read calls",
+    "POSIX_WRITES": "number of write calls",
+    "POSIX_SEEKS": "number of seek calls (non-sequential repositioning)",
+    "POSIX_STATS": "number of stat/fstat calls",
+    "POSIX_UNLINKS": "number of unlink calls",
+    "POSIX_MKDIRS": "number of mkdir calls attributed to this record",
+    "POSIX_BYTES_READ": "total bytes read",
+    "POSIX_BYTES_WRITTEN": "total bytes written",
+    "POSIX_CONSEC_READS": "reads at the offset immediately following the previous read",
+    "POSIX_CONSEC_WRITES": "writes at the offset immediately following the previous write",
+    "POSIX_ACCESS1_ACCESS": "most common access size in bytes",
+    "POSIX_ACCESS1_COUNT": "count of accesses using the most common size",
+    "POSIX_F_READ_TIME": "cumulative seconds spent in read calls",
+    "POSIX_F_WRITE_TIME": "cumulative seconds spent in write calls",
+    "POSIX_F_META_TIME": "cumulative seconds spent in metadata calls (open/stat/close/unlink)",
+    "POSIX_FILE_COUNT": "number of files aggregated into this record (1 = a single file)",
+    "POSIX_FILE_SIZE": "size in bytes of (each of) the file(s) in this record",
+}
+
+MPIIO_COUNTERS: dict[str, str] = {
+    "MPIIO_INDEP_OPENS": "independent MPI-IO opens",
+    "MPIIO_INDEP_READS": "independent MPI-IO reads",
+    "MPIIO_INDEP_WRITES": "independent MPI-IO writes",
+    "MPIIO_BYTES_READ": "total bytes read through MPI-IO",
+    "MPIIO_BYTES_WRITTEN": "total bytes written through MPI-IO",
+    "MPIIO_F_READ_TIME": "cumulative seconds in MPI-IO reads",
+    "MPIIO_F_WRITE_TIME": "cumulative seconds in MPI-IO writes",
+    "MPIIO_F_META_TIME": "cumulative seconds in MPI-IO metadata calls",
+}
+
+#: Columns present in every record regardless of module.
+COMMON_COLUMNS: dict[str, str] = {
+    "rank": "MPI rank that issued the operations; -1 means a shared record aggregated across all ranks",
+    "file": "file path (for aggregated records, a representative path with a * suffix)",
+    "record_type": "'file' for a single file, 'file_group' for an aggregate over many similar files",
+}
+
+
+def column_descriptions(module: str) -> dict[str, str]:
+    """Merged column->description mapping for a module frame."""
+    table = {"POSIX": POSIX_COUNTERS, "MPIIO": MPIIO_COUNTERS}[module]
+    merged = dict(COMMON_COLUMNS)
+    merged.update(table)
+    return merged

@@ -1,0 +1,110 @@
+"""Darshan log container and text serialization.
+
+The text format mirrors ``darshan-parser`` output closely enough to feel
+familiar: a header block of ``# key: value`` lines followed by one line per
+(module, record, counter) triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class DarshanRecord:
+    """One instrumented record (a file, or an aggregated file group)."""
+
+    module: str  # "POSIX" | "MPIIO"
+    file: str
+    rank: int  # -1 for shared records
+    counters: dict[str, float] = field(default_factory=dict)
+    record_type: str = "file"
+
+    def get(self, counter: str, default: float = 0.0) -> float:
+        return self.counters.get(counter, default)
+
+
+@dataclass
+class DarshanLog:
+    """A complete log for one application execution."""
+
+    exe: str
+    nprocs: int
+    run_time: float
+    jobid: int = 0
+    start_time: float = 0.0
+    records: list[DarshanRecord] = field(default_factory=list)
+
+    def module_records(self, module: str) -> list[DarshanRecord]:
+        return [r for r in self.records if r.module == module]
+
+    @property
+    def modules(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.module not in seen:
+                seen.append(record.module)
+        return seen
+
+    def total(self, counter: str) -> float:
+        return sum(r.get(counter) for r in self.records)
+
+    # -- text round trip ---------------------------------------------------
+    def dumps(self) -> str:
+        lines = [
+            "# darshan log version: 3.41 (simulated)",
+            f"# exe: {self.exe}",
+            f"# jobid: {self.jobid}",
+            f"# nprocs: {self.nprocs}",
+            f"# start_time: {self.start_time}",
+            f"# run time: {self.run_time}",
+        ]
+        for record in self.records:
+            for counter, value in record.counters.items():
+                lines.append(
+                    f"{record.module}\t{record.rank}\t{record.file}\t"
+                    f"{record.record_type}\t{counter}\t{value:g}"
+                )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "DarshanLog":
+        header: dict[str, str] = {}
+        records: dict[tuple[str, int, str, str], DarshanRecord] = {}
+        for line in text.splitlines():
+            line = line.rstrip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if ":" in line:
+                    key, _, value = line[1:].partition(":")
+                    header[key.strip()] = value.strip()
+                continue
+            parts = line.split("\t")
+            if len(parts) != 6:
+                raise ValueError(f"malformed darshan line: {line!r}")
+            module, rank, path, rtype, counter, value = parts
+            key = (module, int(rank), path, rtype)
+            record = records.get(key)
+            if record is None:
+                record = DarshanRecord(
+                    module=module, file=path, rank=int(rank), record_type=rtype
+                )
+                records[key] = record
+            record.counters[counter] = float(value)
+        return cls(
+            exe=header.get("exe", "unknown"),
+            nprocs=int(header.get("nprocs", "0")),
+            run_time=float(header.get("run time", "0")),
+            jobid=int(header.get("jobid", "0")),
+            start_time=float(header.get("start_time", "0")),
+            records=list(records.values()),
+        )
+
+    def header_text(self) -> str:
+        """The header string handed to the Analysis Agent."""
+        return (
+            f"exe: {self.exe}; nprocs: {self.nprocs}; "
+            f"run time: {self.run_time:.3f} s; modules: {', '.join(self.modules)}"
+        )

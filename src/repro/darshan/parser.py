@@ -1,0 +1,58 @@
+"""Log preprocessing: Darshan log → Frames + column descriptions.
+
+This is the paper's preprocessing script (§4.1): counters for each module are
+extracted into separate dataframes with a string describing every column, and
+the log header becomes a separate string variable.  The Analysis Agent
+operates on this parsed form, never on the raw log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.darshan.counters import column_descriptions
+from repro.darshan.log import DarshanLog
+from repro.frame import Frame
+
+
+@dataclass
+class ParsedLog:
+    """The Analysis Agent's working set."""
+
+    header: str
+    frames: dict[str, Frame] = field(default_factory=dict)
+    descriptions: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def namespace(self) -> dict[str, object]:
+        """Variables injected into the Analysis Agent's sandbox."""
+        ns: dict[str, object] = {"header": self.header}
+        for module, frame in self.frames.items():
+            ns[module.lower()] = frame
+            ns[f"{module.lower()}_columns"] = self.descriptions[module]
+        return ns
+
+
+def parse_log(log: DarshanLog) -> ParsedLog:
+    """Convert a log into per-module Frames with described columns."""
+    parsed = ParsedLog(header=log.header_text())
+    for module in log.modules:
+        records = log.module_records(module)
+        columns = column_descriptions(module)
+        rows = []
+        for record in records:
+            row: dict[str, object] = {
+                "rank": record.rank,
+                "file": record.file,
+                "record_type": record.record_type,
+            }
+            for counter in columns:
+                if counter in ("rank", "file", "record_type"):
+                    continue
+                row[counter] = record.get(counter)
+            rows.append(row)
+        frame = Frame.from_records(rows)
+        parsed.frames[module] = frame
+        parsed.descriptions[module] = {
+            name: desc for name, desc in columns.items() if name in frame.columns
+        }
+    return parsed

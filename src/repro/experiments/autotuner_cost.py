@@ -1,0 +1,76 @@
+"""Extension experiment: the exploration-cost argument, quantified (§3).
+
+The paper argues that search-based autotuners are impractical because they
+need hundreds to thousands of application executions.  This table runs an
+oracle coordinate-descent search (a generous stand-in: it greedily exploits
+the same simulator) next to STELLAR and reports executions-to-result for
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.search import OracleSearch
+from repro.cluster.hardware import ClusterSpec
+from repro.experiments.harness import run_sessions, shared_extraction
+from repro.workloads import get_workload
+
+WORKLOADS = ("IOR_64K", "IOR_16M", "MDWorkbench_8K")
+
+
+@dataclass
+class CostRow:
+    workload: str
+    stellar_speedup: float
+    stellar_executions: int
+    search_speedup: float
+    search_evaluations: int
+
+    @property
+    def execution_ratio(self) -> float:
+        return self.search_evaluations / max(1, self.stellar_executions)
+
+    def render(self) -> str:
+        return (
+            f"{self.workload:16s} STELLAR {self.stellar_speedup:4.2f}x in "
+            f"{self.stellar_executions} runs | search {self.search_speedup:4.2f}x "
+            f"in {self.search_evaluations} runs ({self.execution_ratio:.0f}x more)"
+        )
+
+
+@dataclass
+class AutotunerCostResult:
+    rows: list[CostRow] = field(default_factory=list)
+
+    def get(self, workload: str) -> CostRow:
+        return next(r for r in self.rows if r.workload == workload)
+
+    def render(self) -> str:
+        lines = ["Exploration cost: STELLAR vs search-based tuning (§3 argument):"]
+        lines += ["  " + r.render() for r in self.rows]
+        return "\n".join(lines)
+
+
+def run(cluster: ClusterSpec, seed: int = 0) -> AutotunerCostResult:
+    extraction = shared_extraction(cluster)
+    result = AutotunerCostResult()
+    for name in WORKLOADS:
+        sessions = run_sessions(
+            cluster, name, reps=2, seed=seed, extraction=extraction
+        )
+        stellar_speedup = sum(s.best_speedup for s in sessions) / len(sessions)
+        stellar_executions = max(s.executions for s in sessions)
+        search = OracleSearch(cluster, seed=seed, max_rounds=1).run(
+            get_workload(name)
+        )
+        result.rows.append(
+            CostRow(
+                workload=name,
+                stellar_speedup=stellar_speedup,
+                stellar_executions=stellar_executions,
+                search_speedup=search.speedup,
+                search_evaluations=search.evaluations,
+            )
+        )
+    return result

@@ -1,0 +1,49 @@
+"""Figure 10: a granular case study of one MDWorkbench_8K tuning run.
+
+Renders the full timeline: initial execution, the Analysis Agent's report,
+the Tuning Agent's follow-up questions, each configuration with its
+rationale and measured outcome, the end decision, and a generated rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.core.engine import Stellar
+from repro.core.session import TuningSession
+from repro.experiments.harness import shared_extraction
+from repro.workloads import get_workload
+
+WORKLOAD = "MDWorkbench_8K"
+
+
+@dataclass
+class CaseStudy:
+    session: TuningSession
+
+    @property
+    def first_attempt_speedup(self) -> float:
+        return self.session.attempts[0].speedup if self.session.attempts else 0.0
+
+    def render(self) -> str:
+        session = self.session
+        lines = [f"Figure 10 — case study: tuning {session.workload}", ""]
+        lines.append(session.transcript.render())
+        lines.append("")
+        if session.rules_json:
+            rule = session.rules_json[0]
+            lines.append("Example generated rule:")
+            lines.append(f"  Parameter: {rule['parameter']}")
+            lines.append(f"  Rule: {rule['rule_description']}")
+            lines.append(f"  Tuning context: {rule['tuning_context']}")
+        return "\n".join(lines)
+
+
+def run(cluster: ClusterSpec, seed: int = 3) -> CaseStudy:
+    extraction = shared_extraction(cluster)
+    engine = Stellar(
+        cluster=cluster, model="claude-3.7-sonnet", extraction=extraction, seed=seed
+    )
+    session = engine.tune(get_workload(WORKLOAD))
+    return CaseStudy(session=session)

@@ -1,0 +1,91 @@
+"""§5.7 Cost and latency analysis.
+
+Measures real token usage of a complete tuning run per agent, prompt-cache
+hit rates, the dollar cost under each model's pricing, and the LLM latency
+overhead relative to application runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.core.engine import Stellar
+from repro.experiments.harness import shared_extraction
+from repro.llm.profiles import get_profile
+from repro.llm.tokens import TokenUsage
+from repro.workloads import get_workload
+
+WORKLOAD = "MDWorkbench_8K"
+
+
+@dataclass
+class CostReport:
+    workload: str
+    tuning_usage: TokenUsage
+    analysis_usage: TokenUsage
+    llm_latency_seconds: float
+    application_seconds: float
+    cost_usd_by_model: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tuning_cache_rate(self) -> float:
+        return self.tuning_usage.cache_hit_rate
+
+    @property
+    def analysis_cache_rate(self) -> float:
+        return self.analysis_usage.cache_hit_rate
+
+    @property
+    def latency_fraction(self) -> float:
+        total = self.llm_latency_seconds + self.application_seconds
+        return self.llm_latency_seconds / total if total else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"Cost & latency analysis (§5.7) for one tuning run of {self.workload}:",
+            (
+                f"  Tuning Agent:   {self.tuning_usage.input_tokens:,} input / "
+                f"{self.tuning_usage.output_tokens:,} output tokens "
+                f"({self.tuning_cache_rate:.0%} of input served from cache)"
+            ),
+            (
+                f"  Analysis Agent: {self.analysis_usage.input_tokens:,} input / "
+                f"{self.analysis_usage.output_tokens:,} output tokens "
+                f"({self.analysis_cache_rate:.0%} cached)"
+            ),
+            (
+                f"  LLM latency: {self.llm_latency_seconds:.1f}s vs application "
+                f"executions {self.application_seconds:.1f}s "
+                f"({self.latency_fraction:.1%} of end-to-end time)"
+            ),
+        ]
+        for model, cost in sorted(self.cost_usd_by_model.items()):
+            lines.append(f"  API cost if billed as {model}: ${cost:.4f}")
+        return "\n".join(lines)
+
+
+def run(cluster: ClusterSpec, seed: int = 0, workload: str = WORKLOAD) -> CostReport:
+    extraction = shared_extraction(cluster)
+    engine = Stellar(
+        cluster=cluster, model="claude-3.7-sonnet", extraction=extraction, seed=seed
+    )
+    session = engine.tune(get_workload(workload))
+    tuning = session.usage.get("tuning", TokenUsage())
+    analysis = session.usage.get("analysis", TokenUsage())
+    app_seconds = session.initial_seconds + sum(a.seconds for a in session.attempts)
+    costs = {}
+    for model in ("claude-3.7-sonnet", "gpt-4o", "llama-3.1-70b"):
+        profile = get_profile(model)
+        total = tuning + analysis
+        costs[model] = profile.cost_usd(
+            total.input_tokens, total.output_tokens, total.cached_input_tokens
+        )
+    return CostReport(
+        workload=workload,
+        tuning_usage=tuning,
+        analysis_usage=analysis,
+        llm_latency_seconds=session.llm_latency,
+        application_seconds=app_seconds,
+        cost_usd_by_model=costs,
+    )

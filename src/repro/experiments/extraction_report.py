@@ -1,0 +1,54 @@
+"""§4.2: the offline RAG extraction pipeline's output, as a report.
+
+Shows the rough filter, sufficiency filter, binary exclusion, impact
+selection, and the final 13 parameters with dependent ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.llm.client import LLMClient
+from repro.rag.extraction import ExtractionResult, ParameterExtractor
+
+
+@dataclass
+class ExtractionReport:
+    result: ExtractionResult
+    usage_input_tokens: int
+    usage_output_tokens: int
+
+    def render(self) -> str:
+        r = self.result
+        lines = [
+            "Offline RAG-based parameter extraction:",
+            f"  selected ({len(r.selected)}):",
+        ]
+        for p in r.selected:
+            lines.append(
+                f"    {p.name:36s} range {p.min_expr} .. {p.max_expr} "
+                f"(default {p.default})"
+            )
+        lines.append(f"  filtered as binary trade-offs: {sorted(r.filtered_binary)}")
+        lines.append(
+            f"  filtered for insufficient documentation: "
+            f"{sorted(r.filtered_insufficient)}"
+        )
+        lines.append(f"  filtered as low impact: {sorted(r.filtered_low_impact)}")
+        lines.append(
+            f"  extraction LLM usage: {self.usage_input_tokens:,} in / "
+            f"{self.usage_output_tokens:,} out tokens"
+        )
+        return "\n".join(lines)
+
+
+def run(cluster: ClusterSpec, seed: int = 0, model: str = "gpt-4o") -> ExtractionReport:
+    client = LLMClient(model, seed=seed)
+    result = ParameterExtractor(cluster, client).run()
+    usage = client.ledger.agent("extraction")
+    return ExtractionReport(
+        result=result,
+        usage_input_tokens=usage.input_tokens,
+        usage_output_tokens=usage.output_tokens,
+    )

@@ -1,0 +1,90 @@
+"""Figure 6: rule-set interpolation.
+
+All five benchmarks are tuned once (accumulating the global rule set), then
+tuned again with the rule set applied.  Per-iteration speedup series show
+the improved first guess and earlier conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.experiments.harness import (
+    DEFAULT_REPS,
+    accumulate_rules,
+    mean_series,
+    run_sessions,
+    shared_extraction,
+)
+from repro.workloads.registry import BENCHMARKS
+
+
+@dataclass
+class SeriesComparison:
+    workload: str
+    without_rules: list[float]
+    with_rules: list[float]
+    attempts_without: float
+    attempts_with: float
+
+    def render(self) -> str:
+        wo = " ".join(f"{x:5.2f}" for x in self.without_rules)
+        wi = " ".join(f"{x:5.2f}" for x in self.with_rules)
+        return (
+            f"{self.workload:16s}\n"
+            f"    no rules   [{wo}] ({self.attempts_without:.1f} attempts)\n"
+            f"    with rules [{wi}] ({self.attempts_with:.1f} attempts)"
+        )
+
+
+@dataclass
+class Fig6Result:
+    comparisons: list[SeriesComparison] = field(default_factory=list)
+    rule_count: int = 0
+
+    def get(self, workload: str) -> SeriesComparison:
+        return next(c for c in self.comparisons if c.workload == workload)
+
+    def render(self) -> str:
+        lines = [
+            "Figure 6 — speedup vs iteration, with and without the global "
+            f"rule set ({self.rule_count} rules accumulated):"
+        ]
+        lines += [c.render() for c in self.comparisons]
+        return "\n".join(lines)
+
+
+def run(
+    cluster: ClusterSpec,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+    workloads: list[str] | None = None,
+) -> Fig6Result:
+    extraction = shared_extraction(cluster)
+    names = workloads or BENCHMARKS
+    rule_engine = accumulate_rules(cluster, names, seed=seed, extraction=extraction)
+    result = Fig6Result(rule_count=len(rule_engine.rule_set))
+    for name in names:
+        without = run_sessions(
+            cluster, name, reps=reps, seed=seed, extraction=extraction
+        )
+        with_rules = run_sessions(
+            cluster,
+            name,
+            reps=reps,
+            seed=seed + 500,
+            extraction=extraction,
+            rule_engine=rule_engine,
+        )
+        result.comparisons.append(
+            SeriesComparison(
+                workload=name,
+                without_rules=mean_series(without),
+                with_rules=mean_series(with_rules),
+                attempts_without=sum(len(s.attempts) for s in without) / len(without),
+                attempts_with=sum(len(s.attempts) for s in with_rules)
+                / len(with_rules),
+            )
+        )
+    return result

@@ -1,0 +1,74 @@
+"""Figure 7: rule-set extrapolation to previously unseen applications.
+
+The rule set accumulated from the five *benchmarks* only is applied when
+tuning the real applications (AMReX, MACSio) — testing whether knowledge
+transfers to unseen workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.experiments.fig6 import SeriesComparison
+from repro.experiments.harness import (
+    DEFAULT_REPS,
+    accumulate_rules,
+    mean_series,
+    run_sessions,
+    shared_extraction,
+)
+from repro.workloads.registry import BENCHMARKS, REAL_APPS
+
+
+@dataclass
+class Fig7Result:
+    comparisons: list[SeriesComparison] = field(default_factory=list)
+    rule_count: int = 0
+
+    def get(self, workload: str) -> SeriesComparison:
+        return next(c for c in self.comparisons if c.workload == workload)
+
+    def render(self) -> str:
+        lines = [
+            "Figure 7 — rule-set extrapolation to unseen real applications "
+            f"(rules learned from benchmarks only; {self.rule_count} rules):"
+        ]
+        lines += [c.render() for c in self.comparisons]
+        return "\n".join(lines)
+
+
+def run(
+    cluster: ClusterSpec,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+    apps: list[str] | None = None,
+) -> Fig7Result:
+    extraction = shared_extraction(cluster)
+    rule_engine = accumulate_rules(
+        cluster, BENCHMARKS, seed=seed, extraction=extraction
+    )
+    result = Fig7Result(rule_count=len(rule_engine.rule_set))
+    for name in apps or REAL_APPS:
+        without = run_sessions(
+            cluster, name, reps=reps, seed=seed, extraction=extraction
+        )
+        with_rules = run_sessions(
+            cluster,
+            name,
+            reps=reps,
+            seed=seed + 500,
+            extraction=extraction,
+            rule_engine=rule_engine,
+        )
+        result.comparisons.append(
+            SeriesComparison(
+                workload=name,
+                without_rules=mean_series(without),
+                with_rules=mean_series(with_rules),
+                attempts_without=sum(len(s.attempts) for s in without) / len(without),
+                attempts_with=sum(len(s.attempts) for s in with_rules)
+                / len(with_rules),
+            )
+        )
+    return result

@@ -1,0 +1,124 @@
+"""Shared experiment machinery: repeated measurements and tuning sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec, make_cluster
+from repro.core.engine import Stellar
+from repro.core.session import TuningSession
+from repro.experiments.stats import mean_ci90
+from repro.pfs.config import PfsConfig
+from repro.pfs.simulator import Simulator
+from repro.rag.extraction import ExtractionResult
+from repro.workloads import get_workload
+
+#: The paper runs each case eight times.
+DEFAULT_REPS = 8
+
+_EXTRACTION_CACHE: dict[int, ExtractionResult] = {}
+
+
+def shared_extraction(cluster: ClusterSpec, seed: int = 0) -> ExtractionResult:
+    """The offline phase is deterministic; share it across experiments."""
+    key = seed
+    if key not in _EXTRACTION_CACHE:
+        _EXTRACTION_CACHE[key] = Stellar.build(cluster, seed=seed).extraction
+    return _EXTRACTION_CACHE[key]
+
+
+@dataclass
+class Measurement:
+    """Repeated wall-time measurement of one configuration."""
+
+    label: str
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return mean_ci90(self.times)[0]
+
+    @property
+    def ci90(self) -> float:
+        return mean_ci90(self.times)[1]
+
+    def render(self) -> str:
+        return f"{self.label}: {self.mean:.2f}s +/- {self.ci90:.2f} (90% CI)"
+
+
+def measure_config(
+    cluster: ClusterSpec,
+    workload_name: str,
+    updates: dict[str, int],
+    label: str,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+) -> Measurement:
+    """Run one configuration ``reps`` times with hygiene between runs."""
+    sim = Simulator(cluster)
+    facts = {
+        "system_memory_mb": cluster.system_memory_mb,
+        "n_ost": cluster.n_ost,
+    }
+    config = PfsConfig(facts=facts).with_updates(updates).clipped()
+    times = []
+    for rep in range(reps):
+        workload = get_workload(workload_name)
+        run = sim.run(workload, config, seed=seed * 5000 + rep)
+        times.append(run.seconds)
+    return Measurement(label=label, times=times)
+
+
+def run_sessions(
+    cluster: ClusterSpec,
+    workload_name: str,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+    model: str = "claude-3.7-sonnet",
+    extraction: ExtractionResult | None = None,
+    rule_engine: Stellar | None = None,
+    **tune_kwargs,
+) -> list[TuningSession]:
+    """``reps`` independent tuning runs (fresh rules unless an engine with
+    accumulated rules is supplied)."""
+    if extraction is None:
+        extraction = shared_extraction(cluster)
+    sessions = []
+    for rep in range(reps):
+        if rule_engine is not None:
+            engine = Stellar(
+                cluster=cluster, model=model, extraction=extraction, seed=seed + rep
+            )
+            engine.rule_set = rule_engine.rule_set
+        else:
+            engine = Stellar(
+                cluster=cluster, model=model, extraction=extraction, seed=seed + rep
+            )
+        sessions.append(engine.tune(get_workload(workload_name), **tune_kwargs))
+    return sessions
+
+
+def accumulate_rules(
+    cluster: ClusterSpec,
+    workload_names: list[str],
+    seed: int = 0,
+    model: str = "claude-3.7-sonnet",
+    extraction: ExtractionResult | None = None,
+) -> Stellar:
+    """Tune each workload once, merging rules into a global set (§5.3)."""
+    if extraction is None:
+        extraction = shared_extraction(cluster)
+    engine = Stellar(cluster=cluster, model=model, extraction=extraction, seed=seed)
+    for name in workload_names:
+        engine.tune_and_accumulate(get_workload(name))
+    return engine
+
+
+def mean_series(sessions: list[TuningSession], length: int = 6) -> list[float]:
+    """Mean speedup per iteration across sessions (padded with last value)."""
+    rows = []
+    for session in sessions:
+        series = session.speedup_series()
+        padded = series + [series[-1]] * (length - len(series))
+        rows.append(padded[:length])
+    return [sum(col) / len(col) for col in zip(*rows)]

@@ -1,0 +1,21 @@
+"""Statistics helpers: means and 90% confidence intervals (paper §5.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats as sps
+
+
+def mean_ci90(values: list[float]) -> tuple[float, float]:
+    """(mean, half-width of the 90% CI) using the t-distribution."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan"), float("nan")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    half = float(sps.t.ppf(0.95, arr.size - 1) * sem)
+    return mean, half

@@ -1,0 +1,90 @@
+"""Extension experiment: user-accessible tuning (paper §5.6).
+
+The paper's production-deployment direction: most ``/proc`` parameters need
+root, but file layout (``lfs setstripe``) is user-settable.  This experiment
+tunes each workload with STELLAR restricted to user-accessible parameters
+and compares against full-surface tuning — quantifying how much of the win
+survives without privileges (most of it for shared-file data workloads,
+none of it for metadata storms whose levers are all root-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.experiments.harness import DEFAULT_REPS, run_sessions, shared_extraction
+from repro.experiments.stats import mean_ci90
+
+WORKLOADS = ("IOR_16M", "IOR_64K", "MDWorkbench_8K")
+
+
+@dataclass
+class UserSpaceOutcome:
+    workload: str
+    full_speedups: list[float] = field(default_factory=list)
+    userspace_speedups: list[float] = field(default_factory=list)
+
+    @property
+    def full_mean(self) -> float:
+        return mean_ci90(self.full_speedups)[0]
+
+    @property
+    def userspace_mean(self) -> float:
+        return mean_ci90(self.userspace_speedups)[0]
+
+    @property
+    def win_retained(self) -> float:
+        """Fraction of the full-surface improvement kept without root."""
+        full_gain = self.full_mean - 1.0
+        user_gain = self.userspace_mean - 1.0
+        return user_gain / full_gain if full_gain > 0 else 0.0
+
+    def render(self) -> str:
+        return (
+            f"{self.workload:16s} full={self.full_mean:4.2f}x "
+            f"user-space={self.userspace_mean:4.2f}x "
+            f"({self.win_retained:.0%} of the gain retained)"
+        )
+
+
+@dataclass
+class UserSpaceResult:
+    outcomes: list[UserSpaceOutcome] = field(default_factory=list)
+
+    def get(self, workload: str) -> UserSpaceOutcome:
+        return next(o for o in self.outcomes if o.workload == workload)
+
+    def render(self) -> str:
+        lines = [
+            "User-accessible tuning (§5.6): lfs setstripe layout only, no root:"
+        ]
+        lines += ["  " + o.render() for o in self.outcomes]
+        return "\n".join(lines)
+
+
+def run(
+    cluster: ClusterSpec, reps: int = DEFAULT_REPS, seed: int = 0
+) -> UserSpaceResult:
+    extraction = shared_extraction(cluster)
+    result = UserSpaceResult()
+    for name in WORKLOADS:
+        full = run_sessions(
+            cluster, name, reps=reps, seed=seed, extraction=extraction
+        )
+        userspace = run_sessions(
+            cluster,
+            name,
+            reps=reps,
+            seed=seed + 900,
+            extraction=extraction,
+            user_accessible_only=True,
+        )
+        result.outcomes.append(
+            UserSpaceOutcome(
+                workload=name,
+                full_speedups=[s.best_speedup for s in full],
+                userspace_speedups=[s.best_speedup for s in userspace],
+            )
+        )
+    return result

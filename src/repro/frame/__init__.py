@@ -1,0 +1,13 @@
+"""Minimal columnar dataframe substrate (pandas stand-in).
+
+The paper preprocesses Darshan logs into pandas ``DataFrame`` objects that the
+Analysis Agent inspects with generated code.  pandas is not available in this
+environment, so :class:`repro.frame.Frame` provides the (small) subset of the
+API the agent needs: column access, boolean filtering, group-by aggregation,
+describe-style summaries and CSV round-trips — all NumPy-backed.
+"""
+
+from repro.frame.frame import Frame
+from repro.frame.ops import concat, merge_columns
+
+__all__ = ["Frame", "concat", "merge_columns"]

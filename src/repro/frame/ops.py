@@ -1,0 +1,57 @@
+"""Frame combinators used by the Darshan parser and the Analysis Agent."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.frame.frame import Frame
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Stack frames vertically; columns are the union, missing values NaN/None."""
+    frames = [f for f in frames if len(f) > 0]
+    if not frames:
+        return Frame()
+    names: list[str] = []
+    for frame in frames:
+        for name in frame.columns:
+            if name not in names:
+                names.append(name)
+    data = {}
+    for name in names:
+        chunks = []
+        for frame in frames:
+            if name in frame:
+                chunks.append(np.asarray(frame[name], dtype=object))
+            else:
+                chunks.append(np.full(len(frame), None, dtype=object))
+        merged = np.concatenate(chunks)
+        # Re-densify to numeric dtype when every element is a number.
+        if all(isinstance(v, (int, float, np.integer, np.floating)) for v in merged):
+            merged = np.asarray([float(v) for v in merged])
+        data[name] = merged
+    return Frame(data)
+
+
+def merge_columns(left: Frame, right: Frame, on: str) -> Frame:
+    """Inner join on a single key column (small-table nested join)."""
+    left_keys = left[on]
+    right_keys = right[on]
+    right_index: dict[object, int] = {}
+    for i, key in enumerate(right_keys):
+        right_index.setdefault(key if not isinstance(key, np.generic) else key.item(), i)
+    rows = []
+    right_records = right.to_records()
+    for row in left.to_records():
+        key = row[on]
+        j = right_index.get(key)
+        if j is None:
+            continue
+        merged = dict(row)
+        for name, value in right_records[j].items():
+            if name != on:
+                merged[name] = value
+        rows.append(merged)
+    return Frame.from_records(rows)

@@ -1,0 +1,186 @@
+"""Code generation for the Analysis Agent.
+
+The Analysis Agent is a code-executing agent (OpenInterpreter-style): the
+model emits Python that runs against the parsed Darshan frames, reads the
+printed output back, and distills an I/O report.  The mock model draws from
+calibrated templates — but the *data path is real*: every metric in the
+report comes from executing this code against the actual trace frames, so a
+different trace genuinely produces a different report.
+
+Templates print ``METRIC name = value`` lines which the model then folds
+into the structured report.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.llm.promptparse import IOReport
+
+BASE_ANALYSIS_CODE = '''
+import numpy as np
+
+per_rank = posix[np.asarray(posix["rank"]) >= 0]
+bytes_read = per_rank.agg({"POSIX_BYTES_READ": "sum"})["POSIX_BYTES_READ"]
+bytes_written = per_rank.agg({"POSIX_BYTES_WRITTEN": "sum"})["POSIX_BYTES_WRITTEN"]
+read_time = per_rank.agg({"POSIX_F_READ_TIME": "sum"})["POSIX_F_READ_TIME"]
+write_time = per_rank.agg({"POSIX_F_WRITE_TIME": "sum"})["POSIX_F_WRITE_TIME"]
+meta_time = per_rank.agg({"POSIX_F_META_TIME": "sum"})["POSIX_F_META_TIME"]
+total_time = read_time + write_time + meta_time
+reads = per_rank.agg({"POSIX_READS": "sum"})["POSIX_READS"]
+writes = per_rank.agg({"POSIX_WRITES": "sum"})["POSIX_WRITES"]
+consec = per_rank.agg({"POSIX_CONSEC_READS": "sum"})["POSIX_CONSEC_READS"] + \\
+    per_rank.agg({"POSIX_CONSEC_WRITES": "sum"})["POSIX_CONSEC_WRITES"]
+shared_rows = posix[np.asarray(posix["rank"]) == -1]
+file_count = float(np.round(per_rank.agg({"POSIX_FILE_COUNT": "sum"})["POSIX_FILE_COUNT"]))
+
+# Most common access size, weighted by its observed count.
+sizes = np.asarray(per_rank["POSIX_ACCESS1_ACCESS"], dtype=float)
+counts = np.asarray(per_rank["POSIX_ACCESS1_COUNT"], dtype=float)
+best_size = 0.0
+totals = {}
+for s, c in zip(sizes, counts):
+    if s > 0:
+        totals[s] = totals.get(s, 0.0) + c
+if totals:
+    best_size = max(totals, key=lambda s: totals[s])
+
+print(f"METRIC nprocs = {len(set(per_rank['rank']))}")
+print(f"METRIC total_bytes_read = {bytes_read:.0f}")
+print(f"METRIC total_bytes_written = {bytes_written:.0f}")
+print(f"METRIC meta_time_fraction = {meta_time / total_time if total_time else 0.0:.4f}")
+print(f"METRIC seq_fraction = {consec / (reads + writes) if reads + writes else 1.0:.4f}")
+print(f"METRIC shared_file = {1 if len(shared_rows) else 0}")
+print(f"METRIC file_count = {file_count:.0f}")
+print(f"METRIC common_access_size = {best_size:.0f}")
+print(f"METRIC read_write_ratio = {reads / writes if writes else float(reads > 0):.4f}")
+'''
+
+FILE_SIZE_CODE = '''
+import numpy as np
+
+per_rank = posix[np.asarray(posix["rank"]) >= 0]
+sizes = np.asarray(per_rank["POSIX_FILE_SIZE"], dtype=float)
+weights = np.asarray(per_rank["POSIX_FILE_COUNT"], dtype=float)
+mask = weights > 0
+if mask.any() and weights[mask].sum() > 0:
+    avg = float(np.average(sizes[mask], weights=weights[mask]))
+    big = float(sizes[mask].max())
+    small = float(sizes[mask].min())
+else:
+    avg = big = small = 0.0
+print(f"METRIC avg_file_size = {avg:g}")
+print(f"METRIC max_file_size = {big:g}")
+print(f"METRIC min_file_size = {small:g}")
+'''
+
+META_RATIO_CODE = '''
+import numpy as np
+
+per_rank = posix[np.asarray(posix["rank"]) >= 0]
+meta_ops = 0.0
+for counter in ("POSIX_OPENS", "POSIX_STATS", "POSIX_UNLINKS", "POSIX_MKDIRS"):
+    if counter in per_rank:
+        meta_ops += per_rank.agg({counter: "sum"})[counter]
+data_ops = per_rank.agg({"POSIX_READS": "sum"})["POSIX_READS"] + \\
+    per_rank.agg({"POSIX_WRITES": "sum"})["POSIX_WRITES"]
+print(f"METRIC meta_data_op_ratio = {meta_ops / data_ops if data_ops else 99.0:.4f}")
+print(f"METRIC total_meta_ops = {meta_ops:g}")
+'''
+
+ACCESS_HISTOGRAM_CODE = '''
+import numpy as np
+
+per_rank = posix[np.asarray(posix["rank"]) >= 0]
+sizes = np.asarray(per_rank["POSIX_ACCESS1_ACCESS"], dtype=float)
+counts = np.asarray(per_rank["POSIX_ACCESS1_COUNT"], dtype=float)
+buckets = {"lt_64k": 0.0, "64k_1m": 0.0, "1m_16m": 0.0, "ge_16m": 0.0}
+for s, c in zip(sizes, counts):
+    if s <= 0 or c <= 0:
+        continue
+    if s < 65536:
+        buckets["lt_64k"] += c
+    elif s < 1048576:
+        buckets["64k_1m"] += c
+    elif s < 16777216:
+        buckets["1m_16m"] += c
+    else:
+        buckets["ge_16m"] += c
+total = sum(buckets.values())
+for name, value in buckets.items():
+    share = value / total if total else 0.0
+    print(f"METRIC access_share_{name} = {share:.4f}")
+'''
+
+RANK_IMBALANCE_CODE = '''
+import numpy as np
+
+per_rank = posix[np.asarray(posix["rank"]) >= 0]
+grouped = per_rank.groupby("rank", {"POSIX_BYTES_WRITTEN": "sum"})
+written = np.asarray(grouped["POSIX_BYTES_WRITTEN"], dtype=float)
+if written.size and written.mean() > 0:
+    imbalance = float(written.max() / written.mean())
+    cv = float(written.std() / written.mean())
+else:
+    imbalance = 1.0
+    cv = 0.0
+print(f"METRIC rank_write_imbalance = {imbalance:.4f}")
+print(f"METRIC rank_write_cv = {cv:.4f}")
+'''
+
+_FOLLOWUP_TEMPLATES: list[tuple[tuple[str, ...], str]] = [
+    (("file size", "file sizes", "size distribution"), FILE_SIZE_CODE),
+    (("histogram", "access size", "transfer size"), ACCESS_HISTOGRAM_CODE),
+    (("imbalance", "variance", "per-rank", "rank"), RANK_IMBALANCE_CODE),
+    (("metadata", "ratio", "operations"), META_RATIO_CODE),
+]
+
+
+def code_for_task(task: str) -> str:
+    """Code the model writes for an analysis task description."""
+    lowered = task.lower()
+    for keywords, code in _FOLLOWUP_TEMPLATES:
+        if any(k in lowered for k in keywords):
+            return code
+    return BASE_ANALYSIS_CODE
+
+
+METRIC_RE = re.compile(r"^METRIC (\w+) = ([-\d.eE+]+)$", re.MULTILINE)
+
+
+def metrics_from_output(output: str) -> dict[str, float]:
+    """Parse ``METRIC`` lines printed by executed analysis code."""
+    return {m.group(1): float(m.group(2)) for m in METRIC_RE.finditer(output)}
+
+
+def report_from_metrics(metrics: dict[str, float], header: str) -> IOReport:
+    """Compose the high-level I/O report narrative from measured metrics."""
+    meta = metrics.get("meta_time_fraction", 0.0)
+    seq = metrics.get("seq_fraction", 1.0)
+    shared = metrics.get("shared_file", 0.0) >= 1
+    xfer = metrics.get("common_access_size", 0.0)
+    files = metrics.get("file_count", 0.0)
+    gib = (metrics.get("total_bytes_read", 0) + metrics.get("total_bytes_written", 0)) / 2**30
+
+    bits = []
+    if meta >= 0.6:
+        bits.append(
+            f"the run is heavily metadata-intensive ({meta:.0%} of I/O time "
+            f"in metadata operations across ~{int(files)} files)"
+        )
+    elif meta >= 0.2:
+        bits.append(
+            f"the run mixes substantial metadata activity ({meta:.0%} of "
+            f"I/O time, ~{int(files)} files) with {gib:.1f} GiB of data movement"
+        )
+    else:
+        bits.append(f"the run is data-dominated, moving {gib:.1f} GiB")
+    bits.append(
+        ("accesses are mostly sequential" if seq >= 0.5 else "accesses are random")
+        + (f" with a dominant transfer size of {xfer:g} bytes" if xfer else "")
+    )
+    bits.append(
+        "I/O targets a shared file" if shared else "each process works on its own files"
+    )
+    summary = f"Based on {header}: " + "; ".join(bits) + "."
+    return IOReport(summary=summary, metrics=dict(metrics))

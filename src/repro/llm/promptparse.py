@@ -1,0 +1,219 @@
+"""The structured prompt contract between agents and the mock LLM.
+
+Agents assemble prompts from canonical ``## SECTION`` blocks; the mock
+backend "attends" to them by parsing the same blocks back out.  Keeping the
+builders and parsers in one module makes the contract explicit and testable —
+and mirrors how real agent frameworks pin context formats to keep models
+grounded.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+SECTION_RE = re.compile(r"^## ([A-Z0-9 _:?]+)$", re.MULTILINE)
+
+S_HARDWARE = "HARDWARE"
+S_PARAMETERS = "PFS TUNABLE PARAMETERS"
+S_IO_REPORT = "IO REPORT"
+S_RULES = "GLOBAL RULE SET"
+S_HISTORY = "TUNING HISTORY"
+S_TASK = "TASK"
+
+
+def split_sections(text: str) -> dict[str, str]:
+    """Map section name -> body for every ``## NAME`` block in ``text``."""
+    sections: dict[str, str] = {}
+    matches = list(SECTION_RE.finditer(text))
+    for i, match in enumerate(matches):
+        name = match.group(1).strip()
+        start = match.end()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections[name] = text[start:end].strip()
+    return sections
+
+
+# ---------------------------------------------------------------------------
+# Hardware facts
+# ---------------------------------------------------------------------------
+def build_hardware_section(description: str, facts: dict[str, float]) -> str:
+    lines = [f"## {S_HARDWARE}", description.strip(), ""]
+    for key, value in sorted(facts.items()):
+        lines.append(f"fact {key} = {value:g}")
+    return "\n".join(lines)
+
+
+def parse_hardware_facts(body: str) -> dict[str, float]:
+    facts: dict[str, float] = {}
+    for match in re.finditer(r"^fact (\w+) = ([-\d.eE+]+)$", body, re.MULTILINE):
+        facts[match.group(1)] = float(match.group(2))
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Tunable parameter descriptions (output of the offline RAG phase)
+# ---------------------------------------------------------------------------
+@dataclass
+class ParameterInfo:
+    """One tunable parameter as presented to the Tuning Agent."""
+
+    name: str
+    default: int
+    min_expr: str  # number or expression string
+    max_expr: str
+    description: str = ""  # empty in the No-Descriptions ablation
+    unit: str = "count"
+
+
+def build_parameter_section(params: list[ParameterInfo]) -> str:
+    lines = [f"## {S_PARAMETERS}"]
+    for p in params:
+        lines.append(f"- parameter: {p.name}")
+        lines.append(f"  unit: {p.unit}")
+        lines.append(f"  default: {p.default}")
+        lines.append(f"  range: {p.min_expr} .. {p.max_expr}")
+        if p.description:
+            lines.append(f"  description: {p.description}")
+    return "\n".join(lines)
+
+
+def parse_parameter_section(body: str) -> list[ParameterInfo]:
+    params: list[ParameterInfo] = []
+    current: ParameterInfo | None = None
+    for raw in body.splitlines():
+        line = raw.strip()
+        if line.startswith("- parameter:"):
+            current = ParameterInfo(
+                name=line.split(":", 1)[1].strip(),
+                default=0,
+                min_expr="0",
+                max_expr="0",
+            )
+            params.append(current)
+        elif current is not None and ":" in line:
+            key, _, value = line.partition(":")
+            key = key.strip()
+            value = value.strip()
+            if key == "default":
+                current.default = int(float(value))
+            elif key == "range":
+                low, _, high = value.partition("..")
+                current.min_expr = low.strip()
+                current.max_expr = high.strip()
+            elif key == "description":
+                current.description = value
+            elif key == "unit":
+                current.unit = value
+    return params
+
+
+# ---------------------------------------------------------------------------
+# I/O report
+# ---------------------------------------------------------------------------
+@dataclass
+class IOReport:
+    """The Analysis Agent's distilled view of application I/O behaviour."""
+
+    summary: str = ""
+    metrics: dict[str, float] = field(default_factory=dict)
+    followups: dict[str, str] = field(default_factory=dict)  # question -> answer
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.metrics.get(name, default)
+
+    def has(self, name: str) -> bool:
+        return name in self.metrics
+
+
+def build_io_report_section(report: IOReport) -> str:
+    lines = [f"## {S_IO_REPORT}", f"summary: {report.summary}"]
+    for key, value in sorted(report.metrics.items()):
+        lines.append(f"metric {key} = {value:.12g}")
+    for question, answer in report.followups.items():
+        lines.append(f"followup {question!r}: {answer}")
+    return "\n".join(lines)
+
+
+def parse_io_report(body: str) -> IOReport:
+    report = IOReport()
+    for raw in body.splitlines():
+        line = raw.strip()
+        if line.startswith("summary:"):
+            report.summary = line.split(":", 1)[1].strip()
+        elif line.startswith("metric "):
+            match = re.match(r"metric (\w+) = ([-\d.eE+]+)", line)
+            if match:
+                report.metrics[match.group(1)] = float(match.group(2))
+        elif line.startswith("followup "):
+            match = re.match(r"followup '(.*)': (.*)", line)
+            if match:
+                report.followups[match.group(1)] = match.group(2)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Rule set (strict JSON structure, §4.4.1)
+# ---------------------------------------------------------------------------
+def build_rules_section(rules_json: list[dict[str, Any]]) -> str:
+    return f"## {S_RULES}\n" + json.dumps(rules_json, indent=1)
+
+
+def parse_rules_section(body: str) -> list[dict[str, Any]]:
+    body = body.strip()
+    if not body or body == "(empty)":
+        return []
+    return json.loads(body)
+
+
+# ---------------------------------------------------------------------------
+# Tuning history
+# ---------------------------------------------------------------------------
+@dataclass
+class AttemptRecord:
+    """One configuration trial the Tuning Agent has observed."""
+
+    index: int
+    changes: dict[str, int]  # parameter -> value (diff against defaults)
+    seconds: float
+    speedup: float  # vs the initial (default-config) run
+    rationale: str = ""
+
+
+def build_history_section(initial_seconds: float, attempts: list[AttemptRecord]) -> str:
+    lines = [f"## {S_HISTORY}", f"initial run (default configuration): {initial_seconds:.3f}s"]
+    for attempt in attempts:
+        lines.append(
+            f"attempt {attempt.index}: changes {json.dumps(attempt.changes, sort_keys=True)} "
+            f"-> runtime {attempt.seconds:.3f}s (speedup {attempt.speedup:.3f}x)"
+        )
+    return "\n".join(lines)
+
+
+def parse_history_section(body: str) -> tuple[float, list[AttemptRecord]]:
+    initial = 0.0
+    attempts: list[AttemptRecord] = []
+    for raw in body.splitlines():
+        line = raw.strip()
+        if line.startswith("initial run"):
+            match = re.search(r"([\d.]+)s", line)
+            if match:
+                initial = float(match.group(1))
+        elif line.startswith("attempt "):
+            match = re.match(
+                r"attempt (\d+): changes (\{.*\}) -> runtime ([\d.]+)s "
+                r"\(speedup ([\d.]+)x\)",
+                line,
+            )
+            if match:
+                attempts.append(
+                    AttemptRecord(
+                        index=int(match.group(1)),
+                        changes={k: int(v) for k, v in json.loads(match.group(2)).items()},
+                        seconds=float(match.group(3)),
+                        speedup=float(match.group(4)),
+                    )
+                )
+    return initial, attempts

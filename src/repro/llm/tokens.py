@@ -1,0 +1,117 @@
+"""Token counting, usage accounting and prompt-cache simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Average characters per token for English/technical text.
+CHARS_PER_TOKEN = 4.0
+
+#: Providers cache prompt prefixes at block granularity.
+CACHE_BLOCK_TOKENS = 64
+
+
+def count_tokens(text: str) -> int:
+    """Approximate token count (length-based, deterministic)."""
+    if not text:
+        return 0
+    return max(1, round(len(text) / CHARS_PER_TOKEN))
+
+
+@dataclass
+class TokenUsage:
+    """Usage for one request (or an accumulated total)."""
+
+    input_tokens: int = 0
+    output_tokens: int = 0
+    cached_input_tokens: int = 0
+
+    def __add__(self, other: "TokenUsage") -> "TokenUsage":
+        return TokenUsage(
+            input_tokens=self.input_tokens + other.input_tokens,
+            output_tokens=self.output_tokens + other.output_tokens,
+            cached_input_tokens=self.cached_input_tokens + other.cached_input_tokens,
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.input_tokens == 0:
+            return 0.0
+        return self.cached_input_tokens / self.input_tokens
+
+
+class PromptCache:
+    """Prefix cache: repeated conversation prefixes are served from cache.
+
+    Keyed by session; stores the most recent prompt per session and reports
+    the shared prefix (in whole cache blocks) of the next prompt as cached —
+    the way provider-side prompt caching behaves for append-only agent
+    conversations.
+    """
+
+    def __init__(self):
+        self._last_prompt: dict[str, str] = {}
+
+    def lookup_and_store(self, session: str, prompt: str) -> int:
+        """Cached token count for this prompt; records it for next time."""
+        previous = self._last_prompt.get(session, "")
+        shared = _common_prefix_len(previous, prompt)
+        self._last_prompt[session] = prompt
+        cached_tokens = count_tokens(prompt[:shared])
+        return (cached_tokens // CACHE_BLOCK_TOKENS) * CACHE_BLOCK_TOKENS
+
+    def reset(self, session: str | None = None) -> None:
+        if session is None:
+            self._last_prompt.clear()
+        else:
+            self._last_prompt.pop(session, None)
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    limit = min(len(a), len(b))
+    low, high = 0, limit
+    while low < high:
+        mid = (low + high + 1) // 2
+        if a[:mid] == b[:mid]:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+@dataclass
+class UsageLedger:
+    """Aggregates usage per logical agent (tuning, analysis, extraction)."""
+
+    per_agent: dict[str, TokenUsage] = field(default_factory=dict)
+    requests: int = 0
+    wall_latency: float = 0.0
+
+    def record(self, agent: str, usage: TokenUsage, latency: float = 0.0) -> None:
+        current = self.per_agent.setdefault(agent, TokenUsage())
+        self.per_agent[agent] = current + usage
+        self.requests += 1
+        self.wall_latency += latency
+
+    def total(self) -> TokenUsage:
+        out = TokenUsage()
+        for usage in self.per_agent.values():
+            out = out + usage
+        return out
+
+    def agent(self, name: str) -> TokenUsage:
+        return self.per_agent.get(name, TokenUsage())
+
+    def summary(self) -> str:
+        lines = []
+        for name, usage in sorted(self.per_agent.items()):
+            lines.append(
+                f"{name}: {usage.input_tokens} in / {usage.output_tokens} out "
+                f"({usage.cache_hit_rate:.0%} cache hits)"
+            )
+        total = self.total()
+        lines.append(
+            f"total: {total.input_tokens} in / {total.output_tokens} out "
+            f"across {self.requests} requests, {self.wall_latency:.1f}s LLM latency"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Validated parallel file system configuration.
+
+A :class:`PfsConfig` holds a value for every writable parameter.  Validation
+enforces type, static bounds, and *dependent* bounds (expressions evaluated
+against the rest of the configuration plus hardware facts).  ``clipped``
+returns the nearest valid configuration — the behaviour of a real admin tool
+that refuses out-of-range writes — and is what the Configuration Runner
+applies when an LLM proposes an invalid value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.pfs import params as P
+from repro.pfs.expressions import ExpressionError, evaluate
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invalid parameter setting."""
+
+    name: str
+    value: int
+    reason: str
+
+
+class PfsConfig:
+    """A complete assignment of writable parameters."""
+
+    def __init__(self, values: Mapping[str, int] | None = None, facts: Mapping[str, float] | None = None):
+        self._values: dict[str, int] = P.defaults()
+        self.facts: dict[str, float] = dict(facts or {"system_memory_mb": 196 * 1024, "n_ost": 5})
+        if values:
+            for name, value in values.items():
+                self[name] = value
+
+    # -- mapping protocol -------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        spec = P.get(name)
+        return self._values[spec.name]
+
+    def __setitem__(self, name: str, value) -> None:
+        spec = P.get(name)
+        if not spec.writable:
+            raise PermissionError(f"parameter {spec.name} is read-only")
+        self._values[spec.name] = int(value)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            P.get(name)
+            return True
+        except KeyError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PfsConfig):
+            return NotImplemented
+        return self._values == other._values
+
+    __hash__ = None
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def copy(self) -> "PfsConfig":
+        return PfsConfig(self._values, self.facts)
+
+    def with_updates(self, updates: Mapping[str, int]) -> "PfsConfig":
+        new = self.copy()
+        for name, value in updates.items():
+            new[name] = value
+        return new
+
+    def diff(self, other: "PfsConfig") -> dict[str, tuple[int, int]]:
+        """Parameters whose values differ: name -> (self value, other value)."""
+        out = {}
+        for name, value in self._values.items():
+            if other._values.get(name) != value:
+                out[name] = (value, other._values.get(name))
+        return out
+
+    # -- validation --------------------------------------------------------
+    def _env(self) -> dict[str, float]:
+        env = {name: float(v) for name, v in self._values.items()}
+        env.update(self.facts)
+        return env
+
+    def bounds(self, name: str) -> tuple[float, float]:
+        """Resolved (min, max) for a parameter under current values/facts."""
+        spec = P.get(name)
+        env = self._env()
+        low = _resolve(spec.min_expr, env, default=float("-inf"))
+        high = _resolve(spec.max_expr, env, default=float("inf"))
+        return low, high
+
+    def violations(self) -> list[Violation]:
+        """All out-of-range settings in dependency-stable order."""
+        out: list[Violation] = []
+        for name, value in self._values.items():
+            spec = P.REGISTRY[name]
+            try:
+                low, high = self.bounds(name)
+            except ExpressionError as exc:
+                out.append(Violation(name, value, f"range expression error: {exc}"))
+                continue
+            if spec.ptype == "bool" and value not in (0, 1):
+                out.append(Violation(name, value, "boolean parameter accepts 0 or 1"))
+            elif value < low:
+                out.append(Violation(name, value, f"below minimum {low:g}"))
+            elif value > high:
+                out.append(Violation(name, value, f"above maximum {high:g}"))
+        return out
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` listing every violation, if any."""
+        problems = self.violations()
+        if problems:
+            lines = ", ".join(f"{v.name}={v.value} ({v.reason})" for v in problems)
+            raise ValueError(f"invalid configuration: {lines}")
+
+    def clipped(self) -> "PfsConfig":
+        """Nearest valid configuration (iterate because bounds are dependent)."""
+        new = self.copy()
+        for _ in range(4):  # dependent bounds converge in <= chain depth passes
+            changed = False
+            for name in list(new._values):
+                low, high = new.bounds(name)
+                value = new._values[name]
+                clipped_value = int(min(max(value, low), high))
+                if clipped_value != value:
+                    new._values[name] = clipped_value
+                    changed = True
+            if not changed:
+                break
+        return new
+
+    # -- convenience -------------------------------------------------------
+    @classmethod
+    def default(cls, facts: Mapping[str, float] | None = None) -> "PfsConfig":
+        return cls(facts=facts)
+
+    def summarize(self, only_nondefault: bool = True) -> str:
+        """Human/agent readable summary, optionally only non-default values."""
+        base = P.defaults()
+        lines = []
+        for name, value in sorted(self._values.items()):
+            if only_nondefault and base.get(name) == value:
+                continue
+            lines.append(f"{name} = {value}")
+        return "\n".join(lines) if lines else "(all defaults)"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PfsConfig({self.summarize(only_nondefault=True)!r})"
+
+
+def _resolve(expr: float | str | None, env: Mapping[str, float], default: float) -> float:
+    if expr is None:
+        return default
+    if isinstance(expr, (int, float)):
+        return float(expr)
+    return evaluate(expr, env)

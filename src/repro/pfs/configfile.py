@@ -1,0 +1,40 @@
+"""Config-file parameter surface (DAOS-style).
+
+§4.2.2 notes the ``/proc`` rough filter "may not always be necessary because
+some storage systems directly expose tunable parameters via configuration
+files (e.g., DAOS)".  This module renders and parses such a surface: a
+YAML-ish server/client config whose ``tunable:`` entries are the extraction
+candidates, exercising the alternative front end of the offline pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.pfs import params as P
+
+_HEADER = """\
+# testfs agent/client configuration (simulated, DAOS-style)
+# Entries marked 'tunable' may be changed at runtime by the storage engine.
+name: testfs
+access_points: [mds0]
+provider: ofi+tcp
+"""
+
+
+def render_config_file() -> str:
+    """The configuration file listing every runtime-tunable parameter."""
+    lines = [_HEADER, "tunables:"]
+    for spec in sorted(P.REGISTRY.values(), key=lambda s: s.name):
+        if not spec.writable:
+            continue
+        lines.append(f"  - param: {spec.name}    # tunable, default={spec.default}")
+    return "\n".join(lines) + "\n"
+
+
+_PARAM_RE = re.compile(r"^\s*- param: ([\w.]+)\s*#\s*tunable", re.MULTILINE)
+
+
+def tunable_parameter_names(text: str) -> list[str]:
+    """Extraction candidates declared by a configuration file."""
+    return _PARAM_RE.findall(text)

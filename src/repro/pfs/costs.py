@@ -1,0 +1,169 @@
+"""Cost primitives shared by the analytic model and the event micro-models.
+
+Every timing constant in the PFS model lives here, derived from the cluster
+hardware spec and the active configuration.  Calibration targets Lustre
+2.15 on 10 Gbps TCP hardware of the paper's CloudLab class: data RPC
+round-trips of a few hundred microseconds, metadata RPC round trips of
+~200 us over TCP, HDD-array OSTs with ~0.4 ms random-request overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.config import PfsConfig
+from repro.pfs.params import MiB, PAGE_SIZE
+
+#: MDS service time per operation type (seconds of one service thread).
+MDS_SERVICE_TIME = {
+    "create": 280e-6,
+    "open": 130e-6,
+    "close": 50e-6,
+    "stat": 60e-6,
+    "unlink": 260e-6,
+    "mkdir": 320e-6,
+}
+
+#: Extra MDS work per additional stripe object on create/unlink.
+STRIPE_OBJECT_COST = {
+    "create": 110e-6,
+    "unlink": 80e-6,
+}
+
+#: Serialized journal commit cost per modifying op (group-commit amortized).
+JOURNAL_COST = 8e-6
+
+#: Concurrent modifying ops allowed inside one directory (pdirops).
+PDIROPS_CONCURRENCY = 8
+
+#: Client-side CPU per metadata op (syscall + llite + ptlrpc).
+CLIENT_META_CPU = 15e-6
+
+#: Client page-cache copy bandwidth (memcpy-bound small I/O).
+CLIENT_MEM_BW = 8e9
+
+#: Checksum computation bandwidth per side when checksums are enabled.
+CHECKSUM_BW = 3.5e9
+
+#: Statahead pipelining: async prefetch slots contributed per rank is
+#: ``1 + min(statahead_max, STATAHEAD_WINDOW_CAP) / STATAHEAD_SLOT_DIVISOR``.
+STATAHEAD_SLOT_DIVISOR = 8
+STATAHEAD_WINDOW_CAP = 256
+
+
+@dataclass
+class CostModel:
+    """All derived constants for one (cluster, config) pair."""
+
+    cluster: ClusterSpec
+    config: PfsConfig
+
+    # fixed per-RPC components (seconds)
+    client_cpu_per_rpc: float = 20e-6
+    bulk_handshake: float = 60e-6
+    short_io_handshake: float = 15e-6
+    data_rtt: float = 60e-6
+    meta_rtt: float = 200e-6
+    disk_overhead_seq: float = 1.0e-4
+    disk_overhead_random: float = 4.0e-4
+    disk_overhead_short: float = 2.5e-4
+
+    def __post_init__(self):
+        client = self.cluster.client_nodes[0]
+        server = self.cluster.oss_nodes[0]
+        self.client_nic = client.nic_bandwidth
+        self.server_nic = server.nic_bandwidth
+        self.disk_bw = server.disk_bandwidth
+        self.cores = client.cores
+        self.checksums = bool(self.config["osc.checksums"])
+
+    # -- data path -------------------------------------------------------
+    def rpc_bytes_cap(self) -> int:
+        """Largest possible bulk RPC under the current configuration."""
+        return int(self.config["osc.max_pages_per_rpc"]) * PAGE_SIZE
+
+    def effective_rpc_size(self, xfer: int, pattern: str, stripe_size: int) -> int:
+        """Bytes per bulk RPC after client-side aggregation/fragmentation.
+
+        Sequential dirty pages coalesce up to the RPC cap (never across a
+        stripe boundary); random I/O cannot be coalesced, so each call maps
+        to its own RPC (split if it exceeds the cap or the stripe).
+        """
+        cap = min(self.rpc_bytes_cap(), stripe_size)
+        if pattern == "seq":
+            dirty = int(self.config["osc.max_dirty_mb"]) * MiB
+            return max(PAGE_SIZE, min(cap, max(xfer, dirty)))
+        return max(1, min(xfer, cap))
+
+    def uses_short_io(self, rpc_size: int) -> bool:
+        return rpc_size <= int(self.config["osc.short_io_bytes"])
+
+    def disk_overhead(self, pattern: str, short_io: bool) -> float:
+        if pattern == "seq":
+            return self.disk_overhead_seq
+        return self.disk_overhead_short if short_io else self.disk_overhead_random
+
+    def checksum_time(self, nbytes: int) -> float:
+        return nbytes / CHECKSUM_BW if self.checksums else 0.0
+
+    def rpc_round_trip(
+        self,
+        rpc_size: int,
+        pattern: str,
+        lock_penalty: float = 0.0,
+    ) -> float:
+        """Unloaded latency of one bulk RPC, client syscall to completion."""
+        short = self.uses_short_io(rpc_size)
+        handshake = self.short_io_handshake if short else self.bulk_handshake
+        wire = rpc_size / self.client_nic + rpc_size / self.server_nic
+        disk = rpc_size / self.disk_bw + self.disk_overhead(pattern, short)
+        return (
+            self.client_cpu_per_rpc
+            + self.checksum_time(rpc_size) * 2  # client + server side
+            + handshake
+            + self.data_rtt
+            + wire
+            + disk
+            + lock_penalty
+        )
+
+    # -- metadata path ----------------------------------------------------
+    def mds_service_time(self, op: str, stripe_count: int) -> float:
+        base = MDS_SERVICE_TIME[op]
+        extra = STRIPE_OBJECT_COST.get(op, 0.0) * max(0, stripe_count - 1)
+        return base + extra
+
+    def meta_cycle_round_trip(self, cycle: tuple[str, ...], stripe_count: int, data_bytes: int) -> float:
+        """Serial latency of one per-file op cycle as seen by a rank."""
+        total = 0.0
+        for op in cycle:
+            if op in MDS_SERVICE_TIME:
+                total += (
+                    self.mds_service_time(op, stripe_count)
+                    + self.meta_rtt
+                    + CLIENT_META_CPU
+                )
+            elif op in ("write_small", "read_small"):
+                total += 5e-6 + data_bytes / CLIENT_MEM_BW
+        return total
+
+    def statahead_slots_per_rank(self) -> float:
+        """Async attribute-prefetch slots a scanning rank contributes."""
+        statahead = int(self.config["llite.statahead_max"])
+        if statahead <= 0:
+            return 1.0
+        return 1.0 + min(statahead, STATAHEAD_WINDOW_CAP) / STATAHEAD_SLOT_DIVISOR
+
+    def mds_wait(self, utilization: float, service: float) -> float:
+        """Approximate M/M/c queueing delay at the MDS thread pool.
+
+        Utilization is capped below saturation: past that point throughput is
+        governed by the MDS-capacity *demand* bound, not by ever-growing
+        waits (waits at saturation throttle arrivals to capacity; they do not
+        push throughput below capacity).  The cap keeps the client-side rate
+        monotone in the concurrency limits.
+        """
+        threads = self.cluster.mds_service_threads
+        rho = min(max(utilization, 0.0), 0.90)
+        return (rho ** 8 / (1.0 - rho)) * service / threads * 4.0

@@ -1,0 +1,192 @@
+"""Event-driven micro-models for cross-validating the analytic model.
+
+These simulate individual RPC streams through the event kernel using the
+*same* cost primitives (:class:`~repro.pfs.costs.CostModel`) as the analytic
+model.  Tests compare both on small homogeneous cases: the analytic
+bottleneck analysis should match event-driven makespans within a modest
+tolerance, which guards against either model drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.config import PfsConfig
+from repro.pfs.costs import CostModel
+from repro.sim.engine import Engine
+from repro.sim.resources import BandwidthLink, FifoServer, TokenPool
+
+
+@dataclass
+class StreamSpec:
+    """One client streaming ``n_rpcs`` bulk RPCs of ``rpc_size`` to one OST."""
+
+    n_rpcs: int
+    rpc_size: int
+    pattern: str = "seq"
+
+
+def simulate_stream(
+    cluster: ClusterSpec, config: PfsConfig, spec: StreamSpec
+) -> float:
+    """Event-driven makespan of a single (client, OST) RPC stream.
+
+    Models: client CPU + handshake as a fixed pre-wire delay, the client NIC
+    and server NIC as serializing bandwidth links, the OST disk as a FIFO
+    server with per-request overhead, and ``max_rpcs_in_flight`` as a token
+    pool.  Completion of the last RPC ends the stream.
+    """
+    costs = CostModel(cluster, config)
+    engine = Engine()
+    q = int(config["osc.max_rpcs_in_flight"])
+    tokens = TokenPool(q, name="rpcs_in_flight")
+    client_nic = BandwidthLink(
+        engine, costs.client_nic, latency=costs.data_rtt / 2, name="client_nic"
+    )
+    server_nic = BandwidthLink(engine, costs.server_nic, latency=0.0, name="server_nic")
+    disk = FifoServer(engine, servers=1, name="ost_disk")
+
+    short = costs.uses_short_io(spec.rpc_size)
+    handshake = costs.short_io_handshake if short else costs.bulk_handshake
+    prep = costs.client_cpu_per_rpc + costs.checksum_time(spec.rpc_size) * 2 + handshake
+    disk_time = spec.rpc_size / costs.disk_bw + costs.disk_overhead(spec.pattern, short)
+
+    finished_at = {"time": 0.0}
+
+    def issue_one():
+        def start():
+            def after_prep():
+                def after_client_wire():
+                    def after_server_wire():
+                        def after_disk():
+                            finished_at["time"] = engine.now
+                            tokens.release()
+
+                        disk.submit(disk_time, after_disk)
+
+                    server_nic.transfer(spec.rpc_size, after_server_wire)
+
+                client_nic.transfer(spec.rpc_size, after_client_wire)
+
+            engine.schedule(prep, after_prep)
+
+        tokens.acquire(start)
+
+    for _ in range(spec.n_rpcs):
+        issue_one()
+    engine.run()
+    return finished_at["time"]
+
+
+@dataclass
+class MetaStreamSpec:
+    """``n_ranks`` synchronous clients each performing ``files`` op-cycles."""
+
+    files: int
+    n_ranks: int
+    cycle: tuple[str, ...] = ("create", "close")
+    stripe_count: int = 1
+
+
+def simulate_meta_stream(
+    cluster: ClusterSpec, config: PfsConfig, spec: MetaStreamSpec
+) -> float:
+    """Event-driven makespan of one client node's metadata op stream.
+
+    Ranks are synchronous (one outstanding cycle each); the per-client
+    ``mdc.max_rpcs_in_flight`` / ``max_mod_rpcs_in_flight`` token pool gates
+    RPC issue; the MDS thread pool serves ops.  Mirrors the analytic
+    client-concurrency bound for a single client.
+    """
+    from repro.pfs.costs import CLIENT_META_CPU, MDS_SERVICE_TIME
+
+    costs = CostModel(cluster, config)
+    engine = Engine()
+    mds = FifoServer(engine, servers=cluster.mds_service_threads, name="mds")
+    modifying = any(op in ("create", "unlink", "mkdir") for op in spec.cycle)
+    q = int(config["mdc.max_rpcs_in_flight"])
+    if modifying:
+        q = min(q, int(config["mdc.max_mod_rpcs_in_flight"]))
+    tokens = TokenPool(q, name="mdc_rpcs")
+    finished = {"time": 0.0}
+
+    def run_rank(files_left: int):
+        if files_left == 0:
+            return
+
+        ops = [op for op in spec.cycle if op in MDS_SERVICE_TIME]
+
+        def next_op(index: int):
+            if index >= len(ops):
+                finished["time"] = engine.now
+                run_rank(files_left - 1)
+                return
+            service = costs.mds_service_time(ops[index], spec.stripe_count)
+
+            def issue():
+                def after_rtt():
+                    def after_service():
+                        tokens.release()
+                        engine.schedule(
+                            costs.meta_rtt / 2 + CLIENT_META_CPU,
+                            lambda: next_op(index + 1),
+                        )
+
+                    mds.submit(service, after_service)
+
+                engine.schedule(costs.meta_rtt / 2, after_rtt)
+
+            tokens.acquire(issue)
+
+        next_op(0)
+
+    for _ in range(spec.n_ranks):
+        run_rank(spec.files)
+    engine.run()
+    return finished["time"]
+
+
+def analytic_meta_stream_estimate(
+    cluster: ClusterSpec, config: PfsConfig, spec: MetaStreamSpec
+) -> float:
+    """Analytic counterpart of :func:`simulate_meta_stream` (one client)."""
+    from repro.pfs.costs import MDS_SERVICE_TIME
+
+    costs = CostModel(cluster, config)
+    cycle_rt = costs.meta_cycle_round_trip(spec.cycle, spec.stripe_count, 0)
+    modifying = any(op in ("create", "unlink", "mkdir") for op in spec.cycle)
+    q = int(config["mdc.max_rpcs_in_flight"])
+    if modifying:
+        q = min(q, int(config["mdc.max_mod_rpcs_in_flight"]))
+    conc = min(q, spec.n_ranks)
+    client_bound = spec.files * spec.n_ranks * cycle_rt / conc
+    service_per_file = sum(
+        costs.mds_service_time(op, spec.stripe_count)
+        for op in spec.cycle
+        if op in MDS_SERVICE_TIME
+    )
+    mds_bound = (
+        spec.files * spec.n_ranks * service_per_file / cluster.mds_service_threads
+    )
+    return max(client_bound, mds_bound) + cycle_rt
+
+
+def analytic_stream_estimate(
+    cluster: ClusterSpec, config: PfsConfig, spec: StreamSpec
+) -> float:
+    """Analytic bound for the same single stream (mirrors the phase model)."""
+    costs = CostModel(cluster, config)
+    total_bytes = spec.n_rpcs * spec.rpc_size
+    short = costs.uses_short_io(spec.rpc_size)
+    overhead = costs.disk_overhead(spec.pattern, short)
+    bounds = {
+        "ost_disk": total_bytes / costs.disk_bw + spec.n_rpcs * overhead,
+        "client_nic": total_bytes / costs.client_nic,
+        "server_nic": total_bytes / costs.server_nic,
+    }
+    rtt = costs.rpc_round_trip(spec.rpc_size, spec.pattern)
+    q = int(config["osc.max_rpcs_in_flight"])
+    window = q * spec.rpc_size
+    bounds["pipeline"] = total_bytes / (window / rtt)
+    return max(bounds.values()) + rtt

@@ -1,0 +1,131 @@
+"""Safe arithmetic expression language for dependent parameter ranges.
+
+Lustre parameter bounds frequently depend on other parameters or on hardware
+facts — e.g. ``max_read_ahead_per_file_mb`` may be at most half of
+``max_read_ahead_mb``, which itself is capped at half of client memory.  The
+paper instructs the extraction LLM to emit such bounds using a *dependent
+expression* syntax evaluated against live system values during tuning.
+
+Grammar: numbers, identifiers (parameter basenames or system facts such as
+``system_memory_mb`` / ``n_ost``), ``+ - * / //``, unary minus, parentheses,
+and ``min(...)`` / ``max(...)``.  Implemented by whitelisting Python ``ast``
+nodes — anything outside the grammar raises :class:`ExpressionError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+
+class ExpressionError(ValueError):
+    """Raised for syntax errors, unknown names, or disallowed constructs."""
+
+
+_ALLOWED_CALLS = {"min": min, "max": max}
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+}
+
+
+def evaluate(expression: str, env: Mapping[str, float]) -> float:
+    """Evaluate ``expression`` against ``env``; returns a float.
+
+    ``env`` maps identifiers to numeric values.  Identifiers may be dotted
+    parameter names (``osc.max_rpcs_in_flight``) — written in expressions with
+    dots replaced by nothing special; both the full dotted name and the
+    basename are accepted lookups.
+    """
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"bad expression {expression!r}: {exc}") from None
+    return _eval_node(tree.body, env, expression)
+
+
+def _lookup(name: str, env: Mapping[str, float], expression: str) -> float:
+    if name in env:
+        return float(env[name])
+    # Allow basename lookups for dotted env keys.
+    for key, value in env.items():
+        if key.rsplit(".", 1)[-1] == name:
+            return float(value)
+    raise ExpressionError(f"unknown identifier {name!r} in {expression!r}")
+
+
+def _eval_node(node: ast.AST, env: Mapping[str, float], expression: str) -> float:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
+            return float(node.value)
+        raise ExpressionError(f"non-numeric constant in {expression!r}")
+    if isinstance(node, ast.Name):
+        return _lookup(node.id, env, expression)
+    if isinstance(node, ast.Attribute):
+        # Dotted names parse as attribute access: rebuild the dotted string.
+        parts: list[str] = []
+        current: ast.AST = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            raise ExpressionError(f"unsupported attribute base in {expression!r}")
+        parts.append(current.id)
+        dotted = ".".join(reversed(parts))
+        return _lookup(dotted, env, expression)
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise ExpressionError(f"operator not allowed in {expression!r}")
+        left = _eval_node(node.left, env, expression)
+        right = _eval_node(node.right, env, expression)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)) and right == 0:
+            raise ExpressionError(f"division by zero in {expression!r}")
+        return float(op(left, right))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_eval_node(node.operand, env, expression)
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_CALLS:
+            raise ExpressionError(f"only min()/max() calls allowed in {expression!r}")
+        if node.keywords:
+            raise ExpressionError(f"keyword arguments not allowed in {expression!r}")
+        args = [_eval_node(a, env, expression) for a in node.args]
+        if not args:
+            raise ExpressionError(f"empty call in {expression!r}")
+        return float(_ALLOWED_CALLS[node.func.id](*args))
+    raise ExpressionError(
+        f"disallowed syntax {type(node).__name__} in {expression!r}"
+    )
+
+
+def referenced_names(expression: str) -> set[str]:
+    """Identifiers an expression depends on (for dependency ordering)."""
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"bad expression {expression!r}: {exc}") from None
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id not in _ALLOWED_CALLS:
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            parts: list[str] = []
+            current: ast.AST = node
+            while isinstance(current, ast.Attribute):
+                parts.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name):
+                parts.append(current.id)
+                names.add(".".join(reversed(parts)))
+    # Attribute traversal above also records bare bases via ast.walk; keep
+    # only the longest dotted forms plus standalone names.
+    cleaned = {
+        n
+        for n in names
+        if not any(other != n and other.startswith(n + ".") for other in names)
+    }
+    return cleaned

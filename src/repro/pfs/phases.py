@@ -1,0 +1,140 @@
+"""Phase representation of workloads.
+
+Benchmarks like IOR, MDWorkbench and IO500 proceed in *phases*: homogeneous
+groups of operations executed by every rank between barriers (write phase,
+read phase, stat phase, ...).  Workload generators compile to a list of
+phases; the analytic performance model costs each phase under a given
+configuration.
+
+Two phase kinds cover all workloads in the paper:
+
+- :class:`DataPhase` — bulk reads/writes against large files.
+- :class:`MetaPhase` — per-file metadata op cycles (create/stat/open/unlink,
+  optionally with small client-cached payloads) against many small files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+VALID_META_OPS = {
+    "create",
+    "open",
+    "close",
+    "stat",
+    "unlink",
+    "mkdir",
+    "write_small",
+    "read_small",
+}
+
+MODIFYING_OPS = {"create", "unlink", "mkdir"}
+
+MDS_OPS = {"create", "open", "close", "stat", "unlink", "mkdir"}
+
+
+@dataclass(frozen=True)
+class FileSet:
+    """A population of files accessed by a phase."""
+
+    name: str
+    n_files: int
+    file_size: int  # bytes per file once fully written
+    shared: bool  # True: all ranks share each file; False: file-per-process
+    n_dirs: int = 1  # directories holding the files
+    shared_dir: bool = False  # all ranks create in the same directory
+
+    def __post_init__(self):
+        if self.n_files < 1 or self.file_size < 0 or self.n_dirs < 1:
+            raise ValueError(f"invalid fileset {self}")
+
+
+@dataclass(frozen=True)
+class DataPhase:
+    """Bulk data movement phase."""
+
+    name: str
+    fileset: FileSet
+    io: str  # "write" | "read"
+    xfer_size: int  # bytes per I/O call
+    bytes_per_rank: int
+    pattern: str = "seq"  # "seq" | "random"
+    reuse: bool = False  # reads target data this rank wrote earlier in the run
+    concurrent_writers: int | None = None  # MIF/baton group cap (None = all)
+    interface: str = "mpiio"  # "posix" | "mpiio" (Darshan module attribution)
+
+    def __post_init__(self):
+        if self.io not in ("write", "read"):
+            raise ValueError(f"invalid io {self.io!r}")
+        if self.pattern not in ("seq", "random"):
+            raise ValueError(f"invalid pattern {self.pattern!r}")
+        if self.xfer_size < 1 or self.bytes_per_rank < 0:
+            raise ValueError("sizes must be positive")
+        if self.concurrent_writers is not None and self.concurrent_writers < 1:
+            raise ValueError("concurrent_writers must be >= 1")
+
+    @property
+    def total_bytes(self) -> int:
+        """Set by the model at evaluation (needs rank count); per-rank here."""
+        return self.bytes_per_rank
+
+    @property
+    def ops_per_rank(self) -> int:
+        return -(-self.bytes_per_rank // self.xfer_size)
+
+
+@dataclass(frozen=True)
+class MetaPhase:
+    """A per-file cycle of metadata ops executed serially by the owning rank.
+
+    ``cycle`` lists the operations applied to each file in turn, e.g.
+    ``("create", "write_small", "close")`` for a small-file creation storm.
+    ``write_small``/``read_small`` move ``data_bytes`` through the client
+    page cache; whether the data ever reaches the OSTs is controlled by
+    ``data_persists`` (MDWorkbench unlinks files while still dirty, which
+    cancels write-back entirely — real Lustre behaviour).
+    """
+
+    name: str
+    fileset: FileSet
+    cycle: tuple[str, ...]
+    files_per_rank: int
+    data_bytes: int = 0
+    data_persists: bool = False
+    scan_order: bool = False  # readdir-ordered scan (statahead eligible)
+
+    def __post_init__(self):
+        bad = [op for op in self.cycle if op not in VALID_META_OPS]
+        if bad:
+            raise ValueError(f"unknown meta ops {bad}")
+        if self.files_per_rank < 1:
+            raise ValueError("files_per_rank must be >= 1")
+
+    @property
+    def mds_rpcs_per_file(self) -> int:
+        return sum(1 for op in self.cycle if op in MDS_OPS)
+
+    @property
+    def is_modifying(self) -> bool:
+        return any(op in MODIFYING_OPS for op in self.cycle)
+
+
+Phase = DataPhase | MetaPhase
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of costing one phase."""
+
+    phase: Phase
+    seconds: float
+    bottleneck: str  # which bound determined the time
+    bounds: dict[str, float] = field(default_factory=dict)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    mds_ops: int = 0
+    rpcs: int = 0
+
+    def __post_init__(self):
+        if self.seconds < 0:
+            raise ValueError("negative phase time")

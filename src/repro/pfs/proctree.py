@@ -1,0 +1,63 @@
+"""A ``/proc``-style view of the tunable parameter surface.
+
+Lustre exposes parameters as files under ``/proc/fs/lustre`` and
+``/sys/fs/lustre`` with one instance per device (each OSC has its own
+``max_rpcs_in_flight`` file, etc.).  STELLAR's offline phase walks this tree
+and keeps only *writable* entries as extraction candidates — the "rough
+filter" of §4.2.2.  This module materializes that tree from the registry so
+the raw parameter count is realistic (hundreds of files) while the distinct
+tunable surface stays the registry's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs import params as P
+
+
+@dataclass(frozen=True)
+class ProcEntry:
+    """One file in the parameter tree."""
+
+    path: str  # e.g. /proc/fs/lustre/osc/testfs-OST0002-osc/max_rpcs_in_flight
+    param: str  # dotted registry name
+    device: str  # device instance, "" for singletons
+    writable: bool
+
+
+def build_proc_tree(cluster: ClusterSpec, fsname: str = "testfs") -> list[ProcEntry]:
+    """Materialize the parameter tree for a mounted file system."""
+    entries: list[ProcEntry] = []
+    for spec in P.REGISTRY.values():
+        devices = _devices_for(spec, cluster, fsname)
+        for device in devices:
+            subsystem = spec.subsystem
+            if device:
+                path = f"/proc/fs/lustre/{subsystem}/{device}/{spec.basename}"
+            else:
+                path = f"/proc/fs/lustre/{subsystem}/{fsname}/{spec.basename}"
+            entries.append(
+                ProcEntry(path=path, param=spec.name, device=device, writable=spec.writable)
+            )
+    return entries
+
+
+def _devices_for(spec: P.ParamSpec, cluster: ClusterSpec, fsname: str) -> list[str]:
+    if not spec.per_device:
+        return [""]
+    if spec.subsystem == "osc":
+        return [f"{fsname}-OST{i:04x}-osc" for i in range(cluster.n_ost)]
+    if spec.subsystem == "mdc":
+        return [f"{fsname}-MDT0000-mdc"]
+    return [""]
+
+
+def writable_parameter_names(entries: list[ProcEntry]) -> list[str]:
+    """Distinct registry names of writable entries (the rough filter)."""
+    seen: list[str] = []
+    for entry in entries:
+        if entry.writable and entry.param not in seen:
+            seen.append(entry.param)
+    return seen

@@ -1,0 +1,116 @@
+"""The simulator facade: run a workload under a configuration.
+
+``Simulator.run`` compiles the workload to phases, costs each with the
+analytic model, applies seeded run-to-run noise, and returns a
+:class:`RunResult` carrying everything downstream consumers need (total wall
+time, per-phase breakdown, and the phase objects the Darshan tracer reads).
+
+Run hygiene (the paper's between-run protocol: delete data files, drop client
+caches, remount, wait for sync) maps to every ``run`` starting from a fresh
+:class:`~repro.pfs.model.RunState` — see :mod:`repro.core.hygiene` for the
+orchestration-level record of those steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cluster.hardware import ClusterSpec
+from repro.cluster.mpi import MpiJob
+from repro.pfs.config import PfsConfig
+from repro.pfs.model import AnalyticModel, RunState
+from repro.pfs.phases import Phase, PhaseResult
+from repro.sim.random import RngStreams
+
+#: Multiplicative lognormal sigma applied per phase and per run.
+PHASE_NOISE_SIGMA = 0.02
+RUN_NOISE_SIGMA = 0.025
+
+
+class WorkloadLike(Protocol):
+    """What the simulator needs from a workload object."""
+
+    name: str
+    n_ranks: int
+
+    def compile(self, cluster: ClusterSpec) -> list[Phase]: ...
+
+
+@dataclass
+class RunResult:
+    """Outcome of one application execution on the simulated cluster."""
+
+    workload: str
+    config: PfsConfig
+    seconds: float
+    phases: list[PhaseResult] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(p.bytes_written for p in self.phases)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(p.bytes_read for p in self.phases)
+
+    @property
+    def mds_ops(self) -> int:
+        return sum(p.mds_ops for p in self.phases)
+
+    def phase_summary(self) -> str:
+        lines = []
+        for result in self.phases:
+            lines.append(
+                f"{result.phase.name}: {result.seconds:.3f}s "
+                f"(bottleneck: {result.bottleneck})"
+            )
+        return "\n".join(lines)
+
+
+class Simulator:
+    """Runs workloads against the modeled cluster."""
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+
+    def run(self, workload: WorkloadLike, config: PfsConfig, seed: int = 0) -> RunResult:
+        """Execute one (simulated) application run.
+
+        The configuration is validated first; out-of-range values raise, as a
+        real ``lctl set_param`` would fail — callers that want real-system
+        clipping semantics should pass ``config.clipped()``.
+        """
+        config = config.copy()
+        config.facts.setdefault("n_ost", self.cluster.n_ost)
+        config.facts["system_memory_mb"] = self.cluster.system_memory_mb
+        config.validate()
+
+        job = MpiJob.launch(workload.name, workload.n_ranks, self.cluster)
+        model = AnalyticModel(self.cluster, config)
+        state = RunState()
+        rng = RngStreams(seed).spawn(f"run:{workload.name}")
+
+        results: list[PhaseResult] = []
+        total = 0.0
+        for index, phase in enumerate(workload.compile(self.cluster)):
+            result = model.evaluate(phase, job, state)
+            noise = rng.lognormal_noise(f"phase:{index}", PHASE_NOISE_SIGMA)
+            result.seconds *= noise
+            results.append(result)
+            total += result.seconds
+        total *= rng.lognormal_noise("run", RUN_NOISE_SIGMA)
+        return RunResult(
+            workload=workload.name,
+            config=config,
+            seconds=total,
+            phases=results,
+            seed=seed,
+        )
+
+    def run_repetitions(
+        self, workload: WorkloadLike, config: PfsConfig, n: int, seed: int = 0
+    ) -> list[RunResult]:
+        """The paper's eight-repetition protocol (fresh hygiene per run)."""
+        return [self.run(workload, config, seed=seed * 10_000 + i) for i in range(n)]

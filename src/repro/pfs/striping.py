@@ -1,0 +1,95 @@
+"""File striping (layout) math.
+
+A file's layout maps byte offsets round-robin across ``stripe_count`` OST
+objects in units of ``stripe_size``.  The performance model needs, for a byte
+range, how many bytes land on each OST and how many distinct stripe objects a
+rank touches (lock-contention input).  All functions are vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Layout:
+    """The layout of one file."""
+
+    stripe_size: int
+    stripe_count: int  # resolved (never -1)
+    ost_offset: int = 0  # first OST index (round-robin start)
+
+    def __post_init__(self):
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        if self.stripe_count < 1:
+            raise ValueError("stripe_count must be resolved to >= 1")
+
+
+def resolve_stripe_count(requested: int, n_ost: int) -> int:
+    """Resolve a user stripe_count (-1 = all OSTs) against the OST pool."""
+    if requested == -1:
+        return n_ost
+    if requested < 1:
+        raise ValueError(f"invalid stripe_count {requested}")
+    return min(requested, n_ost)
+
+
+def ost_of_offset(layout: Layout, offset: int, n_ost: int) -> int:
+    """Which OST index stores the byte at ``offset``."""
+    stripe_index = (offset // layout.stripe_size) % layout.stripe_count
+    return (layout.ost_offset + stripe_index) % n_ost
+
+
+def bytes_per_ost(layout: Layout, offset: int, length: int, n_ost: int) -> np.ndarray:
+    """Bytes of ``[offset, offset+length)`` stored on each OST (len ``n_ost``)."""
+    out = np.zeros(n_ost, dtype=np.int64)
+    if length <= 0:
+        return out
+    size = layout.stripe_size
+    count = layout.stripe_count
+    first_stripe = offset // size
+    last_stripe = (offset + length - 1) // size
+    n_stripes = last_stripe - first_stripe + 1
+    if n_stripes >= 4 * count:
+        # Fast path: full cycles dominate; distribute evenly then fix edges.
+        per_object = np.zeros(count, dtype=np.int64)
+        full_start = (first_stripe + 1) * size
+        full_end = last_stripe * size
+        head = full_start - offset
+        tail = offset + length - full_end
+        per_object[first_stripe % count] += head
+        per_object[last_stripe % count] += tail
+        n_full = last_stripe - first_stripe - 1
+        base, extra = divmod(n_full, count)
+        per_object += base * size
+        if extra:
+            start = (first_stripe + 1) % count
+            idx = (start + np.arange(extra)) % count
+            np.add.at(per_object, idx, size)
+    else:
+        stripes = np.arange(first_stripe, last_stripe + 1)
+        starts = np.maximum(stripes * size, offset)
+        ends = np.minimum((stripes + 1) * size, offset + length)
+        lengths = ends - starts
+        per_object = np.zeros(count, dtype=np.int64)
+        np.add.at(per_object, stripes % count, lengths)
+    ost_idx = (layout.ost_offset + np.arange(count)) % n_ost
+    np.add.at(out, ost_idx, per_object)
+    return out
+
+
+def objects_touched(layout: Layout, offset: int, length: int) -> int:
+    """Number of distinct stripe objects covered by a byte range."""
+    if length <= 0:
+        return 0
+    first = offset // layout.stripe_size
+    last = (offset + length - 1) // layout.stripe_size
+    return int(min(last - first + 1, layout.stripe_count))
+
+
+def round_robin_start(file_index: int, n_ost: int) -> int:
+    """OST offset assigned to the ``file_index``-th created file (QOS RR)."""
+    return file_index % n_ost

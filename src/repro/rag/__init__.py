@@ -1,0 +1,25 @@
+"""Retrieval-augmented generation substrate.
+
+Mirrors the paper's offline pipeline: the manual is chunked
+(:mod:`~repro.rag.chunking`, default 1024 tokens / 20 overlap), embedded
+(:mod:`~repro.rag.embeddings` — hashed lexical embeddings standing in for
+``text-embedding-3-large``), indexed (:mod:`~repro.rag.index`) and queried
+per parameter by the extraction pipeline (:mod:`~repro.rag.extraction`),
+which asks an LLM to judge documentation sufficiency, generate accurate
+descriptions with dependent-range expressions, exclude binary parameters and
+select the high-impact subset — 13 parameters for our Lustre model.
+"""
+
+from repro.rag.chunking import Chunk, chunk_text
+from repro.rag.embeddings import embed_text
+from repro.rag.extraction import ExtractedParameter, ParameterExtractor
+from repro.rag.index import VectorIndex
+
+__all__ = [
+    "Chunk",
+    "chunk_text",
+    "embed_text",
+    "VectorIndex",
+    "ExtractedParameter",
+    "ParameterExtractor",
+]

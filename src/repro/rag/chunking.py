@@ -1,0 +1,55 @@
+"""Token-window chunking with overlap (LlamaIndex-style defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.tokens import count_tokens
+
+DEFAULT_CHUNK_TOKENS = 1024
+DEFAULT_OVERLAP_TOKENS = 20
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One retrievable slice of a document."""
+
+    chunk_id: int
+    text: str
+    start_word: int
+
+
+def chunk_text(
+    text: str,
+    chunk_tokens: int = DEFAULT_CHUNK_TOKENS,
+    overlap_tokens: int = DEFAULT_OVERLAP_TOKENS,
+) -> list[Chunk]:
+    """Split ``text`` into overlapping word windows of ~``chunk_tokens``.
+
+    Word boundaries keep chunks readable; the token budget is enforced via
+    the same token estimator used for usage accounting, so chunk sizes line
+    up with what the embedding model would see.
+    """
+    if chunk_tokens < 8:
+        raise ValueError("chunk_tokens too small")
+    if overlap_tokens >= chunk_tokens:
+        raise ValueError("overlap must be smaller than the chunk size")
+    words = text.split()
+    if not words:
+        return []
+    # Convert token budgets to word counts using the corpus-wide ratio.
+    tokens_per_word = max(count_tokens(text) / len(words), 0.25)
+    words_per_chunk = max(8, int(chunk_tokens / tokens_per_word))
+    overlap_words = max(1, int(overlap_tokens / tokens_per_word))
+
+    chunks: list[Chunk] = []
+    start = 0
+    chunk_id = 0
+    while start < len(words):
+        window = words[start : start + words_per_chunk]
+        chunks.append(Chunk(chunk_id=chunk_id, text=" ".join(window), start_word=start))
+        chunk_id += 1
+        if start + words_per_chunk >= len(words):
+            break
+        start += words_per_chunk - overlap_words
+    return chunks

@@ -1,0 +1,62 @@
+"""Hashed lexical embeddings.
+
+A deterministic stand-in for ``text-embedding-3-large``: words and character
+trigrams are hashed into a fixed-dimension vector with sublinear TF
+weighting, then L2-normalized so cosine similarity is a dot product.  On a
+technical manual this reliably ranks the chunk documenting a parameter first
+for queries naming that parameter — the property the extraction pipeline
+needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+import numpy as np
+
+EMBEDDING_DIM = 256
+
+_WORD_RE = re.compile(r"[a-z0-9_.]+")
+
+
+def _bucket(token: str, salt: str) -> int:
+    digest = hashlib.md5(f"{salt}:{token}".encode()).digest()
+    return int.from_bytes(digest[:4], "little") % EMBEDDING_DIM
+
+
+def _sign(token: str, salt: str) -> float:
+    digest = hashlib.md5(f"sign:{salt}:{token}".encode()).digest()
+    return 1.0 if digest[0] % 2 == 0 else -1.0
+
+
+def tokenize_words(text: str) -> list[str]:
+    return _WORD_RE.findall(text.lower())
+
+
+def embed_text(text: str) -> np.ndarray:
+    """Embed ``text`` into a unit vector of :data:`EMBEDDING_DIM` floats."""
+    vec = np.zeros(EMBEDDING_DIM, dtype=np.float64)
+    words = tokenize_words(text)
+    if not words:
+        return vec
+    counts: dict[str, int] = {}
+    for word in words:
+        counts[word] = counts.get(word, 0) + 1
+    for word, count in counts.items():
+        weight = 1.0 + np.log(count)
+        vec[_bucket(word, "w")] += _sign(word, "w") * weight
+        # Character trigrams catch morphology (e.g. "statahead" in queries
+        # matching "statahead_max" in text).
+        padded = f"#{word}#"
+        for i in range(len(padded) - 2):
+            tri = padded[i : i + 3]
+            vec[_bucket(tri, "t")] += _sign(tri, "t") * 0.3 * weight
+    norm = np.linalg.norm(vec)
+    if norm > 0:
+        vec /= norm
+    return vec
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.dot(a, b))

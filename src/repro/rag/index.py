@@ -1,0 +1,90 @@
+"""The queryable vector index over manual chunks."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rag.chunking import Chunk, chunk_text
+from repro.rag.embeddings import embed_text
+
+
+@dataclass
+class Retrieval:
+    """One query hit."""
+
+    chunk: Chunk
+    score: float
+
+
+class VectorIndex:
+    """Embedded chunk store with top-K cosine retrieval."""
+
+    def __init__(self):
+        self._chunks: list[Chunk] = []
+        self._matrix: np.ndarray | None = None
+
+    @classmethod
+    def from_documents(
+        cls, documents: list[str], chunk_tokens: int = 1024, overlap_tokens: int = 20
+    ) -> "VectorIndex":
+        index = cls()
+        for document in documents:
+            index.add_chunks(chunk_text(document, chunk_tokens, overlap_tokens))
+        return index
+
+    def add_chunks(self, chunks: list[Chunk]) -> None:
+        if not chunks:
+            return
+        # Re-id so chunk ids stay unique across documents.
+        base = len(self._chunks)
+        renumbered = [
+            Chunk(chunk_id=base + i, text=c.text, start_word=c.start_word)
+            for i, c in enumerate(chunks)
+        ]
+        vectors = np.stack([embed_text(c.text) for c in renumbered])
+        self._chunks.extend(renumbered)
+        if self._matrix is None:
+            self._matrix = vectors
+        else:
+            self._matrix = np.vstack([self._matrix, vectors])
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def query(self, text: str, top_k: int = 20) -> list[Retrieval]:
+        """Top-K most similar chunks for a query string."""
+        if not self._chunks:
+            return []
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        query_vec = embed_text(text)
+        scores = self._matrix @ query_vec
+        k = min(top_k, len(self._chunks))
+        order = np.argpartition(-scores, k - 1)[:k]
+        order = order[np.argsort(-scores[order])]
+        return [Retrieval(chunk=self._chunks[i], score=float(scores[i])) for i in order]
+
+    # -- persistence -------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialize chunks (vectors are recomputed on load — deterministic)."""
+        return json.dumps(
+            [
+                {"chunk_id": c.chunk_id, "text": c.text, "start_word": c.start_word}
+                for c in self._chunks
+            ]
+        )
+
+    @classmethod
+    def loads(cls, payload: str) -> "VectorIndex":
+        index = cls()
+        raw = json.loads(payload)
+        index.add_chunks(
+            [
+                Chunk(chunk_id=r["chunk_id"], text=r["text"], start_word=r["start_word"])
+                for r in raw
+            ]
+        )
+        return index

@@ -1,0 +1,13 @@
+"""Tuning rule sets (§4.4).
+
+Rules are the reusable knowledge STELLAR distills after each tuning run.
+Each rule names a parameter, a natural-language rule description, and the
+tuning context in which it applies; merged rule sets resolve contradictions
+(drop both), track alternatives (keep both, marked), and prune alternatives
+with observed negative outcomes.
+"""
+
+from repro.rules.model import Rule, RuleSet
+from repro.rules.merge import merge_rule_sets
+
+__all__ = ["Rule", "RuleSet", "merge_rule_sets"]

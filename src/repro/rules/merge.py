@@ -1,0 +1,95 @@
+"""Rule set synthesis (§4.4.2).
+
+Merging a freshly generated rule set into the global one resolves conflicts
+the way the paper prescribes:
+
+- a new rule that *directly contradicts* an existing rule (same parameter,
+  equal tuning context, opposite guidance) removes **both** — neither can be
+  trusted;
+- rules with equal context and only *slightly different* guidance are kept
+  as **alternatives** so future runs can try both;
+- an alternative whose guidance later produces a *negative outcome*
+  (observed speedup < 1) is dropped in favour of the positive one.
+"""
+
+from __future__ import annotations
+
+from repro.rules.model import Rule, RuleSet
+
+
+def merge_rule_sets(existing: RuleSet, new: RuleSet) -> RuleSet:
+    """Merge ``new`` into ``existing`` with conflict resolution."""
+    kept: list[Rule] = list(existing.rules)
+    for incoming in new.rules:
+        kept = _merge_one(kept, incoming)
+    return RuleSet(rules=kept)
+
+
+def _merge_one(kept: list[Rule], incoming: Rule) -> list[Rule]:
+    negative_incoming = (
+        incoming.observed_speedup is not None and incoming.observed_speedup < 1.0
+    )
+    if negative_incoming and incoming.recommended_value is None:
+        # "Avoid X" knowledge carries no value to conflict on; keep it
+        # verbatim alongside existing guidance (once).
+        if any(
+            r.recommended_value is None and r.rule_description == incoming.rule_description
+            for r in kept
+        ):
+            return kept
+        return kept + [incoming]
+    result: list[Rule] = []
+    dropped_due_to_contradiction = False
+    matched_equivalent = False
+    for rule in kept:
+        if not rule.same_context(incoming):
+            result.append(rule)
+            continue
+        if rule.contradicts(incoming):
+            # Drop both; we cannot tell which is correct.
+            dropped_due_to_contradiction = True
+            continue
+        if _equivalent(rule, incoming):
+            # Same guidance: refresh with the better-evidenced copy.
+            matched_equivalent = True
+            result.append(_better(rule, incoming))
+            continue
+        # Same context, different but not opposite guidance -> alternatives.
+        if negative_incoming:
+            # A negative outcome prunes nothing but itself; keep existing.
+            result.append(rule)
+            matched_equivalent = True
+            continue
+        if rule.observed_speedup is not None and rule.observed_speedup < 1.0:
+            # Existing negative alternative loses to the new positive rule.
+            continue
+        marked = Rule(**{**rule.__dict__, "alternative": True})
+        result.append(marked)
+    if dropped_due_to_contradiction:
+        return result
+    if matched_equivalent:
+        return result
+    if negative_incoming and incoming.recommended_value is None:
+        # "Avoid X" knowledge is kept verbatim.
+        result.append(incoming)
+        return result
+    new_rule = incoming
+    if any(r.same_context(incoming) for r in result):
+        new_rule = Rule(**{**incoming.__dict__, "alternative": True})
+    result.append(new_rule)
+    return result
+
+
+def _equivalent(a: Rule, b: Rule) -> bool:
+    if a.recommended_value is None or b.recommended_value is None:
+        return a.rule_description == b.rule_description
+    lo, hi = sorted((a.recommended_value, b.recommended_value))
+    if lo <= 0:
+        return a.recommended_value == b.recommended_value
+    return hi / lo < 2.0
+
+
+def _better(a: Rule, b: Rule) -> Rule:
+    a_speed = a.observed_speedup or 0.0
+    b_speed = b.observed_speedup or 0.0
+    return b if b_speed > a_speed else a

@@ -1,0 +1,79 @@
+"""Persistence for rule sets and tuning sessions.
+
+The global rule set is STELLAR's accumulated platform knowledge; operators
+keep it across engine restarts (`save_rule_set`/`load_rule_set`).  Tuning
+sessions are exported as JSON for offline inspection and for the experiment
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.session import TuningSession
+from repro.llm.promptparse import AttemptRecord
+from repro.rules.model import RuleSet
+
+
+def save_rule_set(rule_set: RuleSet, path: str | Path) -> None:
+    Path(path).write_text(rule_set.dumps())
+
+
+def load_rule_set(path: str | Path) -> RuleSet:
+    return RuleSet.loads(Path(path).read_text())
+
+
+def session_to_dict(session: TuningSession) -> dict:
+    """JSON-serializable view of a tuning session."""
+    return {
+        "workload": session.workload,
+        "model": session.model,
+        "initial_seconds": session.initial_seconds,
+        "attempts": [
+            {
+                "index": a.index,
+                "changes": a.changes,
+                "seconds": a.seconds,
+                "speedup": a.speedup,
+                "rationale": a.rationale,
+            }
+            for a in session.attempts
+        ],
+        "best_config": session.best_config,
+        "best_speedup": session.best_speedup,
+        "end_reason": session.end_reason,
+        "rules": session.rules_json,
+        "executions": session.executions,
+        "usage": {
+            agent: {
+                "input_tokens": usage.input_tokens,
+                "output_tokens": usage.output_tokens,
+                "cached_input_tokens": usage.cached_input_tokens,
+            }
+            for agent, usage in session.usage.items()
+        },
+        "transcript": [
+            {"kind": e.kind, "detail": e.detail} for e in session.transcript.events
+        ],
+    }
+
+
+def save_session(session: TuningSession, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(session_to_dict(session), indent=1))
+
+
+def load_session_summary(path: str | Path) -> dict:
+    """Load a previously saved session export (as plain data)."""
+    raw = json.loads(Path(path).read_text())
+    raw["attempts"] = [
+        AttemptRecord(
+            index=a["index"],
+            changes={k: int(v) for k, v in a["changes"].items()},
+            seconds=a["seconds"],
+            speedup=a["speedup"],
+            rationale=a.get("rationale", ""),
+        )
+        for a in raw.get("attempts", [])
+    ]
+    return raw

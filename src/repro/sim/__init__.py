@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+A small, fast event-driven core used by the PFS micro-models and to
+cross-validate the phase-analytic performance model: an event heap
+(:class:`Engine`), FIFO service resources (:class:`FifoServer`,
+:class:`BandwidthLink`) and reproducible named RNG streams
+(:class:`RngStreams`).
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import BandwidthLink, FifoServer, TokenPool
+from repro.sim.random import RngStreams
+
+__all__ = [
+    "Engine",
+    "Event",
+    "FifoServer",
+    "BandwidthLink",
+    "TokenPool",
+    "RngStreams",
+]

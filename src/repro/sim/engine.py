@@ -1,0 +1,80 @@
+"""Event heap and callback scheduling.
+
+The engine is intentionally minimal: events are ``(time, seq, callback)``
+triples popped in time order; ties break by insertion order so runs are fully
+deterministic.  Components schedule follow-up events from inside callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Engine:
+    """A deterministic discrete-event loop."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, callback)
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event so it is skipped when popped."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the heap; returns the final simulation time.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is later than this time.
+        max_events:
+            Safety valve for runaway models; raises ``RuntimeError`` if hit.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed += 1
+            if max_events is not None and self.processed > max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events})")
+            event.callback()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

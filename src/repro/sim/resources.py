@@ -1,0 +1,120 @@
+"""Service resources for the event kernel.
+
+Three primitives cover every device in the PFS model:
+
+- :class:`FifoServer` — a ``c``-server queue with caller-supplied service
+  times (disks, MDS service threads).
+- :class:`BandwidthLink` — a store-and-forward pipe: transfers serialize at
+  ``bytes / bandwidth`` each plus a fixed per-transfer latency (NICs, switch
+  ports).
+- :class:`TokenPool` — a counting semaphore for client-side concurrency caps
+  (``max_rpcs_in_flight``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+
+class FifoServer:
+    """A first-come-first-served queue with ``servers`` parallel workers."""
+
+    def __init__(self, engine: Engine, servers: int = 1, name: str = "server"):
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        self.engine = engine
+        self.servers = servers
+        self.name = name
+        self.busy = 0
+        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self.completed = 0
+        self.busy_time = 0.0
+
+    def submit(self, service_time: float, done: Callable[[], None]) -> None:
+        """Enqueue one job; ``done`` fires when its service completes."""
+        if service_time < 0:
+            raise ValueError("negative service time")
+        self._queue.append((service_time, done))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self.busy < self.servers and self._queue:
+            service_time, done = self._queue.popleft()
+            self.busy += 1
+            self.busy_time += service_time
+
+            def finish(done=done):
+                self.busy -= 1
+                self.completed += 1
+                done()
+                self._dispatch()
+
+            self.engine.schedule(service_time, finish)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+class BandwidthLink:
+    """A serializing pipe with fixed latency and finite bandwidth."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "link",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._server = FifoServer(engine, servers=1, name=f"{name}.wire")
+        self.bytes_moved = 0
+
+    def transfer(self, nbytes: int, done: Callable[[], None]) -> None:
+        """Move ``nbytes`` through the pipe, then fire ``done``."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self.bytes_moved += nbytes
+        wire = nbytes / self.bandwidth
+
+        def after_wire():
+            # Propagation latency does not occupy the wire.
+            self.engine.schedule(self.latency, done)
+
+        self._server.submit(wire, after_wire)
+
+
+class TokenPool:
+    """A counting semaphore; waiters are released FIFO."""
+
+    def __init__(self, tokens: int, name: str = "tokens"):
+        if tokens < 1:
+            raise ValueError("tokens must be >= 1")
+        self.capacity = tokens
+        self.available = tokens
+        self.name = name
+        self._waiters: deque[Callable[[], None]] = deque()
+
+    def acquire(self, ready: Callable[[], None]) -> None:
+        """Invoke ``ready`` as soon as a token is available."""
+        if self.available > 0:
+            self.available -= 1
+            ready()
+        else:
+            self._waiters.append(ready)
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft()()
+        else:
+            self.available += 1
+            if self.available > self.capacity:
+                raise RuntimeError(f"{self.name}: release without acquire")

@@ -1,0 +1,19 @@
+"""Workload generators for the paper's benchmarks and applications.
+
+Each generator compiles a benchmark's exact operation pattern (block and
+transfer sizes, shared-file vs. file-per-process layout, metadata loops,
+IO500's phase schedule) into the phase list the PFS simulator costs.  The
+catalog mirrors §5.1.2–5.1.3 of the paper:
+
+- ``IOR_64K`` / ``IOR_16M`` — random-small and sequential-large IOR runs.
+- ``MDWorkbench_2K`` / ``MDWorkbench_8K`` — metadata benchmark rounds.
+- ``IO500`` — the combined IOR-easy/hard + MDTest-easy/hard schedule.
+- ``AMReX`` — block-structured AMR plotfile I/O kernel.
+- ``MACSio_512K`` / ``MACSio_16M`` — multi-physics proxy I/O with small and
+  large dump objects.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload, list_workloads, register_workload
+
+__all__ = ["Workload", "get_workload", "list_workloads", "register_workload"]

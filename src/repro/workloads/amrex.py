@@ -1,0 +1,99 @@
+"""AMReX plotfile I/O kernel.
+
+Models the I/O behaviour of AMReX's ``WriteMultiLevelPlotfile``: each dump
+creates a plotfile directory tree (one subdirectory per AMR level plus
+header files), then ranks write their grid data into a small number of
+shared level files using the MIF/baton pattern — within each file group,
+ranks take turns writing their contiguous chunk, so aggregate write
+concurrency equals the number of output files (``nOutFiles``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.params import KiB, MiB
+from repro.pfs.phases import DataPhase, FileSet, MetaPhase, Phase
+from repro.workloads.base import Workload
+
+
+@dataclass
+class AmrexPlotfile(Workload):
+    """Parameterized AMReX plotfile dump sequence."""
+
+    n_dumps: int = 3
+    n_levels: int = 4
+    n_out_files: int = 2  # small-cluster checkpoint grouping
+    bytes_per_rank_per_dump: int = 64 * MiB
+    chunk_size: int = 1 * MiB
+    header_files_per_dump: int = 72  # Header + per-level headers + visit files
+
+    def __post_init__(self):
+        self.traits = {
+            "io_intensity": "mixed_data",
+            "pattern": "seq",
+            "shared_file": True,
+            "baton": True,
+        }
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        phases: list[Phase] = []
+        for dump in range(self.n_dumps):
+            dirset = FileSet(
+                name=f"plt{dump:05d}.dirs",
+                n_files=self.n_levels + 1,
+                file_size=0,
+                shared=False,
+                n_dirs=1,
+                shared_dir=True,
+            )
+            headers = FileSet(
+                name=f"plt{dump:05d}.headers",
+                n_files=self.header_files_per_dump,
+                file_size=16 * KiB,
+                shared=False,
+                n_dirs=self.n_levels + 1,
+            )
+            levelset = FileSet(
+                name=f"plt{dump:05d}.level_data",
+                n_files=self.n_out_files,
+                file_size=self.bytes_per_rank_per_dump * self.n_ranks // self.n_out_files,
+                shared=True,
+            )
+            phases.append(
+                MetaPhase(
+                    name=f"dump{dump}.mkdirs",
+                    fileset=dirset,
+                    cycle=("mkdir",),
+                    files_per_rank=1,  # rank 0 creates; modeled as one op/rank avg
+                )
+            )
+            phases.append(
+                MetaPhase(
+                    name=f"dump{dump}.headers",
+                    fileset=headers,
+                    cycle=("create", "write_small", "close"),
+                    files_per_rank=max(1, self.header_files_per_dump // self.n_ranks + 1),
+                    data_bytes=16 * KiB,
+                    data_persists=True,
+                )
+            )
+            # FArrayBox chunks land at interleaved per-grid offsets within
+            # each level file, so the disk-level pattern is non-sequential.
+            phases.append(
+                DataPhase(
+                    name=f"dump{dump}.level_data",
+                    fileset=levelset,
+                    io="write",
+                    xfer_size=self.chunk_size,
+                    bytes_per_rank=self.bytes_per_rank_per_dump,
+                    pattern="random",
+                    concurrent_writers=self.n_out_files,
+                )
+            )
+        return phases
+
+
+def amrex() -> AmrexPlotfile:
+    return AmrexPlotfile(name="AMReX")

@@ -1,0 +1,38 @@
+"""Workload abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.phases import Phase
+
+
+@dataclass
+class Workload:
+    """A benchmark or application run configuration.
+
+    Subclasses implement :meth:`build_phases`.  ``traits`` carries ground
+    truth workload characteristics for baselines and tests only — the agents
+    never read it; they must infer behaviour from Darshan traces.
+    """
+
+    name: str = "workload"
+    n_ranks: int = 50
+    traits: dict = field(default_factory=dict)
+
+    def compile(self, cluster: ClusterSpec) -> list[Phase]:
+        phases = self.build_phases(cluster)
+        if not phases:
+            raise ValueError(f"workload {self.name} compiled to no phases")
+        return phases
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        raise NotImplementedError
+
+    def describe_execution(self) -> str:
+        """The run recipe a domain scientist would hand to STELLAR (§4.3.2)."""
+        return (
+            f"mpiexec -n {self.n_ranks} {self.name} "
+            f"# via the cluster batch scheduler; Darshan instrumentation on"
+        )

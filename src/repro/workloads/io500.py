@@ -1,0 +1,153 @@
+"""IO500-style combined benchmark.
+
+Runs the standard phase schedule: IOR-easy (file-per-process, large
+sequential), MDTest-easy (empty files in per-rank directories), IOR-hard
+(shared file, 47008-byte interleaved/random transfers) and MDTest-hard
+(3901-byte files in a single shared directory), with the write phases first
+and read/stat/delete phases after — the schedule that challenges a tuner to
+find one configuration balancing bandwidth and metadata performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.params import MiB
+from repro.pfs.phases import DataPhase, FileSet, MetaPhase, Phase
+from repro.workloads.base import Workload
+
+IOR_HARD_XFER = 47008
+MDTEST_HARD_FILE_SIZE = 3901
+
+
+@dataclass
+class Io500(Workload):
+    """Parameterized IO500 run."""
+
+    easy_bytes_per_rank: int = 1024 * MiB
+    easy_xfer: int = 1 * MiB
+    hard_ops_per_rank: int = 4000  # 47008-byte writes -> ~180 MiB per rank
+    mdtest_easy_files_per_rank: int = 4000
+    mdtest_hard_files_per_rank: int = 2500
+
+    def __post_init__(self):
+        self.traits = {
+            "io_intensity": "mixed",
+            "pattern": "multi_phase",
+            "shared_file": True,
+        }
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        easy_files = FileSet(
+            name="ior_easy.data",
+            n_files=self.n_ranks,
+            file_size=self.easy_bytes_per_rank,
+            shared=False,
+        )
+        hard_file = FileSet(
+            name="ior_hard.data",
+            n_files=1,
+            file_size=self.hard_ops_per_rank * IOR_HARD_XFER * self.n_ranks,
+            shared=True,
+        )
+        md_easy = FileSet(
+            name="mdtest_easy.files",
+            n_files=self.mdtest_easy_files_per_rank * self.n_ranks,
+            file_size=0,
+            shared=False,
+            n_dirs=self.n_ranks,  # one private dir per rank
+        )
+        md_hard = FileSet(
+            name="mdtest_hard.files",
+            n_files=self.mdtest_hard_files_per_rank * self.n_ranks,
+            file_size=MDTEST_HARD_FILE_SIZE,
+            shared=False,
+            n_dirs=1,
+            shared_dir=True,
+        )
+        hard_bytes = self.hard_ops_per_rank * IOR_HARD_XFER
+        return [
+            DataPhase(
+                name="ior_easy.write",
+                fileset=easy_files,
+                io="write",
+                xfer_size=self.easy_xfer,
+                bytes_per_rank=self.easy_bytes_per_rank,
+                pattern="seq",
+            ),
+            MetaPhase(
+                name="mdtest_easy.write",
+                fileset=md_easy,
+                cycle=("create", "close"),
+                files_per_rank=self.mdtest_easy_files_per_rank,
+            ),
+            DataPhase(
+                name="ior_hard.write",
+                fileset=hard_file,
+                io="write",
+                xfer_size=IOR_HARD_XFER,
+                bytes_per_rank=hard_bytes,
+                pattern="random",
+            ),
+            MetaPhase(
+                name="mdtest_hard.write",
+                fileset=md_hard,
+                cycle=("create", "write_small", "close"),
+                files_per_rank=self.mdtest_hard_files_per_rank,
+                data_bytes=MDTEST_HARD_FILE_SIZE,
+            ),
+            DataPhase(
+                name="ior_easy.read",
+                fileset=easy_files,
+                io="read",
+                xfer_size=self.easy_xfer,
+                bytes_per_rank=self.easy_bytes_per_rank,
+                pattern="seq",
+            ),
+            MetaPhase(
+                name="mdtest_easy.stat",
+                fileset=md_easy,
+                cycle=("stat",),
+                files_per_rank=self.mdtest_easy_files_per_rank,
+                scan_order=True,
+            ),
+            DataPhase(
+                name="ior_hard.read",
+                fileset=hard_file,
+                io="read",
+                xfer_size=IOR_HARD_XFER,
+                bytes_per_rank=hard_bytes,
+                pattern="random",
+            ),
+            MetaPhase(
+                name="mdtest_hard.stat",
+                fileset=md_hard,
+                cycle=("stat",),
+                files_per_rank=self.mdtest_hard_files_per_rank,
+                scan_order=True,
+            ),
+            MetaPhase(
+                name="mdtest_easy.delete",
+                fileset=md_easy,
+                cycle=("unlink",),
+                files_per_rank=self.mdtest_easy_files_per_rank,
+            ),
+            MetaPhase(
+                name="mdtest_hard.read",
+                fileset=md_hard,
+                cycle=("open", "read_small", "close"),
+                files_per_rank=self.mdtest_hard_files_per_rank,
+                data_bytes=MDTEST_HARD_FILE_SIZE,
+            ),
+            MetaPhase(
+                name="mdtest_hard.delete",
+                fileset=md_hard,
+                cycle=("unlink",),
+                files_per_rank=self.mdtest_hard_files_per_rank,
+            ),
+        ]
+
+
+def io500() -> Io500:
+    return Io500(name="IO500")

@@ -1,0 +1,95 @@
+"""IOR-style bulk I/O benchmark.
+
+Two paper configurations:
+
+- ``IOR_64K`` — each of 50 ranks writes then reads one 128 MiB block of a
+  shared file using 64 KiB transfers at random offsets (random-small pattern).
+- ``IOR_16M`` — each rank writes then reads three 128 MiB blocks of a shared
+  file using 16 MiB sequential transfers (sequential-large pattern).
+
+Reads use task reordering (IOR ``-C``), so ranks read blocks written by a
+different rank — client caches do not help (``reuse=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.params import KiB, MiB
+from repro.pfs.phases import DataPhase, FileSet, Phase
+from repro.workloads.base import Workload
+
+
+@dataclass
+class IorWorkload(Workload):
+    """Parameterized IOR run against a single shared file."""
+
+    xfer_size: int = 16 * MiB
+    block_size: int = 128 * MiB
+    blocks_per_rank: int = 1
+    pattern: str = "seq"  # "seq" | "random"
+    read_back: bool = True
+    reorder_tasks: bool = True  # IOR -C: defeat client caches on read
+
+    def __post_init__(self):
+        self.traits = {
+            "io_intensity": "data",
+            "pattern": self.pattern,
+            "shared_file": True,
+            "xfer_size": self.xfer_size,
+        }
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        bytes_per_rank = self.block_size * self.blocks_per_rank
+        fileset = FileSet(
+            name=f"{self.name}.data",
+            n_files=1,
+            file_size=bytes_per_rank * self.n_ranks,
+            shared=True,
+        )
+        phases: list[Phase] = [
+            DataPhase(
+                name="write",
+                fileset=fileset,
+                io="write",
+                xfer_size=self.xfer_size,
+                bytes_per_rank=bytes_per_rank,
+                pattern=self.pattern,
+            )
+        ]
+        if self.read_back:
+            phases.append(
+                DataPhase(
+                    name="read",
+                    fileset=fileset,
+                    io="read",
+                    xfer_size=self.xfer_size,
+                    bytes_per_rank=bytes_per_rank,
+                    pattern=self.pattern,
+                    reuse=not self.reorder_tasks,
+                )
+            )
+        return phases
+
+
+def ior_64k() -> IorWorkload:
+    """The paper's ``IOR_64K``: random 64 KiB transfers, one 128 MiB block."""
+    return IorWorkload(
+        name="IOR_64K",
+        xfer_size=64 * KiB,
+        block_size=128 * MiB,
+        blocks_per_rank=1,
+        pattern="random",
+    )
+
+
+def ior_16m() -> IorWorkload:
+    """The paper's ``IOR_16M``: sequential 16 MiB transfers, three blocks."""
+    return IorWorkload(
+        name="IOR_16M",
+        xfer_size=16 * MiB,
+        block_size=128 * MiB,
+        blocks_per_rank=3,
+        pattern="seq",
+    )

@@ -1,0 +1,78 @@
+"""MACSio multi-physics I/O proxy.
+
+Models MACSio in SIF (single shared file) mode: every dump, each rank writes
+its mesh/variable data objects into one shared file.  Object size is the
+paper's configuration axis — 512 KiB objects produce many medium scattered
+writes; 16 MiB objects produce large sequential-ish writes.  Object placement
+across ranks interleaves in the shared file, giving a strided pattern whose
+extent-lock behaviour sits between pure sequential and random (modeled as
+random for the 512 KiB case, sequential for 16 MiB where parts are large and
+contiguous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.params import KiB, MiB
+from repro.pfs.phases import DataPhase, FileSet, Phase
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Macsio(Workload):
+    """Parameterized MACSio run (SIF parallel file mode)."""
+
+    object_size: int = 512 * KiB
+    objects_per_rank_per_dump: int = 80
+    n_dumps: int = 4
+
+    def __post_init__(self):
+        self.traits = {
+            "io_intensity": "data",
+            "pattern": "strided" if self.object_size < MiB else "seq",
+            "shared_file": True,
+            "xfer_size": self.object_size,
+        }
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        bytes_per_rank = self.object_size * self.objects_per_rank_per_dump
+        pattern = "random" if self.object_size < MiB else "seq"
+        phases: list[Phase] = []
+        for dump in range(self.n_dumps):
+            fileset = FileSet(
+                name=f"macsio_dump{dump}.data",
+                n_files=1,
+                file_size=bytes_per_rank * self.n_ranks,
+                shared=True,
+            )
+            phases.append(
+                DataPhase(
+                    name=f"dump{dump}.write",
+                    fileset=fileset,
+                    io="write",
+                    xfer_size=self.object_size,
+                    bytes_per_rank=bytes_per_rank,
+                    pattern=pattern,
+                )
+            )
+        return phases
+
+
+def macsio_512k() -> Macsio:
+    return Macsio(
+        name="MACSio_512K",
+        object_size=512 * KiB,
+        objects_per_rank_per_dump=80,
+        n_dumps=4,
+    )
+
+
+def macsio_16m() -> Macsio:
+    return Macsio(
+        name="MACSio_16M",
+        object_size=16 * MiB,
+        objects_per_rank_per_dump=10,
+        n_dumps=4,
+    )

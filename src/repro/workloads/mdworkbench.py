@@ -1,0 +1,107 @@
+"""MDWorkbench-style metadata benchmark.
+
+Per the paper: each process owns 10 directories of 400 files (2 KiB or
+8 KiB); three rounds each perform open/create, write, close, stat, open,
+read, close and unlink on every file.  Files are unlinked while their tiny
+payload is still dirty in the client cache, so write-back is cancelled and
+the workload is dominated by metadata RPCs — the behaviour real Lustre shows
+for this benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.params import KiB
+from repro.pfs.phases import FileSet, MetaPhase, Phase
+from repro.workloads.base import Workload
+
+
+@dataclass
+class MdWorkbench(Workload):
+    """Parameterized MDWorkbench run."""
+
+    dirs_per_rank: int = 10
+    files_per_dir: int = 400
+    file_size: int = 2 * KiB
+    rounds: int = 3
+
+    def __post_init__(self):
+        self.traits = {
+            "io_intensity": "metadata",
+            "pattern": "small_files",
+            "shared_file": False,
+            "file_size": self.file_size,
+        }
+
+    @property
+    def files_per_rank(self) -> int:
+        return self.dirs_per_rank * self.files_per_dir
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        fileset = FileSet(
+            name=f"{self.name}.files",
+            n_files=self.files_per_rank * self.n_ranks,
+            file_size=self.file_size,
+            shared=False,
+            n_dirs=self.dirs_per_rank * self.n_ranks,
+        )
+        dirset = FileSet(
+            name=f"{self.name}.dirs",
+            n_files=self.dirs_per_rank * self.n_ranks,
+            file_size=0,
+            shared=False,
+            n_dirs=self.n_ranks,
+        )
+        phases: list[Phase] = [
+            MetaPhase(
+                name="setup.mkdir",
+                fileset=dirset,
+                cycle=("mkdir",),
+                files_per_rank=self.dirs_per_rank,
+            )
+        ]
+        for round_index in range(self.rounds):
+            tag = f"round{round_index}"
+            phases.extend(
+                [
+                    MetaPhase(
+                        name=f"{tag}.create_write",
+                        fileset=fileset,
+                        cycle=("create", "write_small", "close"),
+                        files_per_rank=self.files_per_rank,
+                        data_bytes=self.file_size,
+                        data_persists=False,  # unlinked while dirty
+                    ),
+                    MetaPhase(
+                        name=f"{tag}.stat",
+                        fileset=fileset,
+                        cycle=("stat",),
+                        files_per_rank=self.files_per_rank,
+                        scan_order=True,
+                    ),
+                    MetaPhase(
+                        name=f"{tag}.open_read",
+                        fileset=fileset,
+                        cycle=("open", "read_small", "close"),
+                        files_per_rank=self.files_per_rank,
+                        data_bytes=self.file_size,
+                    ),
+                    MetaPhase(
+                        name=f"{tag}.unlink",
+                        fileset=fileset,
+                        cycle=("unlink",),
+                        files_per_rank=self.files_per_rank,
+                    ),
+                ]
+            )
+        return phases
+
+
+def mdworkbench_2k() -> MdWorkbench:
+    return MdWorkbench(name="MDWorkbench_2K", file_size=2 * KiB)
+
+
+def mdworkbench_8k() -> MdWorkbench:
+    return MdWorkbench(name="MDWorkbench_8K", file_size=8 * KiB)

@@ -1,0 +1,50 @@
+"""Named workload catalog."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.amrex import amrex
+from repro.workloads.base import Workload
+from repro.workloads.io500 import io500
+from repro.workloads.ior import ior_16m, ior_64k
+from repro.workloads.macsio import macsio_16m, macsio_512k
+from repro.workloads.mdworkbench import mdworkbench_2k, mdworkbench_8k
+
+_FACTORIES: dict[str, Callable[[], Workload]] = {
+    "IOR_64K": ior_64k,
+    "IOR_16M": ior_16m,
+    "MDWorkbench_2K": mdworkbench_2k,
+    "MDWorkbench_8K": mdworkbench_8k,
+    "IO500": io500,
+    "AMReX": amrex,
+    "MACSio_512K": macsio_512k,
+    "MACSio_16M": macsio_16m,
+}
+
+#: The five benchmark workloads used for Figures 5 and 6.
+BENCHMARKS = ["IOR_64K", "IOR_16M", "MDWorkbench_2K", "MDWorkbench_8K", "IO500"]
+
+#: The real-application workloads used for Figure 7.
+REAL_APPS = ["AMReX", "MACSio_512K", "MACSio_16M"]
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a fresh workload by catalog name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def list_workloads() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def register_workload(name: str, factory: Callable[[], Workload]) -> None:
+    """Register a custom workload (used by the examples)."""
+    if name in _FACTORIES:
+        raise ValueError(f"workload {name!r} already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,78 @@
+"""Tests for the default/expert baselines and the oracle search."""
+
+import pytest
+
+from repro.baselines import (
+    OracleSearch,
+    default_updates,
+    expert_rationale,
+    expert_updates,
+)
+from repro.cluster import make_cluster
+from repro.experiments.harness import measure_config
+from repro.workloads import get_workload
+from repro.workloads.registry import BENCHMARKS, REAL_APPS
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster()
+
+
+class TestExpert:
+    def test_default_is_empty(self):
+        assert default_updates() == {}
+        assert default_updates("IOR_16M") == {}
+
+    def test_expert_covers_all_workloads(self):
+        for name in BENCHMARKS + REAL_APPS:
+            updates = expert_updates(name)
+            assert updates, name
+            assert expert_rationale(name)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            expert_updates("UNKNOWN")
+
+    def test_expert_beats_default_everywhere(self, cluster):
+        for name in BENCHMARKS + REAL_APPS:
+            default = measure_config(cluster, name, {}, "default", reps=3, seed=9)
+            expert = measure_config(
+                cluster, name, expert_updates(name), "expert", reps=3, seed=9
+            )
+            assert expert.mean < default.mean, name
+
+    def test_expert_keeps_default_stripe_for_metadata(self):
+        updates = expert_updates("MDWorkbench_8K")
+        assert "lov.stripe_count" not in updates
+
+
+class TestOracleSearch:
+    def test_search_improves_on_default(self, cluster):
+        search = OracleSearch(cluster, seed=0, max_rounds=1)
+        result = search.run(get_workload("IOR_16M"))
+        assert result.speedup > 3.0
+        assert result.evaluations > 20  # the cost argument: many evaluations
+
+    def test_search_result_reproducible(self, cluster):
+        a = OracleSearch(cluster, seed=0, max_rounds=1).run(get_workload("IOR_16M"))
+        b = OracleSearch(cluster, seed=0, max_rounds=1).run(get_workload("IOR_16M"))
+        assert a.best_updates == b.best_updates
+        assert a.best_seconds == b.best_seconds
+
+    def test_expert_near_oracle_on_ior(self, cluster):
+        oracle = OracleSearch(cluster, seed=0, max_rounds=1).run(
+            get_workload("IOR_16M")
+        )
+        expert = measure_config(
+            cluster, "IOR_16M", expert_updates("IOR_16M"), "expert", reps=3, seed=0
+        )
+        assert expert.mean < oracle.best_seconds * 1.2
+
+    def test_oracle_needs_far_more_evaluations_than_stellar(self, cluster):
+        """The paper's motivation: search-based tuning costs dozens to
+        thousands of runs; STELLAR converges within five."""
+        oracle = OracleSearch(cluster, seed=0, max_rounds=1).run(
+            get_workload("IOR_64K")
+        )
+        assert oracle.evaluations >= 5 * 5

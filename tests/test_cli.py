@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "IOR_16M" in out
+        assert "fig5" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "IOR_16M"]) == 0
+        out = capsys.readouterr().out
+        assert "best speedup" in out
+        assert "end reason" in out
+
+    def test_tune_with_transcript(self, capsys):
+        assert main(["tune", "IOR_16M", "--transcript"]) == 0
+        out = capsys.readouterr().out
+        assert "initial_run" in out
+
+    def test_tune_ablation_flags(self, capsys):
+        assert main(["tune", "MDWorkbench_8K", "--no-analysis"]) == 0
+        out = capsys.readouterr().out
+        assert "best speedup: 1.00x" in out
+
+    def test_tune_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "NOPE"])
+
+    def test_extract(self, capsys):
+        assert main(["extract"]) == 0
+        out = capsys.readouterr().out
+        assert "selected (13)" in out
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "statahead" in out
+
+    def test_experiment_fig8_small_reps(self, capsys):
+        assert main(["experiment", "fig8", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no descriptions" in out
+
+    def test_experiment_autotuner_cost(self, capsys):
+        assert main(["experiment", "autotuner-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "STELLAR" in out
+
+    def test_experiment_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "7", "tune", "IOR_16M"]) == 0
+        out_a = capsys.readouterr().out
+        assert main(["--seed", "7", "tune", "IOR_16M"]) == 0
+        out_b = capsys.readouterr().out
+        assert out_a == out_b

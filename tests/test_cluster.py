@@ -1,0 +1,109 @@
+"""Tests for the simulated testbed: hardware spec, topology, MPI placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MpiJob, RankPlacement, build_topology, make_cluster
+from repro.cluster.topology import path_bandwidth, path_latency
+
+
+class TestClusterSpec:
+    def test_paper_testbed_shape(self):
+        cluster = make_cluster()
+        assert cluster.n_oss == 5
+        assert cluster.n_ost == 5
+        assert cluster.n_clients == 5
+        assert len(cluster.mds_nodes) == 1
+
+    def test_nic_is_10gbps(self):
+        cluster = make_cluster()
+        assert cluster.client_nodes[0].nic_bandwidth == pytest.approx(1.25e9)
+
+    def test_system_memory_mb_used_by_dependent_ranges(self):
+        cluster = make_cluster()
+        assert cluster.system_memory_mb == 196 * 1024
+
+    def test_describe_mentions_key_facts(self):
+        text = make_cluster().describe()
+        assert "5 OSS" in text
+        assert "10 Gbps" in text
+        assert "MDS" in text
+
+    def test_overrides(self):
+        cluster = make_cluster(mds_service_threads=64)
+        assert cluster.mds_service_threads == 64
+        with pytest.raises(TypeError):
+            make_cluster(warp_drive=True)
+
+    def test_custom_sizes(self):
+        cluster = make_cluster(n_oss=3, n_clients=2)
+        assert cluster.n_oss == 3
+        assert cluster.n_clients == 2
+
+
+class TestTopology:
+    def test_star_shape(self):
+        cluster = make_cluster()
+        graph = build_topology(cluster)
+        # 5 oss + 1 mds + 5 clients + switch
+        assert graph.number_of_nodes() == 12
+        assert graph.degree["switch"] == 11
+
+    def test_path_bandwidth_is_nic_limited(self):
+        cluster = make_cluster()
+        graph = build_topology(cluster)
+        bw = path_bandwidth(graph, "client0", "oss0")
+        assert bw == pytest.approx(1.25e9)
+
+    def test_path_latency_sums_hops(self):
+        cluster = make_cluster()
+        graph = build_topology(cluster)
+        lat = path_latency(graph, "client0", "oss0")
+        node = cluster.client_nodes[0]
+        expected = 2 * (node.nic_latency + cluster.switch_latency)
+        assert lat == pytest.approx(expected)
+
+
+class TestPlacement:
+    def test_block_placement_50_over_5(self):
+        placement = RankPlacement(n_ranks=50, n_clients=5)
+        counts = placement.ranks_per_client()
+        assert list(counts) == [10, 10, 10, 10, 10]
+        assert placement.client_of(0) == 0
+        assert placement.client_of(49) == 4
+
+    def test_uneven_placement_covers_all_ranks(self):
+        placement = RankPlacement(n_ranks=7, n_clients=3)
+        counts = placement.ranks_per_client()
+        assert counts.sum() == 7
+        assert counts.max() - counts.min() <= 3
+
+    def test_rank_out_of_range(self):
+        placement = RankPlacement(n_ranks=4, n_clients=2)
+        with pytest.raises(IndexError):
+            placement.client_of(4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RankPlacement(n_ranks=0, n_clients=1)
+
+
+class TestMpiJob:
+    def test_launch(self):
+        cluster = make_cluster()
+        job = MpiJob.launch("ior", 50, cluster)
+        assert job.n_ranks == 50
+        assert len(job.ranks_on_client(0)) == 10
+        assert job.ranks_on_client(4) == list(range(40, 50))
+
+    def test_launch_requires_positive_ranks(self):
+        with pytest.raises(ValueError):
+            MpiJob.launch("x", 0, make_cluster())
+
+    def test_all_ranks_placed_exactly_once(self):
+        cluster = make_cluster()
+        job = MpiJob.launch("x", 23, cluster)
+        seen = sorted(
+            r for c in range(cluster.n_clients) for r in job.ranks_on_client(c)
+        )
+        assert seen == list(range(23))

@@ -1,0 +1,187 @@
+"""Integration tests for the STELLAR engine: full tuning runs, rules
+accumulation, ablations and the runner/hygiene protocol."""
+
+import pytest
+
+from repro import Stellar, get_workload, make_cluster
+from repro.core.hygiene import HYGIENE_STEPS
+from repro.core.runner import ConfigurationRunner
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture(scope="module")
+def engine(cluster):
+    return Stellar.build(cluster, model="claude-3.7-sonnet", seed=0)
+
+
+class TestRunner:
+    def test_initial_execution_produces_log(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        run, log = runner.initial_execution()
+        assert run.seconds > 0
+        assert log.exe == "IOR_16M"
+        assert runner.initial_seconds == run.seconds
+
+    def test_measure_requires_initial(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        with pytest.raises(RuntimeError):
+            runner.measure({})
+
+    def test_invalid_values_clipped_and_reported(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        runner.initial_execution()
+        _, applied = runner.measure({"osc.max_rpcs_in_flight": 100_000})
+        assert applied["osc.max_rpcs_in_flight"] == 256
+
+    def test_hygiene_runs_between_executions(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        runner.initial_execution()
+        runner.measure({"lov.stripe_count": 5})
+        assert runner.hygiene.executions == 2
+        assert runner.hygiene.steps == HYGIENE_STEPS
+
+    def test_execution_count(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        runner.initial_execution()
+        runner.measure({})
+        runner.measure({"lov.stripe_count": 5})
+        assert runner.execution_count == 3
+
+
+class TestEngineBuild:
+    def test_offline_extraction_produces_13(self, engine):
+        assert len(engine.extraction.selected) == 13
+
+    def test_fresh_copy_shares_extraction(self, engine):
+        clone = engine.fresh_copy()
+        assert clone.extraction is engine.extraction
+        assert len(clone.rule_set) == 0
+
+
+class TestTuningRuns:
+    def test_converges_within_five_attempts(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_64K"))
+        assert len(session.attempts) <= 5
+        assert session.best_speedup > 4.5
+
+    def test_improves_every_benchmark(self, engine):
+        for name, floor in [
+            ("IOR_64K", 4.5),
+            ("IOR_16M", 3.5),
+            ("MDWorkbench_8K", 1.2),
+            ("IO500", 1.8),
+        ]:
+            session = engine.fresh_copy().tune(get_workload(name))
+            assert session.best_speedup > floor, name
+
+    def test_executions_bounded(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        # initial run + at most max_attempts configurations
+        assert session.executions <= 6
+
+    def test_end_reason_given(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        assert session.end_reason
+
+    def test_minor_loop_asks_followups(self, engine):
+        session = engine.fresh_copy().tune(get_workload("MDWorkbench_8K"))
+        followups = session.transcript.of_kind("followup")
+        assert len(followups) >= 2
+
+    def test_rationale_documented_per_attempt(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        configs = session.transcript.of_kind("config")
+        assert configs
+        assert all(e.payload.get("rationale") for e in configs)
+
+    def test_session_summary(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        text = session.summary()
+        assert "IOR_16M" in text
+        assert "best speedup" in text
+
+    def test_usage_tracked_per_agent(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        assert "tuning" in session.usage
+        assert "analysis" in session.usage
+        assert session.usage["tuning"].input_tokens > 1000
+        assert session.llm_latency > 0
+
+    def test_metadata_workload_keeps_default_stripe(self, engine):
+        session = engine.fresh_copy().tune(get_workload("MDWorkbench_8K"))
+        assert "lov.stripe_count" not in session.best_config
+
+    def test_speedup_series_starts_at_one(self, engine):
+        session = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        series = session.speedup_series()
+        assert series[0] == 1.0
+        assert len(series) == len(session.attempts) + 1
+
+
+class TestRulesAccumulation:
+    def test_rules_generated_and_merged(self, engine):
+        fresh = engine.fresh_copy()
+        session = fresh.tune_and_accumulate(get_workload("IOR_16M"))
+        assert session.rules_json
+        assert len(fresh.rule_set) > 0
+
+    def test_rules_improve_first_guess_for_metadata(self, engine):
+        fresh = engine.fresh_copy()
+        before = fresh.tune_and_accumulate(get_workload("MDWorkbench_8K"))
+        after = fresh.tune(get_workload("MDWorkbench_8K"))
+        assert after.attempts[0].speedup >= before.attempts[0].speedup
+
+    def test_rules_do_not_contaminate_metadata_with_striping(self, engine):
+        fresh = engine.fresh_copy()
+        for name in ("IOR_64K", "IOR_16M", "IO500"):
+            fresh.tune_and_accumulate(get_workload(name))
+        session = fresh.tune(get_workload("MDWorkbench_8K"))
+        assert session.attempts[0].changes.get("lov.stripe_count") is None
+        assert session.best_speedup > 1.2
+
+    def test_rules_extrapolate_to_unseen_workload(self, engine):
+        fresh = engine.fresh_copy()
+        fresh.tune_and_accumulate(get_workload("IOR_16M"))
+        session = fresh.tune(get_workload("MACSio_16M"))
+        # The shared-seq rules apply directly to the unseen application.
+        assert session.attempts[0].speedup > 4.0
+
+
+class TestAblations:
+    def test_no_descriptions_fails_on_metadata(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("MDWorkbench_8K"), use_descriptions=False
+        )
+        assert session.best_speedup < 1.1
+
+    def test_no_descriptions_applies_stripe_misconception(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("MDWorkbench_8K"), use_descriptions=False
+        )
+        assert session.attempts[0].changes.get("lov.stripe_count") == -1
+
+    def test_no_analysis_fails_on_metadata(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("MDWorkbench_8K"), use_analysis=False
+        )
+        assert session.best_speedup < 1.1
+
+    def test_no_analysis_tunes_data_params_blindly(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("MDWorkbench_8K"), use_analysis=False
+        )
+        first = session.attempts[0].changes
+        assert any(name.startswith(("osc.", "lov.")) for name in first)
+        assert not any(name.startswith("mdc.") for name in first)
+
+    def test_full_beats_ablations(self, engine):
+        workload = get_workload("MDWorkbench_8K")
+        full = engine.fresh_copy().tune(workload)
+        no_desc = engine.fresh_copy().tune(workload, use_descriptions=False)
+        no_analysis = engine.fresh_copy().tune(workload, use_analysis=False)
+        assert full.best_speedup > no_desc.best_speedup + 0.15
+        assert full.best_speedup > no_analysis.best_speedup + 0.15

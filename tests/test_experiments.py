@@ -1,0 +1,247 @@
+"""Tests for the experiment harness and every figure reproduction.
+
+Each experiment is asserted against the paper's qualitative shape (who
+wins, by roughly what factor, where the crossovers are) at reduced
+repetition counts for speed; the benchmark harness runs the full versions.
+"""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.experiments import (
+    casestudy,
+    cost,
+    extraction_report,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+)
+from repro.experiments.harness import mean_series, measure_config, run_sessions
+from repro.experiments.stats import mean_ci90
+
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster()
+
+
+class TestStats:
+    def test_mean_ci90(self):
+        mean, half = mean_ci90([10.0, 12.0, 11.0, 9.0])
+        assert mean == pytest.approx(10.5)
+        assert half > 0
+
+    def test_single_value(self):
+        mean, half = mean_ci90([5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_empty(self):
+        import math
+
+        mean, half = mean_ci90([])
+        assert math.isnan(mean)
+
+
+class TestHarness:
+    def test_measure_config_repeats(self, cluster):
+        m = measure_config(cluster, "IOR_16M", {}, "default", reps=3, seed=1)
+        assert len(m.times) == 3
+        assert len(set(m.times)) == 3  # distinct noise draws
+        assert "default" in m.render()
+
+    def test_run_sessions_independent_seeds(self, cluster):
+        sessions = run_sessions(cluster, "IOR_16M", reps=2, seed=1)
+        assert len(sessions) == 2
+        assert sessions[0].initial_seconds != sessions[1].initial_seconds
+
+    def test_mean_series_pads(self, cluster):
+        sessions = run_sessions(cluster, "IOR_16M", reps=2, seed=1)
+        series = mean_series(sessions, length=6)
+        assert len(series) == 6
+        assert series[0] == 1.0
+
+
+class TestFig2:
+    def test_reproduces_hallucination_table(self, cluster):
+        result = fig2.run(cluster, seed=0)
+        assert result.true_max == 8192
+        # No frontier model recalls the correct range unaided.
+        assert all(not a.range_correct for a in result.answers)
+        # GPT-4.5 and Gemini also hold flawed definitions.
+        flawed = {a.model for a in result.answers if not a.definition_correct}
+        assert {"gpt-4.5", "gemini-2.5-pro"} <= flawed
+        # STELLAR's RAG-based extraction is fully correct.
+        assert result.rag_correct
+        assert result.rag_range == ("0", "8192")
+        assert "statahead" in result.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, cluster):
+        return fig5.run(cluster, reps=REPS, seed=0)
+
+    def test_stellar_beats_default_everywhere(self, result):
+        for comparison in result.comparisons:
+            assert comparison.stellar_speedup > 1.2, comparison.workload
+
+    def test_headline_speedups(self, result):
+        assert result.get("IOR_64K").stellar_speedup > 4.5
+        assert result.get("IOR_16M").stellar_speedup > 3.5
+
+    def test_stellar_comparable_to_expert(self, result):
+        for comparison in result.comparisons:
+            assert comparison.stellar.mean < comparison.expert.mean * 1.15, (
+                comparison.workload
+            )
+
+    def test_stellar_beats_expert_on_io500(self, result):
+        io500 = result.get("IO500")
+        assert io500.stellar.mean < io500.expert.mean
+
+    def test_within_five_attempts(self, result):
+        for comparison in result.comparisons:
+            assert max(comparison.attempts_used) <= 5
+
+    def test_render(self, result):
+        text = result.render()
+        assert "IOR_64K" in text and "stellar" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, cluster):
+        return fig6.run(cluster, reps=REPS, seed=0)
+
+    def test_rules_accumulated(self, result):
+        assert result.rule_count >= 10
+
+    def test_rules_improve_first_guess_on_most(self, result):
+        better = sum(
+            1
+            for c in result.comparisons
+            if c.with_rules[1] >= c.without_rules[1] - 0.05
+        )
+        assert better >= 4  # 4 of 5 in the paper
+
+    def test_rules_never_tank_final_performance(self, result):
+        for c in result.comparisons:
+            assert c.with_rules[-1] >= c.without_rules[-1] * 0.9, c.workload
+
+    def test_rules_shorten_or_keep_exploration(self, result):
+        shorter = sum(
+            1
+            for c in result.comparisons
+            if c.attempts_with <= c.attempts_without + 0.26
+        )
+        assert shorter >= 4
+
+    def test_mdworkbench_gap_closed(self, result):
+        c = result.get("MDWorkbench_2K")
+        # The rule set lifts the first guess to near-final quality and keeps
+        # the converged result comparable.
+        assert c.with_rules[1] > c.without_rules[1]
+        assert max(c.with_rules) >= max(c.without_rules) * 0.93
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, cluster):
+        return fig7.run(cluster, reps=REPS, seed=0)
+
+    def test_extrapolates_to_all_real_apps(self, result):
+        for c in result.comparisons:
+            assert max(c.with_rules) > 1.5, c.workload
+
+    def test_first_guess_quality_holds_or_improves(self, result):
+        for c in result.comparisons:
+            assert c.with_rules[1] >= c.without_rules[1] * 0.9, c.workload
+
+    def test_macsio_16m_avoids_near_default_configs(self, result):
+        c = result.get("MACSio_16M")
+        floor_with = min(x for x in c.with_rules[1:])
+        assert floor_with > 2.0
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, cluster):
+        return fig8.run(cluster, reps=REPS, seed=0)
+
+    def test_full_clearly_improves(self, result):
+        assert result.full.mean_speedup > 1.3
+
+    def test_ablations_fail_to_beat_default(self, result):
+        assert result.no_descriptions.mean_speedup < 1.1
+        assert result.no_analysis.mean_speedup < 1.1
+
+    def test_render(self, result):
+        assert "no descriptions" in result.render()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, cluster):
+        return fig9.run(cluster, reps=REPS, seed=0)
+
+    def test_all_models_succeed(self, result):
+        for outcome in result.outcomes:
+            assert outcome.mean_speedup > 4.0, outcome.model
+
+    def test_all_within_five_iterations(self, result):
+        for outcome in result.outcomes:
+            assert max(outcome.attempts) <= 5
+
+
+class TestCost:
+    @pytest.fixture(scope="class")
+    def report(self, cluster):
+        return cost.run(cluster, seed=0)
+
+    def test_token_usage_recorded(self, report):
+        assert report.tuning_usage.input_tokens > 5_000
+        assert report.tuning_usage.output_tokens > 200
+        assert report.analysis_usage.input_tokens > 1_000
+
+    def test_prompt_cache_effective(self, report):
+        assert report.tuning_cache_rate > 0.5
+
+    def test_llm_latency_minor_vs_application(self, report):
+        assert report.latency_fraction < 0.5
+
+    def test_costs_ordered_by_price(self, report):
+        costs = report.cost_usd_by_model
+        assert costs["llama-3.1-70b"] < costs["gpt-4o"] < costs["claude-3.7-sonnet"]
+
+    def test_render(self, report):
+        assert "Tuning Agent" in report.render()
+
+
+class TestCaseStudy:
+    def test_timeline_structure(self, cluster):
+        study = casestudy.run(cluster, seed=3)
+        text = study.render()
+        assert "initial_run" in text
+        assert "io_report" in text
+        assert "followup" in text
+        assert "config" in text
+        assert "Example generated rule:" in text
+
+    def test_first_prediction_quality(self, cluster):
+        study = casestudy.run(cluster, seed=3)
+        # The paper's case study: a high-quality first prediction (~1.58x).
+        assert study.first_attempt_speedup > 1.15
+
+
+class TestExtractionReport:
+    def test_report_lists_13(self, cluster):
+        report = extraction_report.run(cluster, seed=0)
+        assert len(report.result.selected) == 13
+        text = report.render()
+        assert "osc.max_rpcs_in_flight" in text
+        assert "binary" in text

@@ -1,0 +1,252 @@
+"""Unit and property tests for the columnar Frame substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Frame, concat, merge_columns
+
+
+class TestConstruction:
+    def test_empty_frame(self):
+        frame = Frame()
+        assert len(frame) == 0
+        assert frame.columns == []
+        assert frame.shape == (0, 0)
+
+    def test_from_lists(self):
+        frame = Frame({"a": [1, 2, 3], "b": [1.5, 2.5, 3.5]})
+        assert frame.shape == (3, 2)
+        assert frame["a"].dtype.kind == "i"
+        assert frame["b"].dtype.kind == "f"
+
+    def test_string_columns_are_object(self):
+        frame = Frame({"name": ["x", "y"]})
+        assert frame["name"].dtype == object
+
+    def test_scalar_broadcast(self):
+        frame = Frame({"a": [1, 2, 3], "flag": 7})
+        assert list(frame["flag"]) == [7, 7, 7]
+
+    def test_scalar_only_raises(self):
+        with pytest.raises(ValueError):
+            Frame({"a": 1})
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Frame({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_column_raises(self):
+        with pytest.raises(ValueError):
+            Frame({"a": np.zeros((2, 2))})
+
+    def test_from_records_union_of_keys(self):
+        frame = Frame.from_records([{"a": 1}, {"a": 2, "b": 3}])
+        assert frame.columns == ["a", "b"]
+        assert frame.to_records()[0]["b"] is None
+
+    def test_from_records_empty(self):
+        assert len(Frame.from_records([])) == 0
+
+
+class TestAccess:
+    def setup_method(self):
+        self.frame = Frame({"a": [3, 1, 2], "b": [30.0, 10.0, 20.0], "c": ["x", "y", "z"]})
+
+    def test_missing_column_keyerror_names_available(self):
+        with pytest.raises(KeyError, match="available"):
+            self.frame["nope"]
+
+    def test_boolean_mask(self):
+        out = self.frame[np.asarray(self.frame["a"]) > 1]
+        assert len(out) == 2
+        assert set(out["c"]) == {"x", "z"}
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(ValueError):
+            self.frame[np.array([True])]
+
+    def test_column_subset(self):
+        out = self.frame[["a", "c"]]
+        assert out.columns == ["a", "c"]
+
+    def test_index_array(self):
+        out = self.frame[np.array([2, 0])]
+        assert list(out["a"]) == [2, 3]
+
+    def test_setitem_and_contains(self):
+        self.frame["d"] = [1, 2, 3]
+        assert "d" in self.frame
+        with pytest.raises(ValueError):
+            self.frame["e"] = [1, 2]
+
+    def test_equality(self):
+        other = Frame({"a": [3, 1, 2], "b": [30.0, 10.0, 20.0], "c": ["x", "y", "z"]})
+        assert self.frame == other
+        other["a"] = [9, 9, 9]
+        assert self.frame != other
+
+    def test_copy_is_deep_for_columns(self):
+        clone = self.frame.copy()
+        clone["a"][0] = 99
+        assert self.frame["a"][0] == 3
+
+
+class TestTransform:
+    def setup_method(self):
+        self.frame = Frame({"k": ["a", "b", "a", "b"], "v": [1.0, 2.0, 3.0, 4.0]})
+
+    def test_sort_values(self):
+        out = self.frame.sort_values("v", ascending=False)
+        assert list(out["v"]) == [4.0, 3.0, 2.0, 1.0]
+
+    def test_head(self):
+        assert len(self.frame.head(2)) == 2
+        assert len(self.frame.head(10)) == 4
+
+    def test_filter_predicate(self):
+        out = self.frame.filter(lambda row: row["k"] == "a")
+        assert list(out["v"]) == [1.0, 3.0]
+
+    def test_rename_and_drop(self):
+        out = self.frame.rename({"v": "value"})
+        assert "value" in out and "v" not in out
+        out = self.frame.drop(["k"])
+        assert out.columns == ["v"]
+
+
+class TestAggregation:
+    def setup_method(self):
+        self.frame = Frame(
+            {
+                "rank": [0, 0, 1, 1, 2],
+                "file": ["f0", "f1", "f0", "f1", "f0"],
+                "bytes": [10.0, 20.0, 30.0, 40.0, 50.0],
+            }
+        )
+
+    def test_agg(self):
+        out = self.frame.agg({"bytes": "sum"})
+        assert out["bytes"] == 150.0
+
+    def test_agg_unknown(self):
+        with pytest.raises(ValueError):
+            self.frame.agg({"bytes": "frobnicate"})
+
+    def test_agg_empty(self):
+        empty = self.frame[np.zeros(5, dtype=bool)]
+        assert empty.agg({"bytes": "sum"})["bytes"] == 0
+        assert np.isnan(empty.agg({"bytes": "mean"})["bytes"])
+
+    def test_groupby_single_key(self):
+        out = self.frame.groupby("file", {"bytes": "sum"})
+        assert len(out) == 2
+        rows = {r["file"]: r["bytes"] for r in out.to_records()}
+        assert rows == {"f0": 90.0, "f1": 60.0}
+
+    def test_groupby_multi_key(self):
+        out = self.frame.groupby(["rank", "file"], {"bytes": "sum"})
+        assert len(out) == 5
+
+    def test_groupby_count_and_nunique(self):
+        out = self.frame.groupby("file", {"bytes": "count"})
+        rows = {r["file"]: r["bytes"] for r in out.to_records()}
+        assert rows == {"f0": 3, "f1": 2}
+        out2 = self.frame.groupby("file", {"rank": "nunique"})
+        rows2 = {r["file"]: r["rank_nunique"] if "rank_nunique" in out2 else r["rank"] for r in out2.to_records()}
+        assert rows2["f0"] == 3
+
+    def test_groupby_requires_key(self):
+        with pytest.raises(ValueError):
+            self.frame.groupby([], {"bytes": "sum"})
+
+    def test_groupby_empty_frame(self):
+        empty = self.frame[np.zeros(5, dtype=bool)]
+        out = empty.groupby("file", {"bytes": "sum"})
+        assert len(out) == 0
+
+    def test_describe(self):
+        stats = self.frame.describe("bytes")
+        assert stats["count"] == 5.0
+        assert stats["mean"] == 30.0
+        assert stats["min"] == 10.0
+        assert stats["max"] == 50.0
+        assert stats["p50"] == 30.0
+
+    def test_describe_empty(self):
+        empty = self.frame[np.zeros(5, dtype=bool)]
+        assert np.isnan(empty.describe("bytes")["mean"])
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self):
+        frame = Frame({"a": [1, 2], "b": [1.5, 2.5], "s": ["x", "y"]})
+        parsed = Frame.from_csv(frame.to_csv())
+        assert parsed.columns == frame.columns
+        assert list(parsed["a"]) == [1, 2]
+        assert list(parsed["s"]) == ["x", "y"]
+
+    def test_from_csv_empty(self):
+        assert len(Frame.from_csv("")) == 0
+
+    def test_from_csv_malformed(self):
+        with pytest.raises(ValueError):
+            Frame.from_csv("a,b\n1\n")
+
+
+class TestOps:
+    def test_concat(self):
+        one = Frame({"a": [1.0], "b": [2.0]})
+        two = Frame({"a": [3.0], "c": [4.0]})
+        out = concat([one, two])
+        assert out.columns == ["a", "b", "c"]
+        assert len(out) == 2
+        assert out.to_records()[1]["b"] is None
+
+    def test_concat_empty_input(self):
+        assert len(concat([])) == 0
+        assert len(concat([Frame()])) == 0
+
+    def test_merge_columns_inner(self):
+        left = Frame({"k": ["a", "b", "c"], "x": [1, 2, 3]})
+        right = Frame({"k": ["b", "c", "d"], "y": [20, 30, 40]})
+        out = merge_columns(left, right, on="k")
+        assert len(out) == 2
+        assert out.to_records()[0] == {"k": "b", "x": 2, "y": 20}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=60),
+    keys=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60),
+)
+def test_groupby_sum_conserves_total(values, keys):
+    """Property: group sums add up to the whole-column sum."""
+    n = min(len(values), len(keys))
+    frame = Frame({"k": keys[:n], "v": values[:n]})
+    grouped = frame.groupby("k", {"v": "sum"})
+    assert np.isclose(sum(grouped["v"]), sum(values[:n]), rtol=1e-9, atol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=80))
+def test_sort_is_permutation_and_ordered(values):
+    frame = Frame({"v": values})
+    out = frame.sort_values("v")
+    assert sorted(values) == list(out["v"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.floats(0, 100)), min_size=0, max_size=40
+    )
+)
+def test_csv_roundtrip_property(pairs):
+    frame = Frame({"k": [p[0] for p in pairs], "v": [p[1] for p in pairs]})
+    if len(frame) == 0:
+        return
+    parsed = Frame.from_csv(frame.to_csv())
+    assert list(parsed["k"]) == [p[0] for p in pairs]
+    assert np.allclose(parsed["v"], [p[1] for p in pairs])

@@ -1,0 +1,169 @@
+"""Cross-cutting integration tests: determinism, failure injection,
+metadata event-model cross-validation, user-space tuning mode."""
+
+import pytest
+
+from repro import Stellar, get_workload, make_cluster
+from repro.agents.analysis import AnalysisAgent
+from repro.cluster import make_cluster as _mk
+from repro.core.runner import ConfigurationRunner
+from repro.darshan import parse_log
+from repro.frame import Frame
+from repro.llm.client import LLMClient
+from repro.pfs import PfsConfig
+from repro.pfs.eventmodel import (
+    MetaStreamSpec,
+    analytic_meta_stream_estimate,
+    simulate_meta_stream,
+)
+from repro.rules.store import session_to_dict
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture(scope="module")
+def engine(cluster):
+    return Stellar.build(cluster, seed=0)
+
+
+class TestDeterminism:
+    def test_identical_sessions_for_identical_seeds(self, cluster, engine):
+        a = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        b = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        assert session_to_dict(a) == session_to_dict(b)
+
+    def test_different_seeds_differ(self, cluster, engine):
+        a = engine.fresh_copy()
+        a.seed = 1
+        b = engine.fresh_copy()
+        b.seed = 2
+        sa = a.tune(get_workload("IOR_16M"))
+        sb = b.tune(get_workload("IOR_16M"))
+        assert sa.initial_seconds != sb.initial_seconds
+
+
+class TestMetaEventCrossValidation:
+    @pytest.mark.parametrize(
+        "q,mod,files,ranks",
+        [(8, 7, 100, 10), (32, 16, 100, 10), (8, 7, 50, 4), (64, 32, 200, 10)],
+    )
+    def test_event_within_tolerance(self, cluster, q, mod, files, ranks):
+        config = PfsConfig.default().with_updates(
+            {"mdc.max_rpcs_in_flight": q, "mdc.max_mod_rpcs_in_flight": mod}
+        )
+        spec = MetaStreamSpec(files=files, n_ranks=ranks)
+        event = simulate_meta_stream(cluster, config, spec)
+        analytic = analytic_meta_stream_estimate(cluster, config, spec)
+        # The analytic client-concurrency bound is deliberately conservative
+        # when the in-flight limit binds (it charges the whole cycle to the
+        # token window); agreement within 40% / never slower than event+30%.
+        assert 0.6 * analytic <= event <= 1.3 * analytic
+
+    def test_models_agree_on_concurrency_ordering(self, cluster):
+        spec = MetaStreamSpec(files=100, n_ranks=10)
+        lo = PfsConfig.default().with_updates(
+            {"mdc.max_rpcs_in_flight": 4, "mdc.max_mod_rpcs_in_flight": 3}
+        )
+        hi = PfsConfig.default().with_updates(
+            {"mdc.max_rpcs_in_flight": 32, "mdc.max_mod_rpcs_in_flight": 16}
+        )
+        assert simulate_meta_stream(cluster, hi, spec) < simulate_meta_stream(
+            cluster, lo, spec
+        )
+        assert analytic_meta_stream_estimate(
+            cluster, hi, spec
+        ) < analytic_meta_stream_estimate(cluster, lo, spec)
+
+
+class TestFailureInjection:
+    def test_analysis_agent_surfaces_sandbox_errors(self, cluster):
+        """A trace missing expected columns makes the generated code fail;
+        the agent reports the error back to the model and ultimately raises
+        rather than silently fabricating a report."""
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        _, log = runner.initial_execution()
+        parsed = parse_log(log)
+        # Corrupt the working set: drop a column the analysis relies on.
+        parsed.frames["POSIX"] = parsed.frames["POSIX"].drop(["POSIX_BYTES_READ"])
+        agent = AnalysisAgent(LLMClient("gpt-4o", seed=1), parsed)
+        with pytest.raises(RuntimeError, match="did not converge"):
+            agent.initial_report()
+        errors = [
+            e
+            for e in agent.transcript.of_kind("analysis_code")
+            if "error" in e.detail
+        ]
+        assert errors
+
+    def test_empty_frame_analysis_is_safe(self):
+        """Generated analysis code on an empty trace must not crash the
+        sandbox with divisions by zero."""
+        from repro.agents.sandbox import run_in_sandbox
+        from repro.llm.analysis_codegen import BASE_ANALYSIS_CODE
+
+        empty = Frame(
+            {
+                "rank": [],
+                "POSIX_BYTES_READ": [],
+                "POSIX_BYTES_WRITTEN": [],
+                "POSIX_F_READ_TIME": [],
+                "POSIX_F_WRITE_TIME": [],
+                "POSIX_F_META_TIME": [],
+                "POSIX_READS": [],
+                "POSIX_WRITES": [],
+                "POSIX_CONSEC_READS": [],
+                "POSIX_CONSEC_WRITES": [],
+                "POSIX_FILE_COUNT": [],
+                "POSIX_ACCESS1_ACCESS": [],
+                "POSIX_ACCESS1_COUNT": [],
+            }
+        )
+        output = run_in_sandbox(BASE_ANALYSIS_CODE, {"posix": empty})
+        assert "METRIC" in output
+
+    def test_runner_rejects_unknown_parameter_proposals(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        runner.initial_execution()
+        with pytest.raises(KeyError):
+            runner.measure({"bogus.parameter": 1})
+
+    def test_wildly_invalid_proposal_still_runs_clipped(self, cluster):
+        runner = ConfigurationRunner(cluster, get_workload("IOR_16M"), seed=1)
+        runner.initial_execution()
+        seconds, applied = runner.measure(
+            {
+                "osc.max_rpcs_in_flight": -5,
+                "llite.max_read_ahead_per_file_mb": 10**9,
+            }
+        )
+        assert seconds > 0
+        assert applied["osc.max_rpcs_in_flight"] == 1
+        # Dependent cap: half of max_read_ahead_mb.
+        assert applied["llite.max_read_ahead_per_file_mb"] <= 10**9
+
+
+class TestUserSpaceMode:
+    def test_only_layout_parameters_offered(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("IOR_16M"), user_accessible_only=True
+        )
+        for attempt in session.attempts:
+            assert all(name.startswith("lov.") for name in attempt.changes), (
+                attempt.changes
+            )
+
+    def test_data_workload_keeps_most_of_the_win(self, engine):
+        full = engine.fresh_copy().tune(get_workload("IOR_16M"))
+        user = engine.fresh_copy().tune(
+            get_workload("IOR_16M"), user_accessible_only=True
+        )
+        assert user.best_speedup > 0.6 * full.best_speedup
+
+    def test_metadata_workload_has_no_user_space_lever(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("MDWorkbench_8K"), user_accessible_only=True
+        )
+        assert session.best_speedup < 1.1

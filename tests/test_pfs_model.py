@@ -1,0 +1,379 @@
+"""Tests for the analytic performance model: invariants, monotonicity,
+calibration shapes, and cross-validation against the event kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MpiJob, make_cluster
+from repro.pfs import PfsConfig, Simulator
+from repro.pfs.costs import CostModel
+from repro.pfs.eventmodel import StreamSpec, analytic_stream_estimate, simulate_stream
+from repro.pfs.locks import lock_penalty, writers_per_object
+from repro.pfs.model import AnalyticModel, RunState
+from repro.pfs.phases import DataPhase, FileSet, MetaPhase
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster()
+
+
+def _shared_fileset(size=6_400 * MiB):
+    return FileSet(name="shared", n_files=1, file_size=size, shared=True)
+
+
+def _data_phase(io="write", xfer=MiB, per_rank=128 * MiB, pattern="seq", **kw):
+    return DataPhase(
+        name="p",
+        fileset=kw.pop("fileset", _shared_fileset()),
+        io=io,
+        xfer_size=xfer,
+        bytes_per_rank=per_rank,
+        pattern=pattern,
+        **kw,
+    )
+
+
+def _eval(cluster, config, phase):
+    model = AnalyticModel(cluster, config)
+    job = MpiJob.launch("t", 50, cluster)
+    return model.evaluate(phase, job, RunState())
+
+
+class TestCostModel:
+    def test_rpc_cap_follows_pages(self, cluster):
+        config = PfsConfig.default()
+        assert CostModel(cluster, config).rpc_bytes_cap() == 1 * MiB
+        config["osc.max_pages_per_rpc"] = 4096
+        assert CostModel(cluster, config).rpc_bytes_cap() == 16 * MiB
+
+    def test_seq_aggregation_up_to_cap(self, cluster):
+        costs = CostModel(cluster, PfsConfig.default())
+        assert costs.effective_rpc_size(64 * KiB, "seq", 1 * MiB) == 1 * MiB
+
+    def test_seq_rpc_never_crosses_stripe(self, cluster):
+        config = PfsConfig.default()
+        config["osc.max_pages_per_rpc"] = 4096
+        costs = CostModel(cluster, config)
+        assert costs.effective_rpc_size(16 * MiB, "seq", 1 * MiB) == 1 * MiB
+
+    def test_random_no_aggregation(self, cluster):
+        costs = CostModel(cluster, PfsConfig.default())
+        assert costs.effective_rpc_size(64 * KiB, "random", 1 * MiB) == 64 * KiB
+
+    def test_dirty_limits_aggregation(self, cluster):
+        config = PfsConfig.default()
+        config["osc.max_pages_per_rpc"] = 4096  # 16 MiB cap
+        config["osc.max_dirty_mb"] = 2
+        costs = CostModel(cluster, config)
+        assert costs.effective_rpc_size(64 * KiB, "seq", 64 * MiB) == 2 * MiB
+
+    def test_short_io_threshold(self, cluster):
+        costs = CostModel(cluster, PfsConfig.default())
+        assert costs.uses_short_io(16 * KiB)
+        assert not costs.uses_short_io(17 * KiB)
+
+    def test_checksums_cost_cpu(self, cluster):
+        on = CostModel(cluster, PfsConfig.default())
+        off_config = PfsConfig.default()
+        off_config["osc.checksums"] = 0
+        off = CostModel(cluster, off_config)
+        assert on.checksum_time(MiB) > 0
+        assert off.checksum_time(MiB) == 0
+        assert on.rpc_round_trip(MiB, "seq") > off.rpc_round_trip(MiB, "seq")
+
+    def test_create_cost_grows_with_stripes(self, cluster):
+        costs = CostModel(cluster, PfsConfig.default())
+        assert costs.mds_service_time("create", 5) > costs.mds_service_time("create", 1)
+        assert costs.mds_service_time("stat", 5) == costs.mds_service_time("stat", 1)
+
+    def test_statahead_slots(self, cluster):
+        config = PfsConfig.default()
+        base = CostModel(cluster, config).statahead_slots_per_rank()
+        config["llite.statahead_max"] = 0
+        assert CostModel(cluster, config).statahead_slots_per_rank() == 1.0
+        config["llite.statahead_max"] = 512
+        assert CostModel(cluster, config).statahead_slots_per_rank() > base
+
+
+class TestLocks:
+    def test_fpp_has_no_conflicts(self):
+        assert writers_per_object(50, 1, "random", shared=False) == 1.0
+        assert lock_penalty(1.0, "random") == 0.0
+
+    def test_striping_reduces_seq_conflicts(self):
+        w1 = writers_per_object(50, 1, "seq", shared=True)
+        w5 = writers_per_object(50, 5, "seq", shared=True)
+        assert w5 < w1
+
+    def test_random_conflicts_independent_of_stripes(self):
+        w1 = writers_per_object(50, 1, "random", shared=True)
+        w5 = writers_per_object(50, 5, "random", shared=True)
+        assert w1 == w5 == 50.0
+
+    def test_random_penalty_exceeds_seq(self):
+        assert lock_penalty(50, "random") > lock_penalty(50, "seq")
+
+
+class TestDataPhaseModel:
+    def test_bytes_accounted(self, cluster):
+        result = _eval(cluster, PfsConfig.default(), _data_phase())
+        assert result.bytes_written == 50 * 128 * MiB
+        assert result.bytes_read == 0
+
+    def test_striping_speeds_up_shared_writes(self, cluster):
+        default = PfsConfig.default()
+        striped = default.with_updates({"lov.stripe_count": 5})
+        slow = _eval(cluster, default, _data_phase())
+        fast = _eval(cluster, striped, _data_phase())
+        assert fast.seconds < slow.seconds / 3  # ~5 OSTs vs 1
+
+    def test_default_shared_write_is_ost_bound(self, cluster):
+        result = _eval(cluster, PfsConfig.default(), _data_phase())
+        assert result.bottleneck == "ost_disk"
+
+    def test_bigger_rpcs_help_seq(self, cluster):
+        small = PfsConfig.default().with_updates({"lov.stripe_count": 5})
+        big = small.with_updates(
+            {"osc.max_pages_per_rpc": 4096, "lov.stripe_size": 16 * MiB}
+        )
+        slow = _eval(cluster, small, _data_phase(xfer=16 * MiB))
+        fast = _eval(cluster, big, _data_phase(xfer=16 * MiB))
+        assert fast.seconds < slow.seconds
+
+    def test_short_io_helps_random_small(self, cluster):
+        base = PfsConfig.default().with_updates({"lov.stripe_count": 5})
+        shorty = base.with_updates({"osc.short_io_bytes": 64 * KiB})
+        phase = _data_phase(xfer=64 * KiB, pattern="random")
+        assert _eval(cluster, shorty, phase).seconds < _eval(cluster, base, phase).seconds
+
+    def test_monotone_in_rpcs_in_flight(self, cluster):
+        times = []
+        for q in (1, 4, 16, 64):
+            config = PfsConfig.default().with_updates({"osc.max_rpcs_in_flight": q})
+            times.append(_eval(cluster, config, _data_phase()).seconds)
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_cached_reread_is_fast(self, cluster):
+        model = AnalyticModel(cluster, PfsConfig.default())
+        job = MpiJob.launch("t", 50, cluster)
+        state = RunState()
+        fileset = _shared_fileset()
+        write = _data_phase(fileset=fileset)
+        model.evaluate(write, job, state)
+        reread = _data_phase(io="read", fileset=fileset, reuse=True)
+        result = model.evaluate(reread, job, state)
+        assert result.bottleneck == "client_cache"
+        assert result.seconds < 1.0
+
+    def test_reread_misses_after_remount(self, cluster):
+        model = AnalyticModel(cluster, PfsConfig.default())
+        job = MpiJob.launch("t", 50, cluster)
+        state = RunState()
+        fileset = _shared_fileset()
+        model.evaluate(_data_phase(fileset=fileset), job, state)
+        state.remount()
+        result = model.evaluate(
+            _data_phase(io="read", fileset=fileset, reuse=True), job, state
+        )
+        assert result.bottleneck != "client_cache"
+
+    def test_small_cache_disables_reuse(self, cluster):
+        config = PfsConfig.default().with_updates({"llite.max_cached_mb": 32})
+        model = AnalyticModel(cluster, config)
+        job = MpiJob.launch("t", 50, cluster)
+        state = RunState()
+        fileset = _shared_fileset()
+        model.evaluate(_data_phase(fileset=fileset), job, state)
+        result = model.evaluate(
+            _data_phase(io="read", fileset=fileset, reuse=True), job, state
+        )
+        assert result.bottleneck != "client_cache"
+
+    def test_baton_limits_pipeline_rate(self, cluster):
+        # Fewer concurrent writers cannot raise the achievable aggregate
+        # rate: the pipeline bound must be at least as large under baton.
+        # (Total time can still drop because fewer writers also means fewer
+        # extent-lock conflicts.)
+        fileset = FileSet(name="mif", n_files=2, file_size=3200 * MiB, shared=True)
+        free = _data_phase(fileset=fileset, pattern="random")
+        baton = _data_phase(fileset=fileset, pattern="random", concurrent_writers=2)
+        config = PfsConfig.default().with_updates({"lov.stripe_count": 5})
+        free_bound = _eval(cluster, config, free).bounds["pipeline"]
+        baton_bound = _eval(cluster, config, baton).bounds["pipeline"]
+        assert baton_bound >= free_bound - 1e-9
+
+    def test_readahead_window_helps_seq_reads(self, cluster):
+        base = PfsConfig.default().with_updates(
+            {
+                "lov.stripe_count": 5,
+                "lov.stripe_size": 16 * MiB,
+                "osc.max_pages_per_rpc": 4096,
+                "osc.max_rpcs_in_flight": 2,
+                "llite.max_read_ahead_mb": 8,
+                "llite.max_read_ahead_per_file_mb": 4,
+                "llite.max_read_ahead_whole_mb": 2,
+            }
+        )
+        wide = base.with_updates(
+            {
+                "llite.max_read_ahead_mb": 4096,
+                "llite.max_read_ahead_per_file_mb": 2048,
+            }
+        )
+        fileset = FileSet(name="f", n_files=50, file_size=512 * MiB, shared=False)
+        phase = _data_phase(io="read", xfer=1 * MiB, per_rank=512 * MiB, fileset=fileset)
+        narrow_t = _eval(cluster, base, phase).seconds
+        wide_t = _eval(cluster, wide, phase).seconds
+        assert wide_t <= narrow_t
+
+
+class TestMetaPhaseModel:
+    def _meta_phase(self, cycle=("create", "close"), files=1000, **kw):
+        fileset = kw.pop(
+            "fileset",
+            FileSet(
+                name="files",
+                n_files=files * 50,
+                file_size=0,
+                shared=False,
+                n_dirs=50,
+            ),
+        )
+        return MetaPhase(
+            name="m", fileset=fileset, cycle=cycle, files_per_rank=files, **kw
+        )
+
+    def test_mds_ops_counted(self, cluster):
+        result = _eval(cluster, PfsConfig.default(), self._meta_phase())
+        assert result.mds_ops == 2 * 1000 * 50
+
+    def test_mod_rpcs_limit_binds(self, cluster):
+        default = PfsConfig.default()
+        raised = default.with_updates(
+            {"mdc.max_rpcs_in_flight": 64, "mdc.max_mod_rpcs_in_flight": 32}
+        )
+        phase = self._meta_phase()
+        assert _eval(cluster, raised, phase).seconds < _eval(cluster, default, phase).seconds
+
+    def test_statahead_accelerates_scan(self, cluster):
+        default = PfsConfig.default()
+        tuned = default.with_updates(
+            {"llite.statahead_max": 512, "mdc.max_rpcs_in_flight": 64}
+        )
+        phase = self._meta_phase(cycle=("stat",), scan_order=True)
+        speedup = (
+            _eval(cluster, default, phase).seconds
+            / _eval(cluster, tuned, phase).seconds
+        )
+        assert speedup > 2.0
+
+    def test_statahead_irrelevant_without_scan_order(self, cluster):
+        default = PfsConfig.default()
+        tuned = default.with_updates({"llite.statahead_max": 512})
+        phase = self._meta_phase(cycle=("stat",), scan_order=False)
+        assert _eval(cluster, tuned, phase).seconds == pytest.approx(
+            _eval(cluster, default, phase).seconds
+        )
+
+    def test_striping_hurts_creates(self, cluster):
+        default = PfsConfig.default()
+        striped = default.with_updates({"lov.stripe_count": 5})
+        phase = self._meta_phase()
+        assert _eval(cluster, striped, phase).seconds > _eval(cluster, default, phase).seconds
+
+    def test_shared_dir_serializes(self, cluster):
+        private = self._meta_phase()
+        shared = self._meta_phase(
+            fileset=FileSet(
+                name="files",
+                n_files=1000 * 50,
+                file_size=0,
+                shared=False,
+                n_dirs=1,
+                shared_dir=True,
+            )
+        )
+        config = PfsConfig.default()
+        assert _eval(cluster, config, shared).seconds > _eval(cluster, config, private).seconds
+        assert _eval(cluster, config, shared).bottleneck == "dir_serialization"
+
+    def test_monotone_in_mdc_concurrency(self, cluster):
+        times = []
+        for q in (2, 8, 32, 128):
+            config = PfsConfig.default().with_updates(
+                {
+                    "mdc.max_rpcs_in_flight": q,
+                    "mdc.max_mod_rpcs_in_flight": max(1, q - 1),
+                }
+            )
+            times.append(_eval(cluster, config, self._meta_phase()).seconds)
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestSimulatorFacade:
+    def test_invalid_config_rejected(self, cluster):
+        from repro.workloads import get_workload
+
+        sim = Simulator(cluster)
+        bad = PfsConfig.default().with_updates({"osc.max_rpcs_in_flight": 10_000})
+        with pytest.raises(ValueError):
+            sim.run(get_workload("IOR_16M"), bad)
+
+    def test_deterministic_given_seed(self, cluster):
+        from repro.workloads import get_workload
+
+        sim = Simulator(cluster)
+        a = sim.run(get_workload("IOR_16M"), PfsConfig.default(), seed=7)
+        b = sim.run(get_workload("IOR_16M"), PfsConfig.default(), seed=7)
+        assert a.seconds == b.seconds
+
+    def test_noise_varies_with_seed(self, cluster):
+        from repro.workloads import get_workload
+
+        sim = Simulator(cluster)
+        runs = sim.run_repetitions(get_workload("IOR_16M"), PfsConfig.default(), n=4, seed=1)
+        times = [r.seconds for r in runs]
+        assert len(set(times)) == 4
+        spread = (max(times) - min(times)) / min(times)
+        assert spread < 0.25  # noise is a few percent
+
+    def test_phase_summary_mentions_bottleneck(self, cluster):
+        from repro.workloads import get_workload
+
+        sim = Simulator(cluster)
+        result = sim.run(get_workload("IOR_16M"), PfsConfig.default(), seed=0)
+        assert "bottleneck" in result.phase_summary()
+
+
+class TestEventCrossValidation:
+    """Analytic single-stream estimates vs. event-driven simulation."""
+
+    @pytest.mark.parametrize(
+        "n_rpcs,rpc_size,q",
+        [(64, MiB, 8), (32, 4 * MiB, 4), (256, 64 * KiB, 8), (64, MiB, 1)],
+    )
+    def test_stream_within_tolerance(self, cluster, n_rpcs, rpc_size, q):
+        config = PfsConfig.default().with_updates({"osc.max_rpcs_in_flight": q})
+        spec = StreamSpec(n_rpcs=n_rpcs, rpc_size=rpc_size)
+        event = simulate_stream(cluster, config, spec)
+        analytic = analytic_stream_estimate(cluster, config, spec)
+        assert event == pytest.approx(analytic, rel=0.35)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_rpcs=st.integers(min_value=4, max_value=128),
+        q=st.integers(min_value=1, max_value=32),
+    )
+    def test_stream_property(self, cluster, n_rpcs, q):
+        config = PfsConfig.default().with_updates({"osc.max_rpcs_in_flight": q})
+        spec = StreamSpec(n_rpcs=n_rpcs, rpc_size=MiB)
+        event = simulate_stream(cluster, config, spec)
+        analytic = analytic_stream_estimate(cluster, config, spec)
+        # Analytic is a lower-bound style estimate; event adds queueing slack.
+        assert event >= analytic * 0.55
+        assert event <= analytic * 1.8

@@ -1,0 +1,140 @@
+"""Tests for the rule set model and conflict-resolving merge."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules import Rule, RuleSet, merge_rule_sets
+
+
+def _rule(param="mdc.max_rpcs_in_flight", value=64, tags=("metadata_small_files",),
+          description="raise it", speedup=1.4, alternative=False):
+    return Rule(
+        parameter=param,
+        rule_description=description,
+        tuning_context="metadata heavy",
+        context_tags=list(tags),
+        recommended_value=value,
+        observed_speedup=speedup,
+        alternative=alternative,
+    )
+
+
+class TestRuleModel:
+    def test_json_round_trip(self):
+        rule = _rule()
+        clone = Rule.from_dict(rule.to_dict())
+        assert clone == rule
+
+    def test_paper_titlecase_keys_accepted(self):
+        rule = Rule.from_dict(
+            {
+                "Parameter": "lov.stripe_count",
+                "Rule Description": "stripe shared files",
+                "Tuning Context": "large shared-file workloads",
+            }
+        )
+        assert rule.parameter == "lov.stripe_count"
+        assert rule.rule_description == "stripe shared files"
+
+    def test_same_context_by_tags(self):
+        assert _rule().same_context(_rule(value=32))
+        assert not _rule().same_context(_rule(param="other.param"))
+        assert not _rule(tags=("a",)).same_context(_rule(tags=("b",)))
+
+    def test_contradiction_is_directional_not_magnitudinal(self):
+        # 16 vs 128 is the same direction at different strengths.
+        assert not _rule(value=16).contradicts(_rule(value=128))
+        assert not _rule(value=32).contradicts(_rule(value=48))
+        assert not _rule(value=None).contradicts(_rule(value=64))
+
+    def test_contradiction_sign_flip(self):
+        assert _rule(param="lov.stripe_count", value=-1).contradicts(
+            _rule(param="lov.stripe_count", value=1)
+        )
+
+    def test_ruleset_queries(self):
+        rs = RuleSet([_rule(), _rule(param="llite.statahead_max", value=512)])
+        assert len(rs.for_parameter("llite.statahead_max")) == 1
+        assert len(rs.matching_tags(["metadata_small_files"])) == 2
+        assert rs.matching_tags(["shared_seq_large"]) == []
+
+    def test_ruleset_serialization(self):
+        rs = RuleSet([_rule()])
+        clone = RuleSet.loads(rs.dumps())
+        assert clone.rules == rs.rules
+
+
+class TestMerge:
+    def test_disjoint_rules_concatenate(self):
+        merged = merge_rule_sets(
+            RuleSet([_rule()]),
+            RuleSet([_rule(param="llite.statahead_max", value=512)]),
+        )
+        assert len(merged) == 2
+
+    def test_contradiction_removes_both(self):
+        merged = merge_rule_sets(
+            RuleSet([_rule(param="lov.stripe_count", value=-1, tags=("x", "y"))]),
+            RuleSet([_rule(param="lov.stripe_count", value=1, tags=("x", "y"))]),
+        )
+        assert len(merged) == 0
+
+    def test_equivalent_guidance_deduplicates(self):
+        merged = merge_rule_sets(
+            RuleSet([_rule(value=64, speedup=1.3)]),
+            RuleSet([_rule(value=96, speedup=1.5)]),
+        )
+        assert len(merged) == 1
+        assert merged.rules[0].recommended_value == 96  # better evidence wins
+
+    def test_slightly_different_guidance_kept_as_alternatives(self):
+        merged = merge_rule_sets(
+            RuleSet([_rule(value=32)]), RuleSet([_rule(value=128)])
+        )
+        assert len(merged) == 2
+        assert any(r.alternative for r in merged)
+
+    def test_negative_alternative_pruned_by_positive(self):
+        negative = _rule(value=128, speedup=0.8)
+        positive = _rule(value=32, speedup=1.5)
+        merged = merge_rule_sets(RuleSet([negative]), RuleSet([positive]))
+        values = [r.recommended_value for r in merged]
+        assert 32 in values
+        assert 128 not in values
+
+    def test_negative_incoming_does_not_displace_positive(self):
+        positive = _rule(value=32, speedup=1.5)
+        negative = _rule(value=128, speedup=0.7)
+        merged = merge_rule_sets(RuleSet([positive]), RuleSet([negative]))
+        values = [r.recommended_value for r in merged]
+        assert values == [32]
+
+    def test_avoid_rules_kept(self):
+        avoid = _rule(value=None, speedup=0.7, description="Avoid striping small files")
+        merged = merge_rule_sets(RuleSet([_rule()]), RuleSet([avoid]))
+        assert any(r.recommended_value is None for r in merged)
+
+    def test_merge_into_empty(self):
+        merged = merge_rule_sets(RuleSet(), RuleSet([_rule()]))
+        assert len(merged) == 1
+
+    def test_merge_idempotent(self):
+        base = RuleSet([_rule(), _rule(param="llite.statahead_max", value=512)])
+        once = merge_rule_sets(base, base)
+        twice = merge_rule_sets(once, base)
+        assert once.to_json() == twice.to_json()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=1, max_value=4096), min_size=1, max_size=8
+        )
+    )
+    def test_merge_never_grows_unboundedly(self, values):
+        """Property: merging N same-context rules keeps at most N entries and
+        terminates (no duplicate explosion)."""
+        merged = RuleSet()
+        for value in values:
+            merged = merge_rule_sets(merged, RuleSet([_rule(value=value)]))
+        assert len(merged) <= len(values)

@@ -1,0 +1,72 @@
+"""Tests for rule set / session persistence."""
+
+import pytest
+
+from repro import Stellar, get_workload, make_cluster
+from repro.rules import Rule, RuleSet
+from repro.rules.store import (
+    load_rule_set,
+    load_session_summary,
+    save_rule_set,
+    save_session,
+    session_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    cluster = make_cluster()
+    engine = Stellar.build(cluster, seed=0)
+    return engine.tune(get_workload("IOR_16M"))
+
+
+class TestRuleSetStore:
+    def test_round_trip(self, tmp_path):
+        rule_set = RuleSet(
+            [
+                Rule(
+                    parameter="lov.stripe_count",
+                    rule_description="stripe shared files wide",
+                    tuning_context="large shared streaming",
+                    context_tags=["shared_seq_large"],
+                    recommended_value=-1,
+                    observed_speedup=5.1,
+                )
+            ]
+        )
+        path = tmp_path / "rules.json"
+        save_rule_set(rule_set, path)
+        loaded = load_rule_set(path)
+        assert loaded.rules == rule_set.rules
+
+    def test_engine_rules_persist(self, tmp_path):
+        cluster = make_cluster()
+        engine = Stellar.build(cluster, seed=0)
+        engine.tune_and_accumulate(get_workload("IOR_16M"))
+        path = tmp_path / "global_rules.json"
+        save_rule_set(engine.rule_set, path)
+        restored = load_rule_set(path)
+        assert len(restored) == len(engine.rule_set)
+        # A new engine can adopt the persisted knowledge.
+        fresh = engine.fresh_copy()
+        fresh.rule_set = restored
+        session = fresh.tune(get_workload("MACSio_16M"))
+        assert session.attempts[0].speedup > 4.0
+
+
+class TestSessionStore:
+    def test_session_to_dict_complete(self, session):
+        data = session_to_dict(session)
+        assert data["workload"] == "IOR_16M"
+        assert data["attempts"]
+        assert data["best_speedup"] > 1.0
+        assert data["usage"]["tuning"]["input_tokens"] > 0
+        assert data["transcript"]
+
+    def test_save_and_load(self, session, tmp_path):
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        loaded = load_session_summary(path)
+        assert loaded["workload"] == session.workload
+        assert len(loaded["attempts"]) == len(session.attempts)
+        assert loaded["attempts"][0].changes == session.attempts[0].changes

@@ -1,0 +1,149 @@
+"""Property-based tests over the whole simulator surface.
+
+Random *valid* configurations and workload scales must never break the
+model's physical invariants: positive finite times, byte conservation,
+monotone responses to pure capability increases, and noise bounded to a few
+percent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import make_cluster
+from repro.pfs import PfsConfig, Simulator
+from repro.workloads import get_workload
+from repro.workloads.ior import IorWorkload
+from repro.workloads.mdworkbench import MdWorkbench
+
+KiB = 1024
+MiB = 1024 * KiB
+
+CLUSTER = make_cluster()
+SIM = Simulator(CLUSTER)
+
+
+def config_strategy():
+    """Random configurations drawn inside valid (post-clip) space."""
+    return st.fixed_dictionaries(
+        {
+            "lov.stripe_count": st.sampled_from([-1, 1, 2, 3, 5]),
+            "lov.stripe_size": st.sampled_from([64 * KiB, MiB, 4 * MiB, 16 * MiB]),
+            "osc.max_rpcs_in_flight": st.integers(1, 256),
+            "osc.max_pages_per_rpc": st.sampled_from([1, 64, 256, 1024, 4096]),
+            "osc.max_dirty_mb": st.integers(1, 2047),
+            "osc.short_io_bytes": st.sampled_from([0, 4 * KiB, 16 * KiB, 64 * KiB]),
+            "llite.max_read_ahead_mb": st.integers(0, 8192),
+            "llite.statahead_max": st.integers(0, 8192),
+            "mdc.max_rpcs_in_flight": st.integers(2, 256),
+        }
+    )
+
+
+def _run(workload_name: str, updates: dict, seed: int = 0):
+    config = PfsConfig.default().with_updates(updates).clipped()
+    return SIM.run(get_workload(workload_name), config, seed=seed)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(updates=config_strategy())
+    def test_times_positive_finite(self, updates):
+        for name in ("IOR_16M", "MDWorkbench_8K"):
+            result = _run(name, updates)
+            assert np.isfinite(result.seconds)
+            assert result.seconds > 0
+            for phase in result.phases:
+                assert phase.seconds > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(updates=config_strategy())
+    def test_bytes_conserved_under_any_config(self, updates):
+        result = _run("IOR_16M", updates)
+        assert result.bytes_written == 50 * 3 * 128 * MiB
+        assert result.bytes_read == 50 * 3 * 128 * MiB
+
+    @settings(max_examples=40, deadline=None)
+    @given(updates=config_strategy())
+    def test_mds_ops_independent_of_config(self, updates):
+        baseline = _run("MDWorkbench_8K", {})
+        result = _run("MDWorkbench_8K", updates)
+        assert result.mds_ops == baseline.mds_ops
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        updates=config_strategy(),
+        seeds=st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    )
+    def test_noise_bounded(self, updates, seeds):
+        a = _run("IOR_16M", updates, seed=seeds[0])
+        b = _run("IOR_16M", updates, seed=seeds[1])
+        assert abs(a.seconds - b.seconds) / min(a.seconds, b.seconds) < 0.4
+
+    @settings(max_examples=25, deadline=None)
+    @given(updates=config_strategy(), q=st.integers(1, 128))
+    def test_more_osc_concurrency_never_hurts(self, updates, q):
+        low = dict(updates, **{"osc.max_rpcs_in_flight": q})
+        high = dict(updates, **{"osc.max_rpcs_in_flight": min(256, q * 2)})
+        assert (
+            _run("IOR_16M", high).seconds <= _run("IOR_16M", low).seconds * 1.0001
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(updates=config_strategy())
+    def test_striping_helps_or_neutral_for_shared_data(self, updates):
+        narrow = dict(updates, **{"lov.stripe_count": 1})
+        wide = dict(updates, **{"lov.stripe_count": -1})
+        assert _run("IOR_64K", wide).seconds <= _run("IOR_64K", narrow).seconds * 1.02
+
+    @settings(max_examples=25, deadline=None)
+    @given(updates=config_strategy())
+    def test_striping_hurts_or_neutral_for_metadata(self, updates):
+        narrow = dict(updates, **{"lov.stripe_count": 1})
+        wide = dict(updates, **{"lov.stripe_count": 5})
+        assert (
+            _run("MDWorkbench_8K", wide).seconds
+            >= _run("MDWorkbench_8K", narrow).seconds * 0.98
+        )
+
+
+class TestWorkloadScaling:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        blocks=st.integers(1, 4),
+        xfer=st.sampled_from([64 * KiB, MiB, 16 * MiB]),
+    )
+    def test_ior_time_scales_with_volume(self, blocks, xfer):
+        small = IorWorkload(
+            name="ior_s", xfer_size=xfer, block_size=64 * MiB, blocks_per_rank=blocks
+        )
+        big = IorWorkload(
+            name="ior_b",
+            xfer_size=xfer,
+            block_size=64 * MiB,
+            blocks_per_rank=blocks * 2,
+        )
+        config = PfsConfig.default()
+        t_small = SIM.run(small, config, seed=1).seconds
+        t_big = SIM.run(big, config, seed=1).seconds
+        assert 1.5 < t_big / t_small < 2.6
+
+    @settings(max_examples=15, deadline=None)
+    @given(files=st.integers(50, 800))
+    def test_mdworkbench_time_scales_with_files(self, files):
+        small = MdWorkbench(name="md_s", files_per_dir=files, rounds=1)
+        big = MdWorkbench(name="md_b", files_per_dir=files * 2, rounds=1)
+        config = PfsConfig.default()
+        t_small = SIM.run(small, config, seed=1).seconds
+        t_big = SIM.run(big, config, seed=1).seconds
+        assert 1.5 < t_big / t_small < 2.6
+
+    def test_more_ranks_more_aggregate_work(self):
+        few = IorWorkload(name="r10", n_ranks=10)
+        many = IorWorkload(name="r50", n_ranks=50)
+        config = PfsConfig.default()
+        assert (
+            SIM.run(many, config, seed=1).bytes_written
+            == 5 * SIM.run(few, config, seed=1).bytes_written
+        )

@@ -1,0 +1,231 @@
+"""Tests for the workload generators and their calibrated shapes."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.pfs import PfsConfig, Simulator
+from repro.pfs.phases import DataPhase, MetaPhase
+from repro.workloads import get_workload, list_workloads, register_workload
+from repro.workloads.base import Workload
+from repro.workloads.registry import BENCHMARKS, REAL_APPS
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture(scope="module")
+def sim(cluster):
+    return Simulator(cluster)
+
+
+class TestRegistry:
+    def test_catalog_contents(self):
+        names = list_workloads()
+        for required in BENCHMARKS + REAL_APPS:
+            assert required in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("NOPE")
+
+    def test_instances_are_fresh(self):
+        a = get_workload("IOR_16M")
+        b = get_workload("IOR_16M")
+        assert a is not b
+
+    def test_register_custom(self):
+        register_workload("_test_custom", lambda: get_workload("IOR_16M"))
+        assert "_test_custom" in list_workloads()
+        with pytest.raises(ValueError):
+            register_workload("_test_custom", lambda: get_workload("IOR_16M"))
+
+    def test_base_workload_requires_subclass(self, cluster):
+        with pytest.raises(NotImplementedError):
+            Workload().build_phases(cluster)
+
+
+class TestIor:
+    def test_ior_64k_spec(self, cluster):
+        w = get_workload("IOR_64K")
+        phases = w.compile(cluster)
+        assert len(phases) == 2
+        write, read = phases
+        assert write.io == "write" and read.io == "read"
+        assert write.xfer_size == 64 * KiB
+        assert write.pattern == "random"
+        assert write.bytes_per_rank == 128 * MiB
+        assert write.fileset.shared
+
+    def test_ior_16m_spec(self, cluster):
+        w = get_workload("IOR_16M")
+        write = w.compile(cluster)[0]
+        assert write.xfer_size == 16 * MiB
+        assert write.bytes_per_rank == 3 * 128 * MiB
+        assert write.pattern == "seq"
+
+    def test_reorder_defeats_cache(self, cluster):
+        w = get_workload("IOR_64K")
+        read = w.compile(cluster)[1]
+        assert read.reuse is False
+
+
+class TestMdWorkbench:
+    def test_phase_structure(self, cluster):
+        w = get_workload("MDWorkbench_8K")
+        phases = w.compile(cluster)
+        # mkdir setup + 3 rounds x 4 phases
+        assert len(phases) == 1 + 3 * 4
+        assert all(isinstance(p, MetaPhase) for p in phases)
+
+    def test_file_population(self, cluster):
+        w = get_workload("MDWorkbench_2K")
+        create = w.compile(cluster)[1]
+        assert create.files_per_rank == 10 * 400
+        assert create.fileset.n_files == 10 * 400 * 50
+
+    def test_writes_do_not_persist(self, cluster):
+        w = get_workload("MDWorkbench_2K")
+        create = w.compile(cluster)[1]
+        assert create.data_persists is False
+        assert create.data_bytes == 2 * KiB
+
+    def test_stat_phase_is_scan_ordered(self, cluster):
+        w = get_workload("MDWorkbench_8K")
+        stat = next(p for p in w.compile(cluster) if p.name.endswith(".stat"))
+        assert stat.scan_order
+        assert stat.cycle == ("stat",)
+
+
+class TestIo500:
+    def test_standard_phase_schedule(self, cluster):
+        w = get_workload("IO500")
+        names = [p.name for p in w.compile(cluster)]
+        assert names == [
+            "ior_easy.write",
+            "mdtest_easy.write",
+            "ior_hard.write",
+            "mdtest_hard.write",
+            "ior_easy.read",
+            "mdtest_easy.stat",
+            "ior_hard.read",
+            "mdtest_hard.stat",
+            "mdtest_easy.delete",
+            "mdtest_hard.read",
+            "mdtest_hard.delete",
+        ]
+
+    def test_hard_phases_use_io500_constants(self, cluster):
+        w = get_workload("IO500")
+        phases = {p.name: p for p in w.compile(cluster)}
+        assert phases["ior_hard.write"].xfer_size == 47008
+        assert phases["mdtest_hard.write"].data_bytes == 3901
+        assert phases["mdtest_hard.write"].fileset.shared_dir
+
+    def test_easy_is_file_per_process(self, cluster):
+        w = get_workload("IO500")
+        easy = w.compile(cluster)[0]
+        assert not easy.fileset.shared
+        assert easy.fileset.n_files == 50
+
+
+class TestAmrex:
+    def test_dump_structure(self, cluster):
+        w = get_workload("AMReX")
+        phases = w.compile(cluster)
+        data_phases = [p for p in phases if isinstance(p, DataPhase)]
+        assert len(data_phases) == 3  # one per dump
+        assert all(p.concurrent_writers == 2 for p in data_phases)
+
+    def test_headers_persist(self, cluster):
+        w = get_workload("AMReX")
+        headers = next(p for p in w.compile(cluster) if "headers" in p.name)
+        assert headers.data_persists
+
+
+class TestMacsio:
+    def test_object_size_drives_pattern(self, cluster):
+        small = get_workload("MACSio_512K").compile(cluster)
+        large = get_workload("MACSio_16M").compile(cluster)
+        assert all(p.pattern == "random" for p in small)
+        assert all(p.pattern == "seq" for p in large)
+        assert small[0].xfer_size == 512 * KiB
+        assert large[0].xfer_size == 16 * MiB
+
+    def test_single_shared_file_per_dump(self, cluster):
+        phases = get_workload("MACSio_512K").compile(cluster)
+        assert len(phases) == 4
+        assert all(p.fileset.shared and p.fileset.n_files == 1 for p in phases)
+
+
+class TestCalibratedShapes:
+    """The speedup headroom each workload must expose (paper §5.2 shapes)."""
+
+    TUNED_DATA = {
+        "lov.stripe_count": 5,
+        "lov.stripe_size": 16 * MiB,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.max_pages_per_rpc": 4096,
+        "osc.max_dirty_mb": 256,
+        "osc.short_io_bytes": 64 * KiB,
+    }
+    TUNED_META = {
+        "mdc.max_rpcs_in_flight": 64,
+        "mdc.max_mod_rpcs_in_flight": 32,
+        "llite.statahead_max": 512,
+    }
+
+    def _speedup(self, sim, name, updates):
+        workload = get_workload(name)
+        default = sim.run(workload, PfsConfig.default(), seed=3)
+        tuned = sim.run(workload, PfsConfig.default().with_updates(updates), seed=3)
+        return default.seconds / tuned.seconds
+
+    def test_ior_64k_headroom(self, sim):
+        assert 4.5 < self._speedup(sim, "IOR_64K", self.TUNED_DATA) < 9.0
+
+    def test_ior_16m_headroom(self, sim):
+        assert 3.5 < self._speedup(sim, "IOR_16M", self.TUNED_DATA) < 7.0
+
+    def test_mdworkbench_headroom(self, sim):
+        assert 1.25 < self._speedup(sim, "MDWorkbench_8K", self.TUNED_META) < 1.9
+
+    def test_io500_headroom(self, sim):
+        updates = dict(self.TUNED_DATA)
+        updates.update(self.TUNED_META)
+        assert 1.6 < self._speedup(sim, "IO500", updates) < 3.5
+
+    def test_macsio_headroom(self, sim):
+        assert 3.0 < self._speedup(sim, "MACSio_512K", self.TUNED_DATA) < 7.5
+        assert 3.0 < self._speedup(sim, "MACSio_16M", self.TUNED_DATA) < 7.5
+
+    def test_amrex_headroom(self, sim):
+        assert 1.6 < self._speedup(sim, "AMReX", self.TUNED_DATA) < 3.5
+
+    def test_wrong_stripe_hurts_metadata(self, sim):
+        """Setting stripe_count=5 on MDWorkbench must regress performance
+        (the No-Descriptions ablation mechanism)."""
+        workload = get_workload("MDWorkbench_8K")
+        default = sim.run(workload, PfsConfig.default(), seed=3)
+        wrong = sim.run(
+            workload,
+            PfsConfig.default().with_updates({"lov.stripe_count": 5}),
+            seed=3,
+        )
+        assert wrong.seconds > default.seconds * 1.1
+
+    def test_data_tuning_useless_for_metadata(self, sim):
+        """Tuning only data-path parameters leaves MDWorkbench near default
+        (the No-Analysis ablation mechanism)."""
+        workload = get_workload("MDWorkbench_8K")
+        default = sim.run(workload, PfsConfig.default(), seed=3)
+        data_only = dict(self.TUNED_DATA)
+        data_only.pop("lov.stripe_count")  # agent keeps stripe for 'large files'
+        tuned = sim.run(
+            workload, PfsConfig.default().with_updates(data_only), seed=3
+        )
+        assert abs(tuned.seconds - default.seconds) / default.seconds < 0.1

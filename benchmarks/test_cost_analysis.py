@@ -4,7 +4,11 @@ from repro.experiments import cost
 
 
 def test_cost_analysis(benchmark, cluster):
-    report = benchmark(lambda: cost.run(cluster, seed=0))
+    # rounds=1 like every other artifact bench: the regeneration is
+    # deterministic, so statistical calibration rounds add nothing.
+    report = benchmark.pedantic(
+        lambda: cost.run(cluster, seed=0), rounds=1, iterations=1
+    )
     print("\n" + report.render())
 
     # Paper shape: the tuning loop's iterative prompts are dominated by a

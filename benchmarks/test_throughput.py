@@ -1,0 +1,84 @@
+"""Bench: raw harness throughput (sessions/sec and batched runs/sec).
+
+Unlike the figure benches, this measures the *machinery* rather than a paper
+artifact: how many simulated application runs and full tuning sessions the
+harness sustains per second.  The numbers land in ``BENCH_throughput.json``
+at the repo root so future PRs have a perf trajectory to regress against.
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from conftest import BENCH_REPS
+
+from repro.experiments.harness import run_sessions, shared_extraction
+from repro.pfs.config import PfsConfig
+from repro.pfs.simulator import Simulator
+from repro.sim.batch import repetition_items
+from repro.sim.random import RngStreams
+from repro.workloads import get_workload
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+
+N_BATCHED = 400
+N_SEQUENTIAL = 80
+N_SESSIONS = BENCH_REPS
+
+
+def test_throughput(benchmark, cluster):
+    sim = Simulator(cluster)
+    workload = get_workload("IOR_64K")
+    config = PfsConfig(facts=cluster.config_facts())
+    extraction = shared_extraction(cluster)
+
+    start = perf_counter()
+    batched = sim.run_batch(repetition_items(workload, config, N_BATCHED, seed=1))
+    batched_elapsed = perf_counter() - start
+
+    start = perf_counter()
+    sequential = [
+        sim.run(workload, config, seed=RngStreams.rep_seed(1, i))
+        for i in range(N_SEQUENTIAL)
+    ]
+    sequential_elapsed = perf_counter() - start
+
+    start = perf_counter()
+    sessions = run_sessions(
+        cluster, "IOR_64K", reps=N_SESSIONS, seed=0, extraction=extraction
+    )
+    sessions_elapsed = perf_counter() - start
+
+    # The pytest-benchmark row tracks the batch path (the tentpole).
+    benchmark.pedantic(
+        lambda: sim.run_batch(repetition_items(workload, config, 100, seed=2)),
+        rounds=1,
+        iterations=1,
+    )
+
+    batched_rps = N_BATCHED / batched_elapsed
+    sequential_rps = N_SEQUENTIAL / sequential_elapsed
+    sessions_ps = N_SESSIONS / sessions_elapsed
+    payload = {
+        "workload": workload.name,
+        "cpu_count": os.cpu_count(),
+        "batched_runs_per_sec": round(batched_rps, 1),
+        "sequential_runs_per_sec": round(sequential_rps, 1),
+        "batch_speedup_vs_sequential": round(batched_rps / sequential_rps, 2),
+        "sessions_per_sec": round(sessions_ps, 2),
+        "n_batched": N_BATCHED,
+        "n_sequential": N_SEQUENTIAL,
+        "n_sessions": N_SESSIONS,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\n" + json.dumps(payload, indent=2))
+
+    # Sanity: the batch really ran, matches the sequential prefix bit for
+    # bit, and dedup makes the batched path strictly faster per run.
+    assert len(batched) == N_BATCHED
+    assert [r.seconds for r in batched[:N_SEQUENTIAL]] == [
+        r.seconds for r in sequential
+    ]
+    assert batched_rps > sequential_rps
+    assert sessions and all(s.best_seconds > 0 for s in sessions)

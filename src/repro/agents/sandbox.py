@@ -14,6 +14,7 @@ import io
 import math
 import statistics
 from contextlib import redirect_stdout
+from functools import lru_cache
 
 import numpy
 
@@ -48,13 +49,25 @@ def _restricted_import(name, globals=None, locals=None, fromlist=(), level=0):
 
 
 def _safe_builtins() -> dict:
-    safe = {
-        name: getattr(builtins, name)
-        for name in dir(builtins)
-        if not name.startswith("_") and name not in _BLOCKED_BUILTINS
-    }
+    # Copied per execution (each sandbox owns its builtins dict) from a
+    # template computed once at import.
+    safe = dict(_SAFE_BUILTINS_TEMPLATE)
     safe["__import__"] = _restricted_import
     return safe
+
+
+_SAFE_BUILTINS_TEMPLATE = {
+    name: getattr(builtins, name)
+    for name in dir(builtins)
+    if not name.startswith("_") and name not in _BLOCKED_BUILTINS
+}
+
+
+@lru_cache(maxsize=256)
+def _compile_analysis(code: str):
+    """Code objects are immutable — reuse them across identical snippets
+    (the codegen emits the same analysis programs for every session)."""
+    return compile(code, "<analysis>", "exec")
 
 
 def run_in_sandbox(code: str, namespace: dict | None = None, max_output: int = 20_000) -> str:
@@ -65,7 +78,7 @@ def run_in_sandbox(code: str, namespace: dict | None = None, max_output: int = 2
     buffer = io.StringIO()
     try:
         with redirect_stdout(buffer):
-            exec(compile(code, "<analysis>", "exec"), scope)  # noqa: S102
+            exec(_compile_analysis(code), scope)  # noqa: S102
     except SandboxError:
         raise
     except Exception as exc:  # surface model-code bugs to the agent

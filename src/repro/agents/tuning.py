@@ -114,6 +114,14 @@ class TuningAgent:
         self.max_attempts = max_attempts
         self.transcript = transcript if transcript is not None else Transcript()
         self.session = session
+        # The hardware, parameter and rules sections never change within a
+        # run; build each once instead of on every model turn (the rules
+        # section in particular re-serializes the whole rule set as JSON).
+        self._static_sections = [
+            pp.build_hardware_section(self.hardware_description, self.facts),
+            pp.build_parameter_section(self.parameters),
+        ]
+        self._rules_section = pp.build_rules_section(self.rules_json)
 
     # ------------------------------------------------------------------
     def run_loop(self) -> TuningLoopResult:
@@ -186,11 +194,7 @@ class TuningAgent:
 
     # ------------------------------------------------------------------
     def _messages(self, result: TuningLoopResult) -> list[ChatMessage]:
-        sections = [
-            pp.build_hardware_section(self.hardware_description, self.facts),
-            pp.build_parameter_section(self.parameters),
-            pp.build_rules_section(self.rules_json),
-        ]
+        sections = [*self._static_sections, self._rules_section]
         if self.report is not None:
             sections.append(pp.build_io_report_section(self.report))
         sections.append(
@@ -209,10 +213,7 @@ class TuningAgent:
         """Reflect & Summarize: distill the run into rules (§4.4)."""
         if not result.attempts:
             return []
-        sections = [
-            pp.build_hardware_section(self.hardware_description, self.facts),
-            pp.build_parameter_section(self.parameters),
-        ]
+        sections = list(self._static_sections)
         if self.report is not None:
             sections.append(pp.build_io_report_section(self.report))
         sections.append(

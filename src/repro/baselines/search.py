@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.cluster.hardware import ClusterSpec
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
+from repro.sim.batch import sweep_items
 from repro.workloads.base import Workload
 
 KiB = 1024
@@ -54,7 +55,16 @@ class SearchResult:
 
 
 class OracleSearch:
-    """Greedy coordinate descent with a bounded evaluation budget."""
+    """Greedy coordinate descent with a bounded evaluation budget.
+
+    Each coordinate's whole candidate grid is evaluated as one
+    :meth:`~repro.pfs.simulator.Simulator.run_batch` call (classic
+    sweep-then-move coordinate descent): all candidates are measured against
+    the current best configuration and the coordinate moves to the best
+    improving value, if any.  Every candidate run still draws its own seeded
+    noise, and the evaluation counter prices each simulated run exactly as
+    the sequential search did.
+    """
 
     def __init__(self, cluster: ClusterSpec, seed: int = 0, max_rounds: int = 2):
         self.cluster = cluster
@@ -62,13 +72,12 @@ class OracleSearch:
         self.max_rounds = max_rounds
         self.sim = Simulator(cluster)
 
+    def _config(self, updates: dict[str, int]) -> PfsConfig:
+        facts = self.cluster.config_facts()
+        return PfsConfig(facts=facts).with_updates(updates).clipped()
+
     def _measure(self, workload: Workload, updates: dict[str, int], rep: int) -> float:
-        config = PfsConfig(
-            facts={
-                "system_memory_mb": self.cluster.system_memory_mb,
-                "n_ost": self.cluster.n_ost,
-            }
-        ).with_updates(updates).clipped()
+        config = self._config(updates)
         return self.sim.run(workload, config, seed=self.seed * 7919 + rep).seconds
 
     def run(self, workload: Workload) -> SearchResult:
@@ -81,18 +90,32 @@ class OracleSearch:
         for _ in range(self.max_rounds):
             improved = False
             for name, candidates in CANDIDATES.items():
-                for value in candidates:
-                    if best.get(name) == value:
-                        continue
-                    trial = dict(best)
-                    trial[name] = value
-                    seconds = self._measure(workload, trial, rep=evaluations)
-                    evaluations += 1
-                    trace.append((name, value, seconds))
-                    if seconds < best_seconds * 0.995:
-                        best = trial
-                        best_seconds = seconds
-                        improved = True
+                trials = [
+                    dict(best, **{name: value})
+                    for value in candidates
+                    if best.get(name) != value
+                ]
+                if not trials:
+                    continue
+                seeds = [
+                    self.seed * 7919 + evaluations + i for i in range(len(trials))
+                ]
+                runs = self.sim.run_batch(
+                    sweep_items(
+                        workload, [self._config(t) for t in trials], seeds
+                    )
+                )
+                evaluations += len(runs)
+                sweep_best: tuple[float, dict[str, int]] | None = None
+                for trial, run in zip(trials, runs):
+                    trace.append((name, trial[name], run.seconds))
+                    if run.seconds < best_seconds * 0.995 and (
+                        sweep_best is None or run.seconds < sweep_best[0]
+                    ):
+                        sweep_best = (run.seconds, trial)
+                if sweep_best is not None:
+                    best_seconds, best = sweep_best
+                    improved = True
             if not improved:
                 break
         return SearchResult(

@@ -4,11 +4,14 @@ Models the paper's CloudLab allocation: 10 machines (Intel Xeon Silver 4114,
 10 physical cores, ~196 GB RAM, 10 Gbps switch), Lustre 2.15.5 with five
 object storage servers, a combined MGS/MDS, and five client nodes running the
 benchmarks with 50 MPI processes.
+
+``build_topology`` is exposed lazily (PEP 562): the topology module pulls in
+networkx, which costs ~100 ms of import time no simulator-only consumer
+should pay.
 """
 
 from repro.cluster.hardware import ClusterSpec, NodeSpec, make_cluster
 from repro.cluster.mpi import MpiJob, RankPlacement
-from repro.cluster.topology import build_topology
 
 __all__ = [
     "ClusterSpec",
@@ -18,3 +21,11 @@ __all__ = [
     "RankPlacement",
     "build_topology",
 ]
+
+
+def __getattr__(name: str):
+    if name == "build_topology":
+        from repro.cluster.topology import build_topology
+
+        return build_topology
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

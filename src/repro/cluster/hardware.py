@@ -67,6 +67,19 @@ class ClusterSpec:
         """Client RAM in MiB — referenced by dependent parameter ranges."""
         return self.client_memory_bytes // MiB
 
+    def config_facts(self) -> dict[str, int]:
+        """The hardware facts dependent parameter ranges resolve against.
+
+        The single source for the ``{"system_memory_mb", "n_ost"}`` dict that
+        seeds every :class:`~repro.pfs.config.PfsConfig` — the engine, the
+        runner, the harness and the baselines all build their configs from
+        this.
+        """
+        return {
+            "system_memory_mb": self.system_memory_mb,
+            "n_ost": self.n_ost,
+        }
+
     def describe(self) -> str:
         """Human/agent readable hardware summary (part of agent context)."""
         oss = self.oss_nodes[0]

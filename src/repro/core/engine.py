@@ -125,10 +125,9 @@ class Stellar:
             p.to_info(include_description=use_descriptions) for p in selected
         ]
         facts = {
-            "system_memory_mb": float(self.cluster.system_memory_mb),
-            "n_ost": float(self.cluster.n_ost),
-            "n_clients": float(self.cluster.n_clients),
+            name: float(value) for name, value in self.cluster.config_facts().items()
         }
+        facts["n_clients"] = float(self.cluster.n_clients)
         agent = TuningAgent(
             client=tuning_client,
             parameters=parameters,

@@ -42,12 +42,10 @@ class ConfigurationRunner:
         self.cluster = cluster
         self.workload = workload
         self.seed = seed
-        facts = {
-            "system_memory_mb": cluster.system_memory_mb,
-            "n_ost": cluster.n_ost,
-        }
         self.base_config = (
-            base_config.copy() if base_config is not None else PfsConfig(facts=facts)
+            base_config.copy()
+            if base_config is not None
+            else PfsConfig(facts=cluster.config_facts())
         )
         self.hygiene = HygieneLog()
         self.executions: list[Execution] = []

@@ -38,6 +38,14 @@ def parse_log(log: DarshanLog) -> ParsedLog:
     for module in log.modules:
         records = log.module_records(module)
         columns = column_descriptions(module)
+        # Zero-filled template in column order; per-record counters override
+        # in place, which keeps key order (and the resulting Frame) identical
+        # to counter-by-counter lookups while skipping them.
+        template: dict[str, object] = {
+            counter: 0.0
+            for counter in columns
+            if counter not in ("rank", "file", "record_type")
+        }
         rows = []
         for record in records:
             row: dict[str, object] = {
@@ -45,10 +53,10 @@ def parse_log(log: DarshanLog) -> ParsedLog:
                 "file": record.file,
                 "record_type": record.record_type,
             }
-            for counter in columns:
-                if counter in ("rank", "file", "record_type"):
-                    continue
-                row[counter] = record.get(counter)
+            row.update(template)
+            for counter, value in record.counters.items():
+                if counter in template:
+                    row[counter] = value
             rows.append(row)
         frame = Frame.from_records(rows)
         parsed.frames[module] = frame

@@ -19,7 +19,13 @@ from repro.pfs.simulator import RunResult
 
 
 def trace_run(result: RunResult, n_ranks: int | None = None) -> DarshanLog:
-    """Produce the Darshan log for one run."""
+    """Produce the Darshan log for one run.
+
+    Every rank performs identical work in these phase models, so only rank 0
+    (plus the shared ``rank=-1`` reduction records) is traced through the
+    phase loop; ranks ``1..nprocs-1`` are then stamped out as counter-dict
+    copies.  The emitted log is identical to tracing each rank separately.
+    """
     nprocs = n_ranks or 50
     log = DarshanLog(exe=result.workload, nprocs=nprocs, run_time=result.seconds)
 
@@ -70,6 +76,19 @@ def trace_run(result: RunResult, n_ranks: int | None = None) -> DarshanLog:
         elif isinstance(phase, MetaPhase):
             _trace_meta_phase(phase, seconds, nprocs, posix_record, bump)
 
+    for store in (posix, mpiio):
+        for (fileset_name, rank), record in list(store.items()):
+            if rank != 0:
+                continue
+            for other in range(1, nprocs):
+                store[(fileset_name, other)] = DarshanRecord(
+                    module=record.module,
+                    file=record.file,
+                    rank=other,
+                    counters=dict(record.counters),
+                    record_type=record.record_type,
+                )
+
     ranked = sorted(posix.values(), key=lambda r: (r.file, r.rank)) + sorted(
         mpiio.values(), key=lambda r: (r.file, r.rank)
     )
@@ -88,9 +107,9 @@ def _trace_data_phase(phase, seconds, nprocs, posix_record, mpiio_record, bump):
     consec = ops - 1 if phase.pattern == "seq" else 0
     seeks = 0 if phase.pattern == "seq" else ops
 
-    ranks = list(range(nprocs))
-    if fs.shared:
-        ranks = ranks + [-1]
+    # Rank 0 stands in for every rank (replicated by ``trace_run``); the
+    # shared reduction record carries the nprocs-scaled totals.
+    ranks = [0, -1] if fs.shared else [0]
     for rank in ranks:
         scale = nprocs if rank == -1 else 1
         record = posix_record(fs, rank)
@@ -146,18 +165,18 @@ def _trace_meta_phase(phase, seconds, nprocs, posix_record, bump):
         else:
             meta_ops[op] += 1
 
-    for rank in range(nprocs):
-        record = posix_record(fs, rank)
-        for op, count in meta_ops.items():
-            counter = _META_COUNTER[op]
-            if counter:
-                bump(record, counter, count * files)
-        bump(record, "POSIX_F_META_TIME", seconds)
-        if data_ops["write"]:
-            bump(record, "POSIX_WRITES", data_ops["write"] * files)
-            bump(record, "POSIX_BYTES_WRITTEN", data_ops["write"] * files * phase.data_bytes)
-            record.counters["POSIX_ACCESS1_ACCESS"] = phase.data_bytes
-            bump(record, "POSIX_ACCESS1_COUNT", data_ops["write"] * files)
-        if data_ops["read"]:
-            bump(record, "POSIX_READS", data_ops["read"] * files)
-            bump(record, "POSIX_BYTES_READ", data_ops["read"] * files * phase.data_bytes)
+    # Rank 0 stands in for every rank; ``trace_run`` replicates it.
+    record = posix_record(fs, 0)
+    for op, count in meta_ops.items():
+        counter = _META_COUNTER[op]
+        if counter:
+            bump(record, counter, count * files)
+    bump(record, "POSIX_F_META_TIME", seconds)
+    if data_ops["write"]:
+        bump(record, "POSIX_WRITES", data_ops["write"] * files)
+        bump(record, "POSIX_BYTES_WRITTEN", data_ops["write"] * files * phase.data_bytes)
+        record.counters["POSIX_ACCESS1_ACCESS"] = phase.data_bytes
+        bump(record, "POSIX_ACCESS1_COUNT", data_ops["write"] * files)
+    if data_ops["read"]:
+        bump(record, "POSIX_READS", data_ops["read"] * files)
+        bump(record, "POSIX_BYTES_READ", data_ops["read"] * files * phase.data_bytes)

@@ -8,6 +8,7 @@ rule set) tuning run capped at five attempts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.baselines import expert_updates
 from repro.cluster.hardware import ClusterSpec
@@ -18,6 +19,8 @@ from repro.experiments.harness import (
     run_sessions,
     shared_extraction,
 )
+from repro.experiments.parallel import map_workloads
+from repro.rag.extraction import ExtractionResult
 from repro.workloads.registry import BENCHMARKS
 
 
@@ -59,32 +62,41 @@ class Fig5Result:
         return "\n".join(lines)
 
 
+def _one_workload(
+    name: str,
+    cluster: ClusterSpec,
+    reps: int,
+    seed: int,
+    extraction: ExtractionResult,
+) -> WorkloadComparison:
+    default = measure_config(cluster, name, {}, "default", reps=reps, seed=seed)
+    expert = measure_config(
+        cluster, name, expert_updates(name), "expert", reps=reps, seed=seed + 1
+    )
+    sessions = run_sessions(
+        cluster, name, reps=reps, seed=seed, extraction=extraction
+    )
+    stellar = Measurement(label="stellar", times=[s.best_seconds for s in sessions])
+    return WorkloadComparison(
+        workload=name,
+        default=default,
+        expert=expert,
+        stellar=stellar,
+        attempts_used=[len(s.attempts) for s in sessions],
+    )
+
+
 def run(
     cluster: ClusterSpec,
     reps: int = DEFAULT_REPS,
     seed: int = 0,
     workloads: list[str] | None = None,
+    max_workers: int | None = None,
 ) -> Fig5Result:
     extraction = shared_extraction(cluster)
-    result = Fig5Result()
-    for name in workloads or BENCHMARKS:
-        default = measure_config(cluster, name, {}, "default", reps=reps, seed=seed)
-        expert = measure_config(
-            cluster, name, expert_updates(name), "expert", reps=reps, seed=seed + 1
-        )
-        sessions = run_sessions(
-            cluster, name, reps=reps, seed=seed, extraction=extraction
-        )
-        stellar = Measurement(
-            label="stellar", times=[s.best_seconds for s in sessions]
-        )
-        result.comparisons.append(
-            WorkloadComparison(
-                workload=name,
-                default=default,
-                expert=expert,
-                stellar=stellar,
-                attempts_used=[len(s.attempts) for s in sessions],
-            )
-        )
-    return result
+    body = partial(
+        _one_workload, cluster=cluster, reps=reps, seed=seed, extraction=extraction
+    )
+    return Fig5Result(
+        comparisons=map_workloads(body, workloads or BENCHMARKS, max_workers)
+    )

@@ -8,6 +8,7 @@ the improved first guess and earlier conclusion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.cluster.hardware import ClusterSpec
 from repro.experiments.harness import (
@@ -17,6 +18,9 @@ from repro.experiments.harness import (
     run_sessions,
     shared_extraction,
 )
+from repro.experiments.parallel import map_workloads
+from repro.rag.extraction import ExtractionResult
+from repro.rules.model import RuleSet
 from repro.workloads.registry import BENCHMARKS
 
 
@@ -55,36 +59,58 @@ class Fig6Result:
         return "\n".join(lines)
 
 
+def compare_with_rules(
+    name: str,
+    cluster: ClusterSpec,
+    reps: int,
+    seed: int,
+    extraction: ExtractionResult,
+    rule_set: RuleSet,
+) -> SeriesComparison:
+    """One workload's without/with-rules session pair (fig6 and fig7 body).
+
+    Takes the bare ``rule_set`` (not the engine carrying it) so pool workers
+    only ship the rules, not a second copy of cluster + extraction.
+    """
+    without = run_sessions(
+        cluster, name, reps=reps, seed=seed, extraction=extraction
+    )
+    with_rules = run_sessions(
+        cluster,
+        name,
+        reps=reps,
+        seed=seed + 500,
+        extraction=extraction,
+        rule_set=rule_set,
+    )
+    return SeriesComparison(
+        workload=name,
+        without_rules=mean_series(without),
+        with_rules=mean_series(with_rules),
+        attempts_without=sum(len(s.attempts) for s in without) / len(without),
+        attempts_with=sum(len(s.attempts) for s in with_rules) / len(with_rules),
+    )
+
+
 def run(
     cluster: ClusterSpec,
     reps: int = DEFAULT_REPS,
     seed: int = 0,
     workloads: list[str] | None = None,
+    max_workers: int | None = None,
 ) -> Fig6Result:
     extraction = shared_extraction(cluster)
     names = workloads or BENCHMARKS
     rule_engine = accumulate_rules(cluster, names, seed=seed, extraction=extraction)
-    result = Fig6Result(rule_count=len(rule_engine.rule_set))
-    for name in names:
-        without = run_sessions(
-            cluster, name, reps=reps, seed=seed, extraction=extraction
-        )
-        with_rules = run_sessions(
-            cluster,
-            name,
-            reps=reps,
-            seed=seed + 500,
-            extraction=extraction,
-            rule_engine=rule_engine,
-        )
-        result.comparisons.append(
-            SeriesComparison(
-                workload=name,
-                without_rules=mean_series(without),
-                with_rules=mean_series(with_rules),
-                attempts_without=sum(len(s.attempts) for s in without) / len(without),
-                attempts_with=sum(len(s.attempts) for s in with_rules)
-                / len(with_rules),
-            )
-        )
-    return result
+    body = partial(
+        compare_with_rules,
+        cluster=cluster,
+        reps=reps,
+        seed=seed,
+        extraction=extraction,
+        rule_set=rule_engine.rule_set,
+    )
+    return Fig6Result(
+        rule_count=len(rule_engine.rule_set),
+        comparisons=map_workloads(body, names, max_workers),
+    )

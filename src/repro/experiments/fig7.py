@@ -8,16 +8,16 @@ transfers to unseen workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.cluster.hardware import ClusterSpec
-from repro.experiments.fig6 import SeriesComparison
+from repro.experiments.fig6 import SeriesComparison, compare_with_rules
 from repro.experiments.harness import (
     DEFAULT_REPS,
     accumulate_rules,
-    mean_series,
-    run_sessions,
     shared_extraction,
 )
+from repro.experiments.parallel import map_workloads
 from repro.workloads.registry import BENCHMARKS, REAL_APPS
 
 
@@ -43,32 +43,21 @@ def run(
     reps: int = DEFAULT_REPS,
     seed: int = 0,
     apps: list[str] | None = None,
+    max_workers: int | None = None,
 ) -> Fig7Result:
     extraction = shared_extraction(cluster)
     rule_engine = accumulate_rules(
         cluster, BENCHMARKS, seed=seed, extraction=extraction
     )
-    result = Fig7Result(rule_count=len(rule_engine.rule_set))
-    for name in apps or REAL_APPS:
-        without = run_sessions(
-            cluster, name, reps=reps, seed=seed, extraction=extraction
-        )
-        with_rules = run_sessions(
-            cluster,
-            name,
-            reps=reps,
-            seed=seed + 500,
-            extraction=extraction,
-            rule_engine=rule_engine,
-        )
-        result.comparisons.append(
-            SeriesComparison(
-                workload=name,
-                without_rules=mean_series(without),
-                with_rules=mean_series(with_rules),
-                attempts_without=sum(len(s.attempts) for s in without) / len(without),
-                attempts_with=sum(len(s.attempts) for s in with_rules)
-                / len(with_rules),
-            )
-        )
-    return result
+    body = partial(
+        compare_with_rules,
+        cluster=cluster,
+        reps=reps,
+        seed=seed,
+        extraction=extraction,
+        rule_set=rule_engine.rule_set,
+    )
+    return Fig7Result(
+        rule_count=len(rule_engine.rule_set),
+        comparisons=map_workloads(body, apps or REAL_APPS, max_workers),
+    )

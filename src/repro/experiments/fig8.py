@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.hardware import ClusterSpec
-from repro.experiments.harness import DEFAULT_REPS, run_sessions, shared_extraction
+from repro.experiments.harness import DEFAULT_REPS, shared_extraction
+from repro.experiments.parallel import run_sessions
 from repro.experiments.stats import mean_ci90
 
 WORKLOAD = "MDWorkbench_8K"
@@ -56,12 +57,23 @@ class Fig8Result:
         )
 
 
-def run(cluster: ClusterSpec, reps: int = DEFAULT_REPS, seed: int = 0) -> Fig8Result:
+def run(
+    cluster: ClusterSpec,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+    max_workers: int | None = None,
+) -> Fig8Result:
     extraction = shared_extraction(cluster)
 
     def outcome(label: str, **kwargs) -> AblationOutcome:
         sessions = run_sessions(
-            cluster, WORKLOAD, reps=reps, seed=seed, extraction=extraction, **kwargs
+            cluster,
+            WORKLOAD,
+            reps=reps,
+            seed=seed,
+            extraction=extraction,
+            max_workers=max_workers,
+            **kwargs,
         )
         return AblationOutcome(
             label=label, best_speedups=[s.best_speedup for s in sessions]

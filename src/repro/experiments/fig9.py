@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.hardware import ClusterSpec
-from repro.experiments.harness import DEFAULT_REPS, run_sessions, shared_extraction
+from repro.experiments.harness import DEFAULT_REPS, shared_extraction
+from repro.experiments.parallel import run_sessions
 from repro.experiments.stats import mean_ci90
 
 WORKLOAD = "IOR_16M"
@@ -51,7 +52,12 @@ class Fig9Result:
         return "\n".join(lines)
 
 
-def run(cluster: ClusterSpec, reps: int = DEFAULT_REPS, seed: int = 0) -> Fig9Result:
+def run(
+    cluster: ClusterSpec,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+    max_workers: int | None = None,
+) -> Fig9Result:
     extraction = shared_extraction(cluster)
     result = Fig9Result()
     for model in MODELS:
@@ -63,6 +69,7 @@ def run(cluster: ClusterSpec, reps: int = DEFAULT_REPS, seed: int = 0) -> Fig9Re
             model=model,
             extraction=extraction,
             max_attempts=5,
+            max_workers=max_workers,
         )
         result.outcomes.append(
             ModelOutcome(

@@ -54,19 +54,46 @@ def measure_config(
     reps: int = DEFAULT_REPS,
     seed: int = 0,
 ) -> Measurement:
-    """Run one configuration ``reps`` times with hygiene between runs."""
+    """Run one configuration ``reps`` times with hygiene between runs.
+
+    Executed as one batch: all reps share a single model evaluation (the
+    config is identical), with per-rep noise seeded via
+    :meth:`RngStreams.rep_seed` — the same derivation every repeated-run
+    call site uses.
+    """
     sim = Simulator(cluster)
-    facts = {
-        "system_memory_mb": cluster.system_memory_mb,
-        "n_ost": cluster.n_ost,
-    }
-    config = PfsConfig(facts=facts).with_updates(updates).clipped()
-    times = []
-    for rep in range(reps):
-        workload = get_workload(workload_name)
-        run = sim.run(workload, config, seed=seed * 5000 + rep)
-        times.append(run.seconds)
-    return Measurement(label=label, times=times)
+    config = PfsConfig(facts=cluster.config_facts()).with_updates(updates).clipped()
+    workload = get_workload(workload_name)
+    runs = sim.run_repetitions(workload, config, n=reps, seed=seed)
+    return Measurement(label=label, times=[run.seconds for run in runs])
+
+
+def one_session(
+    cluster: ClusterSpec,
+    workload_name: str,
+    model: str,
+    extraction: ExtractionResult,
+    rule_set,
+    engine_seed: int,
+    tune_kwargs: dict,
+) -> TuningSession:
+    """One independent tuning run — THE per-rep body.
+
+    Both the sequential loop below and the process-pool fan-out in
+    :mod:`repro.experiments.parallel` call this, so the two paths cannot
+    drift apart.
+    """
+    engine = Stellar(
+        cluster=cluster, model=model, extraction=extraction, seed=engine_seed
+    )
+    if rule_set is not None:
+        engine.rule_set = rule_set
+    return engine.tune(get_workload(workload_name), **tune_kwargs)
+
+
+def _session_job(args: tuple) -> TuningSession:
+    """Picklable adapter: one jobs-tuple -> :func:`one_session`."""
+    return one_session(*args)
 
 
 def run_sessions(
@@ -77,25 +104,31 @@ def run_sessions(
     model: str = "claude-3.7-sonnet",
     extraction: ExtractionResult | None = None,
     rule_engine: Stellar | None = None,
+    rule_set=None,
+    max_workers: int | None = 1,
     **tune_kwargs,
 ) -> list[TuningSession]:
-    """``reps`` independent tuning runs (fresh rules unless an engine with
-    accumulated rules is supplied)."""
+    """``reps`` independent tuning runs (fresh rules unless an accumulated
+    ``rule_set`` — or an engine carrying one — is supplied).
+
+    Rep ``i`` seeds its engine ``seed + i``.  This is THE sessions wrapper:
+    ``max_workers=1`` (the default) runs inline; anything else fans the reps
+    over :func:`repro.experiments.parallel.pmap` with identical results
+    (``None`` = auto-size from the machine).
+    """
     if extraction is None:
         extraction = shared_extraction(cluster)
-    sessions = []
-    for rep in range(reps):
-        if rule_engine is not None:
-            engine = Stellar(
-                cluster=cluster, model=model, extraction=extraction, seed=seed + rep
-            )
-            engine.rule_set = rule_engine.rule_set
-        else:
-            engine = Stellar(
-                cluster=cluster, model=model, extraction=extraction, seed=seed + rep
-            )
-        sessions.append(engine.tune(get_workload(workload_name), **tune_kwargs))
-    return sessions
+    if rule_set is None and rule_engine is not None:
+        rule_set = rule_engine.rule_set
+    jobs = [
+        (cluster, workload_name, model, extraction, rule_set, seed + rep, tune_kwargs)
+        for rep in range(reps)
+    ]
+    if max_workers == 1:
+        return [one_session(*job) for job in jobs]
+    from repro.experiments.parallel import pmap  # import cycle: parallel uses us
+
+    return pmap(_session_job, jobs, max_workers=max_workers)
 
 
 def accumulate_rules(

@@ -1,0 +1,115 @@
+"""Deterministic parallel experiment harness.
+
+Experiments decompose into *independent* units — repetitions of a tuning
+session, per-workload figure rows — whose outcomes depend only on explicit
+arguments and explicit seeds, never on execution order.  :func:`pmap` fans
+such units over a process pool and returns results in submission order, so
+the parallel output is identical, rep for rep, to the sequential loops in
+:mod:`repro.experiments.harness` (asserted by ``tests/test_batch.py``).
+
+Worker-count resolution: an explicit ``max_workers`` wins; otherwise the
+``REPRO_MAX_WORKERS`` environment variable; otherwise ``os.cpu_count()``.
+Whenever the effective count (clamped to the number of units) is 1 the pool
+is skipped entirely and the work runs inline — single-core machines and CI
+boxes pay zero pickling or fork overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.cluster.hardware import ClusterSpec
+from repro.core.session import TuningSession
+from repro.experiments import harness
+from repro.experiments.harness import DEFAULT_REPS
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def effective_workers(max_workers: int | None = None, n_items: int | None = None) -> int:
+    """Resolve the worker count: explicit arg > env var > cpu count."""
+    if max_workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV}={env!r} is not an integer worker count"
+                ) from None
+        else:
+            max_workers = os.cpu_count() or 1
+    if n_items is not None:
+        max_workers = min(max_workers, n_items)
+    return max(1, max_workers)
+
+
+def pmap(
+    fn: Callable[[T], R], items: Iterable[T], max_workers: int | None = None
+) -> list[R]:
+    """Map ``fn`` over ``items`` preserving order, in parallel when it pays.
+
+    ``fn`` and every item must be picklable (``fn`` a module-level function).
+    Results arrive in submission order regardless of completion order, which
+    is what keeps parallel experiments deterministic.
+    """
+    items = list(items)
+    workers = effective_workers(max_workers, len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# ---------------------------------------------------------------------------
+# Parallel tuning sessions (the harness's ``run_sessions`` fanned over reps).
+# ---------------------------------------------------------------------------
+
+
+def run_sessions(
+    cluster: ClusterSpec,
+    workload_name: str,
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+    max_workers: int | None = None,
+    **kwargs: Any,
+) -> list[TuningSession]:
+    """``reps`` independent tuning runs, auto-fanned over a process pool.
+
+    A thin alias of :func:`repro.experiments.harness.run_sessions` whose
+    ``max_workers`` defaults to auto-sizing instead of inline — there is one
+    wrapper implementation, so the two entry points cannot drift.
+    """
+    return harness.run_sessions(
+        cluster,
+        workload_name,
+        reps=reps,
+        seed=seed,
+        max_workers=effective_workers(max_workers, reps),
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-workload figure fan-out.
+# ---------------------------------------------------------------------------
+
+
+def map_workloads(
+    fn: Callable[[str], R],
+    names: Sequence[str],
+    max_workers: int | None = None,
+) -> list[R]:
+    """Fan a per-workload figure body over ``names`` (order preserved).
+
+    Thin alias of :func:`pmap` that documents the common figure shape:
+    ``fn`` computes one workload's row (measurements + sessions) and must be
+    a module-level function closing over nothing unpicklable.
+    """
+    return pmap(fn, names, max_workers=max_workers)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any
 
 SECTION_RE = re.compile(r"^## ([A-Z0-9 _:?]+)$", re.MULTILINE)
@@ -80,7 +81,15 @@ def build_parameter_section(params: list[ParameterInfo]) -> str:
     return "\n".join(lines)
 
 
+@lru_cache(maxsize=64)
 def parse_parameter_section(body: str) -> list[ParameterInfo]:
+    """Parse the tunable-parameter block.
+
+    Memoized: the same parameter section recurs on every turn of a tuning
+    loop, and there are only a handful of distinct sections per process
+    (ablations toggle descriptions, §5.6 restricts the surface).  Callers
+    treat the returned infos as read-only.
+    """
     params: list[ParameterInfo] = []
     current: ParameterInfo | None = None
     for raw in body.splitlines():

@@ -6,15 +6,30 @@ against the rest of the configuration plus hardware facts).  ``clipped``
 returns the nearest valid configuration — the behaviour of a real admin tool
 that refuses out-of-range writes — and is what the Configuration Runner
 applies when an LLM proposes an invalid value.
+
+Caching invariants
+------------------
+Bounds resolution is the simulator's hot path (every ``run`` validates every
+parameter), so the config memoizes two things:
+
+- the evaluation *env* (``{name: float(value)} ∪ facts``) is built once and
+  updated in place on ``__setitem__``;
+- resolved ``bounds`` are cached per parameter and invalidated **wholesale**
+  whenever any value or fact changes, because ranges are interdependent
+  (``max_read_ahead_per_file_mb`` depends on ``max_read_ahead_mb``, …).
+
+All mutation funnels through ``__setitem__`` / ``_set_raw`` and the
+observing ``facts`` dict (:class:`_Facts`), which bump ``_version`` — code
+must never write ``_values`` directly from outside this module.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.pfs import params as P
-from repro.pfs.expressions import ExpressionError, evaluate
+from repro.pfs.expressions import ExpressionError, compile_expression
 
 
 @dataclass(frozen=True)
@@ -26,12 +41,67 @@ class Violation:
     reason: str
 
 
+class _Facts(dict):
+    """A facts dict that invalidates its owning config's caches on mutation."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "PfsConfig", *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._owner = owner
+
+    def _touch(self) -> None:
+        self._owner._invalidate()
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._touch()
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self._touch()
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return self[key]
+        super().__setitem__(key, default)
+        self._touch()
+        return default
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self._touch()
+
+    def pop(self, key, *default):
+        out = super().pop(key, *default)
+        self._touch()
+        return out
+
+    def popitem(self):
+        out = super().popitem()
+        self._touch()
+        return out
+
+    def __ior__(self, other):
+        super().update(other)
+        self._touch()
+        return self
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+
 class PfsConfig:
     """A complete assignment of writable parameters."""
 
     def __init__(self, values: Mapping[str, int] | None = None, facts: Mapping[str, float] | None = None):
         self._values: dict[str, int] = P.defaults()
-        self.facts: dict[str, float] = dict(facts or {"system_memory_mb": 196 * 1024, "n_ost": 5})
+        self.facts: dict[str, float] = _Facts(
+            self, facts or {"system_memory_mb": 196 * 1024, "n_ost": 5}
+        )
+        self._env_cache: dict[str, float] | None = None
+        self._bounds_cache: dict[str, tuple[float, float]] = {}
         if values:
             for name, value in values.items():
                 self[name] = value
@@ -45,7 +115,19 @@ class PfsConfig:
         spec = P.get(name)
         if not spec.writable:
             raise PermissionError(f"parameter {spec.name} is read-only")
-        self._values[spec.name] = int(value)
+        self._set_raw(spec.name, int(value))
+
+    def _set_raw(self, name: str, value: int) -> None:
+        """Write a resolved parameter name, keeping caches coherent."""
+        self._values[name] = value
+        self._bounds_cache.clear()
+        if self._env_cache is not None:
+            self._env_cache[name] = float(value)
+
+    def _invalidate(self) -> None:
+        """Drop caches after a facts mutation (env keys may appear/vanish)."""
+        self._env_cache = None
+        self._bounds_cache.clear()
 
     def __contains__(self, name: str) -> bool:
         try:
@@ -64,11 +146,27 @@ class PfsConfig:
 
     __hash__ = None
 
+    def __getstate__(self) -> dict:
+        # Caches are rebuilt lazily; ``facts`` crosses as a plain dict so the
+        # observer's owner cycle never hits the pickle machinery half-built.
+        return {"values": dict(self._values), "facts": dict(self.facts)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._values = state["values"]
+        self.facts = _Facts(self, state["facts"])
+        self._env_cache = None
+        self._bounds_cache = {}
+
     def as_dict(self) -> dict[str, int]:
         return dict(self._values)
 
     def copy(self) -> "PfsConfig":
-        return PfsConfig(self._values, self.facts)
+        new = PfsConfig.__new__(PfsConfig)
+        new._values = dict(self._values)
+        new.facts = _Facts(new, self.facts)
+        new._env_cache = None
+        new._bounds_cache = {}
+        return new
 
     def with_updates(self, updates: Mapping[str, int]) -> "PfsConfig":
         new = self.copy()
@@ -84,18 +182,32 @@ class PfsConfig:
                 out[name] = (value, other._values.get(name))
         return out
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of (values, facts) — used for batch dedup."""
+        return (
+            tuple(sorted(self._values.items())),
+            tuple(sorted(self.facts.items())),
+        )
+
     # -- validation --------------------------------------------------------
     def _env(self) -> dict[str, float]:
-        env = {name: float(v) for name, v in self._values.items()}
-        env.update(self.facts)
+        env = self._env_cache
+        if env is None:
+            env = {name: float(v) for name, v in self._values.items()}
+            env.update(self.facts)
+            self._env_cache = env
         return env
 
     def bounds(self, name: str) -> tuple[float, float]:
         """Resolved (min, max) for a parameter under current values/facts."""
         spec = P.get(name)
+        cached = self._bounds_cache.get(spec.name)
+        if cached is not None:
+            return cached
         env = self._env()
         low = _resolve(spec.min_expr, env, default=float("-inf"))
         high = _resolve(spec.max_expr, env, default=float("inf"))
+        self._bounds_cache[spec.name] = (low, high)
         return low, high
 
     def violations(self) -> list[Violation]:
@@ -133,7 +245,7 @@ class PfsConfig:
                 value = new._values[name]
                 clipped_value = int(min(max(value, low), high))
                 if clipped_value != value:
-                    new._values[name] = clipped_value
+                    new._set_raw(name, clipped_value)
                     changed = True
             if not changed:
                 break
@@ -163,4 +275,4 @@ def _resolve(expr: float | str | None, env: Mapping[str, float], default: float)
         return default
     if isinstance(expr, (int, float)):
         return float(expr)
-    return evaluate(expr, env)
+    return compile_expression(expr)(env)

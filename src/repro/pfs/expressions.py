@@ -10,12 +10,21 @@ Grammar: numbers, identifiers (parameter basenames or system facts such as
 ``system_memory_mb`` / ``n_ost``), ``+ - * / //``, unary minus, parentheses,
 and ``min(...)`` / ``max(...)``.  Implemented by whitelisting Python ``ast``
 nodes — anything outside the grammar raises :class:`ExpressionError`.
+
+Expressions are compiled once per distinct source string: :func:`compile_expression`
+parses the AST a single time and returns a closure tree, so the hot tuning
+path (every ``PfsConfig.bounds`` call) pays only dict lookups and float
+arithmetic, never ``ast.parse``.  Parse-time errors (syntax, disallowed
+constructs) surface at compile time; value-dependent errors (unknown
+identifiers, division by zero) surface at evaluation time, exactly as the
+uncompiled evaluator raised them.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Mapping
+from functools import lru_cache
+from typing import Callable, Mapping
 
 
 class ExpressionError(ValueError):
@@ -41,11 +50,84 @@ def evaluate(expression: str, env: Mapping[str, float]) -> float:
     dots replaced by nothing special; both the full dotted name and the
     basename are accepted lookups.
     """
+    return compile_expression(expression)(env)
+
+
+@lru_cache(maxsize=None)
+def compile_expression(expression: str) -> Callable[[Mapping[str, float]], float]:
+    """Parse ``expression`` once and return a reusable evaluator closure.
+
+    The cache is keyed by the source string, so every caller sharing a range
+    expression (all :class:`~repro.pfs.config.PfsConfig` instances) shares one
+    compiled form.  Compilation raises :class:`ExpressionError` for syntax
+    errors and disallowed constructs; the returned closure raises it for
+    unknown identifiers and division by zero, matching the one-shot evaluator.
+    """
     try:
         tree = ast.parse(expression, mode="eval")
     except SyntaxError as exc:
         raise ExpressionError(f"bad expression {expression!r}: {exc}") from None
-    return _eval_node(tree.body, env, expression)
+    return _compile_node(tree.body, expression)
+
+
+def _compile_node(
+    node: ast.AST, expression: str
+) -> Callable[[Mapping[str, float]], float]:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
+            value = float(node.value)
+            return lambda env: value
+        raise ExpressionError(f"non-numeric constant in {expression!r}")
+    if isinstance(node, ast.Name):
+        name = node.id
+        return lambda env: _lookup(name, env, expression)
+    if isinstance(node, ast.Attribute):
+        dotted = _dotted_name(node, expression)
+        return lambda env: _lookup(dotted, env, expression)
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise ExpressionError(f"operator not allowed in {expression!r}")
+        left = _compile_node(node.left, expression)
+        right = _compile_node(node.right, expression)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+
+            def divide(env: Mapping[str, float]) -> float:
+                denominator = right(env)
+                if denominator == 0:
+                    raise ExpressionError(f"division by zero in {expression!r}")
+                return float(op(left(env), denominator))
+
+            return divide
+        return lambda env: float(op(left(env), right(env)))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        operand = _compile_node(node.operand, expression)
+        return lambda env: -operand(env)
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_CALLS:
+            raise ExpressionError(f"only min()/max() calls allowed in {expression!r}")
+        if node.keywords:
+            raise ExpressionError(f"keyword arguments not allowed in {expression!r}")
+        if not node.args:
+            raise ExpressionError(f"empty call in {expression!r}")
+        call = _ALLOWED_CALLS[node.func.id]
+        args = [_compile_node(a, expression) for a in node.args]
+        return lambda env: float(call(*(a(env) for a in args)))
+    raise ExpressionError(
+        f"disallowed syntax {type(node).__name__} in {expression!r}"
+    )
+
+
+def _dotted_name(node: ast.Attribute, expression: str) -> str:
+    parts: list[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        raise ExpressionError(f"unsupported attribute base in {expression!r}")
+    parts.append(current.id)
+    return ".".join(reversed(parts))
 
 
 def _lookup(name: str, env: Mapping[str, float], expression: str) -> float:
@@ -56,50 +138,6 @@ def _lookup(name: str, env: Mapping[str, float], expression: str) -> float:
         if key.rsplit(".", 1)[-1] == name:
             return float(value)
     raise ExpressionError(f"unknown identifier {name!r} in {expression!r}")
-
-
-def _eval_node(node: ast.AST, env: Mapping[str, float], expression: str) -> float:
-    if isinstance(node, ast.Constant):
-        if isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
-            return float(node.value)
-        raise ExpressionError(f"non-numeric constant in {expression!r}")
-    if isinstance(node, ast.Name):
-        return _lookup(node.id, env, expression)
-    if isinstance(node, ast.Attribute):
-        # Dotted names parse as attribute access: rebuild the dotted string.
-        parts: list[str] = []
-        current: ast.AST = node
-        while isinstance(current, ast.Attribute):
-            parts.append(current.attr)
-            current = current.value
-        if not isinstance(current, ast.Name):
-            raise ExpressionError(f"unsupported attribute base in {expression!r}")
-        parts.append(current.id)
-        dotted = ".".join(reversed(parts))
-        return _lookup(dotted, env, expression)
-    if isinstance(node, ast.BinOp):
-        op = _BINOPS.get(type(node.op))
-        if op is None:
-            raise ExpressionError(f"operator not allowed in {expression!r}")
-        left = _eval_node(node.left, env, expression)
-        right = _eval_node(node.right, env, expression)
-        if isinstance(node.op, (ast.Div, ast.FloorDiv)) and right == 0:
-            raise ExpressionError(f"division by zero in {expression!r}")
-        return float(op(left, right))
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-        return -_eval_node(node.operand, env, expression)
-    if isinstance(node, ast.Call):
-        if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_CALLS:
-            raise ExpressionError(f"only min()/max() calls allowed in {expression!r}")
-        if node.keywords:
-            raise ExpressionError(f"keyword arguments not allowed in {expression!r}")
-        args = [_eval_node(a, env, expression) for a in node.args]
-        if not args:
-            raise ExpressionError(f"empty call in {expression!r}")
-        return float(_ALLOWED_CALLS[node.func.id](*args))
-    raise ExpressionError(
-        f"disallowed syntax {type(node).__name__} in {expression!r}"
-    )
 
 
 def referenced_names(expression: str) -> set[str]:

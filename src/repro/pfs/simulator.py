@@ -36,6 +36,8 @@ class WorkloadLike(Protocol):
 
     def compile(self, cluster: ClusterSpec) -> list[Phase]: ...
 
+    def cache_key(self) -> tuple: ...
+
 
 @dataclass
 class RunResult:
@@ -109,8 +111,26 @@ class Simulator:
             seed=seed,
         )
 
+    def run_batch(self, items) -> list[RunResult]:
+        """Evaluate many ``(workload, config, seed)`` tuples in one pass.
+
+        Runs sharing a (workload, config) pair are costed once by the model
+        with only per-seed noise re-applied; results are bit-identical to
+        sequential :meth:`run` calls with the same seeds.  See
+        :mod:`repro.sim.batch`.
+        """
+        from repro.sim.batch import run_batch
+
+        return run_batch(self, items)
+
     def run_repetitions(
         self, workload: WorkloadLike, config: PfsConfig, n: int, seed: int = 0
     ) -> list[RunResult]:
-        """The paper's eight-repetition protocol (fresh hygiene per run)."""
-        return [self.run(workload, config, seed=seed * 10_000 + i) for i in range(n)]
+        """The paper's eight-repetition protocol (fresh hygiene per run).
+
+        Rep seeds come from :meth:`RngStreams.rep_seed`; the batch path keeps
+        results identical to ``n`` sequential :meth:`run` calls.
+        """
+        from repro.sim.batch import repetition_items
+
+        return self.run_batch(repetition_items(workload, config, n, seed=seed))

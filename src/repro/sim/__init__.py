@@ -3,13 +3,13 @@
 A small, fast event-driven core used by the PFS micro-models and to
 cross-validate the phase-analytic performance model: an event heap
 (:class:`Engine`), FIFO service resources (:class:`FifoServer`,
-:class:`BandwidthLink`) and reproducible named RNG streams
-(:class:`RngStreams`).
+:class:`BandwidthLink`), reproducible named RNG streams
+(:class:`RngStreams`) and the batch run executor (:func:`run_batch`).
 """
 
 from repro.sim.engine import Engine, Event
-from repro.sim.resources import BandwidthLink, FifoServer, TokenPool
 from repro.sim.random import RngStreams
+from repro.sim.resources import BandwidthLink, FifoServer, TokenPool
 
 __all__ = [
     "Engine",
@@ -18,4 +18,17 @@ __all__ = [
     "BandwidthLink",
     "TokenPool",
     "RngStreams",
+    "run_batch",
+    "repetition_items",
+    "sweep_items",
 ]
+
+
+def __getattr__(name: str):
+    # The batch module sits above the PFS model layers, which themselves use
+    # the RNG streams here — resolve it lazily to keep imports acyclic.
+    if name in ("run_batch", "repetition_items", "sweep_items"):
+        from repro.sim import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,131 @@
+"""Batch simulation: evaluate many (workload, config, seed) runs at once.
+
+The analytic model is deterministic — for a fixed (workload, cluster, config)
+every repetition shares the exact same noise-free phase costs; only the
+seeded lognormal noise differs run to run.  ``run_batch`` exploits that:
+
+1. runs are grouped by ``(workload.cache_key(), config.cache_key())`` and the
+   phase list is costed **once** per group (phase compilation itself is
+   memoized per cluster, see :mod:`repro.workloads.base`);
+2. each run then applies its own per-phase and per-run noise, drawn through
+   :meth:`~repro.sim.random.RngStreams.lognormal_noise_vector` from the same
+   named streams the sequential path uses.
+
+The results are **bit-identical** to calling :meth:`Simulator.run` once per
+tuple with the same seeds — asserted by ``tests/test_batch.py`` — so callers
+(the repeated-measurement harness, the coordinate-descent baseline) can
+switch freely between the two paths.
+
+Sharing caveats: runs in the same group share one validated ``PfsConfig``
+instance and their :class:`PhaseResult`s share ``phase``/``bounds`` objects;
+both are treated as immutable by every consumer (the Darshan tracer reads,
+never writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.cluster.mpi import MpiJob
+from repro.pfs.config import PfsConfig
+from repro.pfs.model import AnalyticModel, RunState
+from repro.pfs.phases import PhaseResult
+from repro.sim.random import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with the facade module
+    from repro.pfs.simulator import RunResult, Simulator, WorkloadLike
+
+BatchItem = tuple["WorkloadLike", PfsConfig, int]
+
+
+def run_batch(sim: "Simulator", items: Iterable[BatchItem]) -> list["RunResult"]:
+    """Execute every ``(workload, config, seed)`` tuple; results in order.
+
+    Identical (workload, config) pairs are deduplicated: the model runs once
+    and only the (cheap) noise application repeats per seed.
+    """
+    from repro.pfs.simulator import (
+        PHASE_NOISE_SIGMA,
+        RUN_NOISE_SIGMA,
+        RunResult,
+    )
+
+    items = list(items)
+    # -- group runs sharing deterministic phase costs ----------------------
+    prepared: dict[tuple, tuple[PfsConfig, list[PhaseResult]]] = {}
+    keys: list[tuple] = []
+    for workload, config, _seed in items:
+        key = (workload.cache_key(), config.cache_key())
+        keys.append(key)
+        if key in prepared:
+            continue
+        prepared[key] = _evaluate_phases(sim, workload, config)
+
+    # -- per-run noise application ----------------------------------------
+    results: list[RunResult] = []
+    for (workload, _config, seed), key in zip(items, keys):
+        shared_config, base = prepared[key]
+        rng = RngStreams(seed).spawn(f"run:{workload.name}")
+        noises = rng.lognormal_noise_vector(
+            [f"phase:{i}" for i in range(len(base))], PHASE_NOISE_SIGMA
+        )
+        phases: list[PhaseResult] = []
+        total = 0.0
+        for result, noise in zip(base, noises):
+            noisy = replace(result, seconds=result.seconds * float(noise))
+            phases.append(noisy)
+            total += noisy.seconds
+        total *= rng.lognormal_noise("run", RUN_NOISE_SIGMA)
+        results.append(
+            RunResult(
+                workload=workload.name,
+                config=shared_config,
+                seconds=total,
+                phases=phases,
+                seed=seed,
+            )
+        )
+    return results
+
+
+def _evaluate_phases(
+    sim: "Simulator", workload: "WorkloadLike", config: PfsConfig
+) -> tuple[PfsConfig, list[PhaseResult]]:
+    """Validate ``config`` and cost every phase, noise-free.
+
+    Mirrors the setup of :meth:`Simulator.run` exactly (fresh config copy,
+    facts injection, validation, fresh :class:`RunState`) so the shared
+    results feed bit-identical totals.
+    """
+    config = config.copy()
+    config.facts.setdefault("n_ost", sim.cluster.n_ost)
+    config.facts["system_memory_mb"] = sim.cluster.system_memory_mb
+    config.validate()
+
+    job = MpiJob.launch(workload.name, workload.n_ranks, sim.cluster)
+    model = AnalyticModel(sim.cluster, config)
+    state = RunState()
+    return config, [
+        model.evaluate(phase, job, state) for phase in workload.compile(sim.cluster)
+    ]
+
+
+def repetition_items(
+    workload: "WorkloadLike", config: PfsConfig, n: int, seed: int = 0
+) -> list[BatchItem]:
+    """The paper's n-repetition protocol as a batch: rep ``i`` runs with
+    ``RngStreams.rep_seed(seed, i)``."""
+    return [(workload, config, RngStreams.rep_seed(seed, i)) for i in range(n)]
+
+
+def sweep_items(
+    workload: "WorkloadLike",
+    configs: Sequence[PfsConfig],
+    seeds: Sequence[int],
+) -> list[BatchItem]:
+    """One run per (config, seed) pair — the candidate-grid shape used by the
+    coordinate-descent baseline."""
+    if len(configs) != len(seeds):
+        raise ValueError("configs and seeds must align")
+    return [(workload, c, s) for c, s in zip(configs, seeds)]

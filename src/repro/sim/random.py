@@ -18,12 +18,31 @@ def _derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "little") & (2**63 - 1)
 
 
+#: Repetition index space per root seed — rep seeds are ``root * 10_000 + rep``.
+REP_STRIDE = 10_000
+
+
 class RngStreams:
     """A factory of independent :class:`numpy.random.Generator` streams."""
 
     def __init__(self, seed: int):
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+
+    @staticmethod
+    def rep_seed(root_seed: int, rep: int) -> int:
+        """The run seed for repetition ``rep`` of an experiment rooted at
+        ``root_seed``.
+
+        Every call site that performs repeated measurements (the harness's
+        ``measure_config``, ``Simulator.run_repetitions``, the batch API)
+        derives its per-rep seeds here, so two experiments rooted at
+        different seeds can never collide or correlate as long as
+        ``rep < REP_STRIDE`` — which is asserted.
+        """
+        if not 0 <= rep < REP_STRIDE:
+            raise ValueError(f"rep {rep} outside [0, {REP_STRIDE})")
+        return root_seed * REP_STRIDE + rep
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the generator for ``name``."""
@@ -42,3 +61,16 @@ class RngStreams:
         if sigma <= 0:
             return 1.0
         return float(np.exp(self.stream(name).normal(0.0, sigma)))
+
+    def lognormal_noise_vector(self, names: list[str], sigma: float) -> np.ndarray:
+        """Noise factors for many named streams in one vectorized ``exp``.
+
+        Element ``i`` is bit-identical to ``lognormal_noise(names[i], sigma)``
+        — each name still owns an independent generator (so adding consumers
+        never perturbs existing draws); only the normal→lognormal transform
+        is batched.
+        """
+        if sigma <= 0:
+            return np.ones(len(names))
+        draws = np.array([self.stream(n).normal(0.0, sigma) for n in names])
+        return np.exp(draws)

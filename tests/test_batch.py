@@ -1,0 +1,244 @@
+"""Batch/parallel execution: equivalence with the sequential paths, cache
+invalidation, and seed-stream unification."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.experiments import harness, parallel
+from repro.pfs.config import PfsConfig
+from repro.pfs.expressions import compile_expression
+from repro.sim.batch import repetition_items, sweep_items
+from repro.pfs.simulator import Simulator
+from repro.sim.random import REP_STRIDE, RngStreams
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster(seed=0)
+
+
+@pytest.fixture(scope="module")
+def sim(cluster):
+    return Simulator(cluster)
+
+
+class TestRunBatch:
+    def test_bit_identical_to_sequential(self, cluster, sim):
+        """Same seeds -> identical totals, phase times and breakdowns."""
+        for name in ("IOR_16M", "MDWorkbench_2K", "IO500"):
+            workload = get_workload(name)
+            config = PfsConfig(facts=cluster.config_facts())
+            seeds = [RngStreams.rep_seed(3, i) for i in range(4)]
+            sequential = [sim.run(workload, config, seed=s) for s in seeds]
+            batched = sim.run_batch([(workload, config, s) for s in seeds])
+            for seq, bat in zip(sequential, batched):
+                assert bat.seconds == seq.seconds
+                assert bat.seed == seq.seed
+                assert bat.config == seq.config
+                assert [p.seconds for p in bat.phases] == [
+                    p.seconds for p in seq.phases
+                ]
+                assert [p.bottleneck for p in bat.phases] == [
+                    p.bottleneck for p in seq.phases
+                ]
+                assert [p.bounds for p in bat.phases] == [
+                    p.bounds for p in seq.phases
+                ]
+
+    def test_mixed_configs_and_workloads(self, cluster, sim):
+        """Dedup across heterogeneous items must not cross-contaminate."""
+        base = PfsConfig(facts=cluster.config_facts())
+        tuned = base.with_updates({"osc.max_rpcs_in_flight": 32})
+        items = [
+            (get_workload("IOR_64K"), base, 11),
+            (get_workload("IOR_16M"), base, 12),
+            (get_workload("IOR_64K"), tuned, 13),
+            (get_workload("IOR_64K"), base, 14),  # dedups with item 0's group
+        ]
+        batched = sim.run_batch(items)
+        for (workload, config, seed), bat in zip(items, batched):
+            seq = sim.run(workload, config, seed=seed)
+            assert bat.seconds == seq.seconds
+            assert bat.workload == seq.workload
+
+    def test_run_repetitions_uses_rep_seeds(self, cluster, sim):
+        workload = get_workload("IOR_64K")
+        config = PfsConfig(facts=cluster.config_facts())
+        runs = sim.run_repetitions(workload, config, n=3, seed=5)
+        assert [r.seed for r in runs] == [RngStreams.rep_seed(5, i) for i in range(3)]
+        # Distinct reps must draw distinct noise.
+        assert len({r.seconds for r in runs}) == 3
+
+    def test_sweep_items_requires_alignment(self, cluster):
+        config = PfsConfig(facts=cluster.config_facts())
+        with pytest.raises(ValueError):
+            sweep_items(get_workload("IOR_64K"), [config], [1, 2])
+
+    def test_repetition_items_shape(self, cluster):
+        workload = get_workload("IOR_64K")
+        config = PfsConfig(facts=cluster.config_facts())
+        items = repetition_items(workload, config, 2, seed=9)
+        assert [(w.name, s) for w, _c, s in items] == [
+            ("IOR_64K", RngStreams.rep_seed(9, 0)),
+            ("IOR_64K", RngStreams.rep_seed(9, 1)),
+        ]
+
+
+class TestBoundsCache:
+    def test_bounds_follow_setitem(self):
+        config = PfsConfig()
+        config["llite.max_read_ahead_mb"] = 1024
+        assert config.bounds("llite.max_read_ahead_per_file_mb")[1] == 512.0
+        config["llite.max_read_ahead_mb"] = 2048
+        assert config.bounds("llite.max_read_ahead_per_file_mb")[1] == 1024.0
+
+    def test_bounds_follow_with_updates(self):
+        config = PfsConfig()
+        updated = config.with_updates({"mdc.max_rpcs_in_flight": 64})
+        assert updated.bounds("mdc.max_mod_rpcs_in_flight")[1] == 63.0
+        # The source config's cache must be untouched.
+        assert config.bounds("mdc.max_mod_rpcs_in_flight")[1] == 7.0
+
+    def test_bounds_follow_facts_mutation(self):
+        config = PfsConfig()
+        assert config.bounds("lov.stripe_count")[1] == 5.0
+        config.facts["n_ost"] = 12
+        assert config.bounds("lov.stripe_count")[1] == 12.0
+        config.facts.update({"system_memory_mb": 1024})
+        assert config.bounds("llite.max_read_ahead_mb")[1] == 512.0
+        config.facts |= {"n_ost": 7}
+        assert config.bounds("lov.stripe_count")[1] == 7.0
+        config.facts.pop("n_ost")
+        config.facts.setdefault("n_ost", 3)
+        assert config.bounds("lov.stripe_count")[1] == 3.0
+
+    def test_clipped_recomputes_dependent_bounds(self):
+        config = PfsConfig()
+        config["llite.max_read_ahead_mb"] = 100
+        config["llite.max_read_ahead_per_file_mb"] = 9999
+        clipped = config.clipped()
+        assert clipped["llite.max_read_ahead_per_file_mb"] == 50
+        assert not clipped.violations()
+
+    def test_copy_and_pickle_roundtrip(self):
+        import pickle
+
+        config = PfsConfig(values={"osc.max_dirty_mb": 256})
+        config.bounds("osc.max_dirty_mb")  # warm the caches
+        for clone in (config.copy(), pickle.loads(pickle.dumps(config))):
+            assert clone == config
+            assert clone.facts == dict(config.facts)
+            clone["osc.max_dirty_mb"] = 128
+            assert config["osc.max_dirty_mb"] == 256
+            clone.facts["n_ost"] = 3
+            assert clone.bounds("lov.stripe_count")[1] == 3.0
+            assert config.bounds("lov.stripe_count")[1] == 5.0
+
+
+class TestExpressionCompilation:
+    def test_compiled_is_shared_and_correct(self):
+        fn_a = compile_expression("system_memory_mb / 2")
+        fn_b = compile_expression("system_memory_mb / 2")
+        assert fn_a is fn_b
+        assert fn_a({"system_memory_mb": 64}) == 32.0
+
+    def test_value_errors_surface_at_call_time(self):
+        from repro.pfs.expressions import ExpressionError
+
+        fn = compile_expression("a / b")
+        assert fn({"a": 6, "b": 3}) == 2.0
+        with pytest.raises(ExpressionError):
+            fn({"a": 6, "b": 0})
+        with pytest.raises(ExpressionError):
+            fn({"a": 6})
+
+
+class TestSeedUnification:
+    def test_rep_seed_derivation(self):
+        assert RngStreams.rep_seed(0, 0) == 0
+        assert RngStreams.rep_seed(2, 7) == 2 * REP_STRIDE + 7
+
+    def test_rep_seed_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RngStreams.rep_seed(1, REP_STRIDE)
+        with pytest.raises(ValueError):
+            RngStreams.rep_seed(1, -1)
+
+    def test_distinct_roots_never_collide(self):
+        seeds = {
+            RngStreams.rep_seed(root, rep)
+            for root in range(5)
+            for rep in range(8)
+        }
+        assert len(seeds) == 40
+
+
+class TestConfigFacts:
+    def test_cluster_facts_single_source(self, cluster):
+        facts = cluster.config_facts()
+        assert facts == {
+            "system_memory_mb": cluster.system_memory_mb,
+            "n_ost": cluster.n_ost,
+        }
+        # A fresh dict every call — mutating one must not leak.
+        facts["n_ost"] = 99
+        assert cluster.config_facts()["n_ost"] == cluster.n_ost
+
+
+class TestParallelHarness:
+    def test_pmap_orders_results(self):
+        assert parallel.pmap(str.upper, ["a", "b", "c"], max_workers=2) == [
+            "A",
+            "B",
+            "C",
+        ]
+
+    def test_effective_workers_clamps(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
+        assert parallel.effective_workers(4, n_items=2) == 2
+        assert parallel.effective_workers(0) == 1
+        monkeypatch.setenv(parallel.WORKERS_ENV, "3")
+        assert parallel.effective_workers(None, n_items=10) == 3
+
+    def test_parallel_sessions_match_sequential(self, cluster):
+        extraction = harness.shared_extraction(cluster)
+        sequential = harness.run_sessions(
+            cluster, "IOR_64K", reps=2, seed=4, extraction=extraction
+        )
+        pooled = parallel.run_sessions(
+            cluster,
+            "IOR_64K",
+            reps=2,
+            seed=4,
+            extraction=extraction,
+            max_workers=2,
+        )
+        assert [s.best_seconds for s in pooled] == [
+            s.best_seconds for s in sequential
+        ]
+        assert [s.initial_seconds for s in pooled] == [
+            s.initial_seconds for s in sequential
+        ]
+        assert [len(s.attempts) for s in pooled] == [
+            len(s.attempts) for s in sequential
+        ]
+
+    def test_parallel_sessions_match_sequential_with_rules(self, cluster):
+        extraction = harness.shared_extraction(cluster)
+        rule_engine = harness.accumulate_rules(
+            cluster, ["IOR_64K"], seed=1, extraction=extraction
+        )
+        kwargs = dict(
+            reps=2, seed=4, extraction=extraction, rule_engine=rule_engine
+        )
+        sequential = harness.run_sessions(cluster, "IOR_16M", **kwargs)
+        pooled = parallel.run_sessions(
+            cluster, "IOR_16M", max_workers=2, **kwargs
+        )
+        assert [s.best_seconds for s in pooled] == [
+            s.best_seconds for s in sequential
+        ]
+        assert [s.rules_json for s in pooled] == [
+            s.rules_json for s in sequential
+        ]

@@ -1,0 +1,54 @@
+"""Benchmark smoke gate: fail on >20% regression of harness throughput.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Compares the committed ``BENCH_throughput.json`` (baseline) against a
+freshly measured run and exits non-zero when any tracked rate fell more
+than the threshold below the baseline.  Absolute rates vary with runner
+hardware, so CI snapshots the baseline *on the same machine* (checkout
+state) before measuring the candidate — the gate checks relative
+regression, not historical absolutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The sessions/sec and runs/sec figures the PR-1 perf work established.
+TRACKED = (
+    "batched_runs_per_sec",
+    "sequential_runs_per_sec",
+    "sessions_per_sec",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.20)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+
+    failed = False
+    for key in TRACKED:
+        base = float(baseline[key])
+        now = float(current[key])
+        ratio = now / base if base else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = f"REGRESSION (> {args.threshold:.0%} below baseline)"
+            failed = True
+        print(f"{key}: baseline {base:.1f} -> current {now:.1f} ({ratio:.2f}x) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

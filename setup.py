@@ -2,7 +2,8 @@
 
 Fully offline environments may lack the ``wheel`` package that PEP 660
 editable installs require; this shim enables the classic develop-mode
-fallback. All metadata lives in ``pyproject.toml``.
+fallback. All metadata lives in ``pyproject.toml`` (project table, ``src``
+layout, pytest config).
 """
 
 from setuptools import setup

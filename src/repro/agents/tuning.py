@@ -56,14 +56,17 @@ TOOLS = [
     ),
 ]
 
-_SYSTEM = (
-    "You are the Tuning Agent of STELLAR, an autonomous tuner for a Lustre "
-    "parallel file system. Generate high-quality configurations, observe "
-    "measured performance, and reflect on the outcomes. When generating a "
-    "configuration, document the rationale behind each value. Finalize the "
-    "process only when you believe further tuning would not elicit further "
-    "performance gains, and justify the decision."
-)
+def system_prompt(fs_family: str = "Lustre") -> str:
+    """The Tuning Agent's system prompt, naming the target file system."""
+    return (
+        f"You are the Tuning Agent of STELLAR, an autonomous tuner for a "
+        f"{fs_family} parallel file system. Generate high-quality "
+        "configurations, observe measured performance, and reflect on the "
+        "outcomes. When generating a configuration, document the rationale "
+        "behind each value. Finalize the process only when you believe "
+        "further tuning would not elicit further performance gains, and "
+        "justify the decision."
+    )
 
 
 class ConfigurationRunnerLike(Protocol):
@@ -102,8 +105,10 @@ class TuningAgent:
         max_attempts: int = 5,
         transcript: Transcript | None = None,
         session: str = "tuning",
+        fs_family: str = "Lustre",
     ):
         self.client = client
+        self._system = system_prompt(fs_family)
         self.parameters = parameters
         self.hardware_description = hardware_description
         self.facts = facts
@@ -205,7 +210,7 @@ class TuningAgent:
             "Choose your next action."
         )
         return [
-            ChatMessage(role="system", content=_SYSTEM),
+            ChatMessage(role="system", content=self._system),
             ChatMessage(role="user", content="\n\n".join(sections)),
         ]
 
@@ -228,7 +233,7 @@ class TuningAgent:
         )
         content = self.client.complete(
             [
-                ChatMessage(role="system", content=_SYSTEM),
+                ChatMessage(role="system", content=self._system),
                 ChatMessage(role="user", content="\n\n".join(sections)),
             ],
             agent="tuning",

@@ -1,0 +1,46 @@
+"""Pluggable parallel-file-system backends.
+
+A :class:`~repro.backends.base.PfsBackend` bundles everything that is
+specific to one file system flavor: the parameter registry, manual chapters,
+``/proc`` layout, performance-model role mapping and coefficients, the mock
+LLM's hallucination profile and tuning heuristics, and the expert/search
+baselines.  The rest of the pipeline is backend-agnostic and resolves the
+active backend through :func:`get_backend` (usually via
+``ClusterSpec.backend``).
+
+Lustre is registered first and is the default; registration order also
+decides lookup priority in :func:`find_backend_for_param`.
+"""
+
+from repro.backends import beegfs as _beegfs
+from repro.backends import lustre as _lustre
+from repro.backends.base import (
+    MODEL_ROLES,
+    ParamSpec,
+    PfsBackend,
+    TuningHeuristics,
+    detect_backend,
+    find_backend_for_param,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+
+LUSTRE = register_backend(_lustre.BACKEND)
+BEEGFS = register_backend(_beegfs.BACKEND)
+
+__all__ = [
+    "MODEL_ROLES",
+    "ParamSpec",
+    "PfsBackend",
+    "TuningHeuristics",
+    "LUSTRE",
+    "BEEGFS",
+    "detect_backend",
+    "find_backend_for_param",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+]

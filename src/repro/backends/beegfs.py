@@ -1,0 +1,855 @@
+"""A BeeGFS-flavored backend: the second file system wired through the stack.
+
+Modeled on BeeGFS 7.x semantics: striping is a per-directory *pattern*
+(chunk size + number of storage targets, set with ``beegfs-ctl``), the
+client multiplexes work over a bounded pool of connections per server
+(``connMaxInternodeNum``), buffered I/O coalesces writes in fixed-size file
+cache buffers, and there is no Lustre-style short-I/O fast path.  Parameter
+names follow the ``beegfs-client.conf`` camel-to-dotted convention used by
+this reproduction's registry (``client.conn_max_internode_num`` etc.) and
+defaults/ranges are plausible for the modeled 10-node testbed — this is a
+"BeeGFS-like" system for cross-backend experiments, not a byte-exact copy
+of any shipping release.
+
+Deliberate contrasts with the Lustre backend (so cross-backend transfer is
+non-trivial):
+
+- different parameter names and units everywhere (KiB buffers vs. 4 KiB
+  pages, chunk size in bytes vs. stripe size);
+- wider default stripe pattern (4 targets) but a smaller default chunk;
+- directory-entry prefetch ships *disabled* (``meta.dentry_prefetch_num``
+  default 0), so metadata scans have more headroom to gain;
+- no short-I/O role and slightly different wire-cost coefficients.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    KiB,
+    MiB,
+    ParamSpec,
+    PfsBackend,
+    TuningHeuristics,
+)
+
+
+def _p(**kwargs) -> ParamSpec:
+    return ParamSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The 12 high-impact runtime-tunable parameters STELLAR selects for BeeGFS.
+# ---------------------------------------------------------------------------
+_SELECTED = [
+    _p(
+        name="stripe.chunk_size",
+        ptype="int",
+        default=512 * KiB,
+        min_expr=64 * KiB,
+        max_expr=64 * MiB,
+        unit="bytes",
+        impact="high",
+        selected=True,
+        user_settable=True,
+        description=(
+            "The number of bytes stored on each storage target before the "
+            "layout advances to the next target in the stripe pattern. "
+            "Applies to files created after the pattern is set on their "
+            "parent directory."
+        ),
+        perf_note=(
+            "Directly shapes streaming throughput: chunks should cover the "
+            "application's transfer size so one request stays within a "
+            "single target; tiny chunks fragment large transfers across "
+            "servers, while oversized chunks reduce parallelism for medium "
+            "files."
+        ),
+    ),
+    _p(
+        name="stripe.num_targets",
+        ptype="int",
+        default=4,
+        min_expr=-1,
+        max_expr="n_ost",
+        unit="count",
+        impact="high",
+        selected=True,
+        user_settable=True,
+        description=(
+            "The number of storage targets a file's contents are striped "
+            "across. A value of -1 stripes across every available target. "
+            "The pattern is fixed when the file is created."
+        ),
+        perf_note=(
+            "The main bandwidth lever for large shared files: striping "
+            "across more targets multiplies available disk and network "
+            "bandwidth. Workloads creating many small files pay per-file "
+            "chunk allocation overhead on every create and unlink when the "
+            "pattern is wide."
+        ),
+    ),
+    _p(
+        name="client.conn_max_internode_num",
+        ptype="int",
+        default=12,
+        min_expr=1,
+        max_expr=128,
+        unit="count",
+        impact="high",
+        per_device=True,
+        selected=True,
+        description=(
+            "The maximum number of simultaneous connections a client node "
+            "opens to each storage node; each connection carries one "
+            "outstanding data request."
+        ),
+        perf_note=(
+            "Controls data-path concurrency and therefore directly "
+            "influences achievable bandwidth and latency hiding; raise it "
+            "when many processes per node target the same storage server."
+        ),
+    ),
+    _p(
+        name="tune.file_cache_buf_kb",
+        ptype="int",
+        default=512,
+        min_expr=64,
+        max_expr=32768,
+        unit="KiB",
+        impact="high",
+        selected=True,
+        description=(
+            "The size in KiB of each client file cache buffer; sequential "
+            "writes coalesce inside a buffer until it fills, and a full "
+            "buffer is shipped to a storage target as one wire request."
+        ),
+        perf_note=(
+            "Larger buffers amortize per-request CPU and network overhead "
+            "and directly improve large sequential throughput; small random "
+            "requests cannot be coalesced and see little benefit."
+        ),
+    ),
+    _p(
+        name="tune.dirty_buf_mb",
+        ptype="int",
+        default=32,
+        min_expr=1,
+        max_expr=2047,
+        unit="MiB",
+        impact="high",
+        selected=True,
+        description=(
+            "The amount of dirty (unflushed) buffered write data allowed "
+            "per mount before writers are throttled."
+        ),
+        perf_note=(
+            "Governs write-back pipelining: enough dirty headroom keeps the "
+            "pipe to the storage servers full; too little serializes "
+            "writers behind buffer flushes."
+        ),
+    ),
+    _p(
+        name="tune.read_ahead_total_mb",
+        ptype="int",
+        default=48,
+        min_expr=0,
+        max_expr="system_memory_mb / 2",
+        unit="MiB",
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum amount of data, per client mount, the readahead "
+            "engine may prefetch across all open files."
+        ),
+        perf_note=(
+            "Determines how far sequential reads run ahead of the "
+            "application, hiding network and disk latency; streaming "
+            "readers benefit, random readers gain nothing."
+        ),
+    ),
+    _p(
+        name="tune.read_ahead_file_kb",
+        ptype="int",
+        default=8192,
+        min_expr=0,
+        max_expr="tune.read_ahead_total_mb * 512",
+        unit="KiB",
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum readahead window in KiB for a single file; it may "
+            "use at most half of the total readahead budget."
+        ),
+        perf_note=(
+            "Caps per-stream prefetch depth: large sequential reads of one "
+            "big file need this window to cover the bandwidth-delay product "
+            "to the storage targets."
+        ),
+    ),
+    _p(
+        name="tune.read_whole_file_kb",
+        ptype="int",
+        default=1024,
+        min_expr=0,
+        max_expr="tune.read_ahead_file_kb",
+        unit="KiB",
+        impact="medium",
+        selected=True,
+        description=(
+            "Files at or below this size in KiB are fetched in their "
+            "entirety on first access rather than page by page."
+        ),
+        perf_note=(
+            "Coalesces many small reads of a small file into one request; "
+            "useful when applications scan small files front to back."
+        ),
+    ),
+    _p(
+        name="tune.page_cache_mb",
+        ptype="int",
+        default=98304,  # half of the 196 GiB client RAM, in MiB
+        min_expr=32,
+        max_expr="system_memory_mb",
+        unit="MiB",
+        impact="medium",
+        selected=True,
+        description=(
+            "The maximum amount of file data cached in the client page "
+            "cache for this mount (default: half of RAM)."
+        ),
+        perf_note=(
+            "Bounds how much previously read or written data can be served "
+            "from client memory on re-access; shrinking it forces re-reads "
+            "over the network."
+        ),
+    ),
+    _p(
+        name="meta.conn_max_internode_num",
+        ptype="int",
+        default=8,
+        min_expr=2,  # must stay above mod_queue_depth's minimum of 1
+        max_expr=128,
+        unit="count",
+        impact="high",
+        per_device=True,
+        selected=True,
+        description=(
+            "The maximum number of simultaneous connections a client keeps "
+            "to each metadata server; each carries one outstanding metadata "
+            "request."
+        ),
+        perf_note=(
+            "Caps metadata concurrency per client node; when more processes "
+            "than this issue metadata operations simultaneously, requests "
+            "queue on the client and the per-client operation rate drops."
+        ),
+    ),
+    _p(
+        name="meta.mod_queue_depth",
+        ptype="int",
+        default=6,
+        min_expr=1,
+        max_expr="meta.conn_max_internode_num - 1",
+        unit="count",
+        impact="high",
+        per_device=True,
+        selected=True,
+        description=(
+            "The maximum number of concurrent *modifying* metadata requests "
+            "(create, unlink, rename) a client keeps queued to one metadata "
+            "server. Must stay strictly below meta.conn_max_internode_num."
+        ),
+        perf_note=(
+            "Bounds file creation and deletion concurrency per client; "
+            "workloads that create or remove many files in parallel are "
+            "directly limited by this value."
+        ),
+    ),
+    _p(
+        name="meta.dentry_prefetch_num",
+        ptype="int",
+        default=0,
+        min_expr=0,
+        max_expr=4096,
+        unit="count",
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum number of directory entries whose attributes are "
+            "prefetched asynchronously when a process scans a directory "
+            "(e.g. readdir followed by stat). 0 disables entry prefetch; "
+            "the feature ships disabled."
+        ),
+        perf_note=(
+            "Pipelines attribute fetches during directory scans, hiding "
+            "per-stat round-trip latency; directly accelerates "
+            "metadata-intensive workloads that stat many files in readdir "
+            "order."
+        ),
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# Binary parameters: user trade-offs, excluded from tuning by design.
+# ---------------------------------------------------------------------------
+_BINARY = [
+    _p(
+        name="net.data_checksums",
+        ptype="bool",
+        default=0,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="high",
+        description=(
+            "Enables end-to-end checksums of bulk data between client and "
+            "storage targets to detect wire corruption."
+        ),
+        perf_note=(
+            "Checksumming costs CPU per transferred byte and measurably "
+            "reduces large-transfer throughput; configure per "
+            "data-integrity requirements rather than for performance."
+        ),
+    ),
+    _p(
+        name="tune.use_buffered_io",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="high",
+        description=(
+            "Selects the buffered file cache mode; when disabled the client "
+            "bypasses its cache buffers and issues every request directly."
+        ),
+        perf_note=(
+            "A semantics/performance trade-off for applications that need "
+            "strict write-through behaviour; leave enabled otherwise."
+        ),
+    ),
+    _p(
+        name="tune.remote_fsync",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="low",
+        doc="partial",
+        description=(
+            "Controls whether fsync flushes data to the storage servers' "
+            "disks or only to their caches."
+        ),
+        perf_note="A durability trade-off, not a tuning control.",
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# Writable but low/no-impact or under-documented parameters.
+# ---------------------------------------------------------------------------
+_FILTERED = [
+    _p(
+        name="client.conn_num_retries",
+        ptype="int",
+        default=3,
+        min_expr=0,
+        max_expr=100,
+        unit="count",
+        impact="low",
+        description=(
+            "How many times a failed connection attempt is retried before "
+            "the remote node is reported unreachable."
+        ),
+        perf_note="Matters for fault handling, not steady-state performance.",
+    ),
+    _p(
+        name="mgmtd.quota_update_secs",
+        ptype="int",
+        default=30,
+        min_expr=1,
+        max_expr=3600,
+        unit="seconds",
+        impact="low",
+        description=(
+            "Interval between quota usage refreshes collected by the "
+            "management daemon from the storage targets."
+        ),
+        perf_note=(
+            "Usage accounting housekeeping; not a performance tuning "
+            "control."
+        ),
+    ),
+    _p(
+        name="client.conn_tcp_fallback_secs",
+        ptype="int",
+        default=30,
+        min_expr=0,
+        max_expr=600,
+        unit="seconds",
+        impact="low",
+        doc="partial",
+        description=(
+            "Seconds to wait for an RDMA connection before falling back to "
+            "TCP."
+        ),
+        perf_note="A connection-establishment setting.",
+    ),
+    _p(
+        name="sys.update_target_states_secs",
+        ptype="int",
+        default=30,
+        min_expr=1,
+        max_expr=600,
+        unit="seconds",
+        impact="none",
+        doc="none",
+        description="Interval between target reachability state refreshes.",
+        perf_note="",
+    ),
+    _p(
+        name="client.heartbeat_secs",
+        ptype="int",
+        default=20,
+        min_expr=1,
+        max_expr=600,
+        unit="seconds",
+        impact="none",
+        doc="none",
+        description="Interval between keep-alive heartbeats to known nodes.",
+        perf_note="",
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# Read-only informational entries.
+# ---------------------------------------------------------------------------
+_READONLY = [
+    _p(name="client.version", ptype="int", default=740, writable=False, impact="none", doc="none"),
+    _p(name="client.stats", ptype="int", default=0, writable=False, impact="none", doc="none"),
+    _p(name="storage.free_space_gb", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
+    _p(name="meta.node_id", ptype="int", default=1, writable=False, impact="none", doc="none", per_device=True),
+]
+
+# ---------------------------------------------------------------------------
+# Manual chapters
+# ---------------------------------------------------------------------------
+_SUBSYSTEM_CHAPTER = {
+    "stripe": "Striping Patterns and File Layout",
+    "client": "Client Connection Management",
+    "tune": "Client Tuning and Caching",
+    "meta": "Metadata Service Tuning",
+    "net": "Network Integrity Options",
+    "mgmtd": "The Management Service",
+    "storage": "Storage Service Administration",
+    "sys": "System State Monitoring",
+}
+
+_FILLER_CHAPTERS = (
+    (
+        "Introduction to the BeeGFS Architecture",
+        "A BeeGFS installation consists of a management service (mgmtd) "
+        "holding the registry of all nodes, one or more metadata services "
+        "owning directory entries and file attributes, storage services "
+        "exporting storage targets that hold file chunks, and the client "
+        "kernel module. File contents are split into chunks and distributed "
+        "over storage targets according to the directory's stripe pattern, "
+        "while metadata is distributed over metadata services per "
+        "directory. Adding storage servers scales bandwidth; adding "
+        "metadata servers scales operation rates.",
+    ),
+    (
+        "Connection-Based Messaging",
+        "Clients communicate with services over persistent connections "
+        "established on demand, preferring RDMA where available and "
+        "falling back to TCP. Each connection carries one request at a "
+        "time, so the per-node connection limits bound request "
+        "parallelism. Idle connections are dropped after a timeout and "
+        "re-established transparently.",
+    ),
+    (
+        "Buddy Mirroring and High Availability",
+        "Buddy mirror groups pair two targets so that chunks or metadata "
+        "written to the primary are replicated to its buddy. When a "
+        "primary becomes unreachable the buddy takes over. Resynchronizing "
+        "a returning buddy happens online, tracked per changed chunk.",
+    ),
+    (
+        "Storage Pools",
+        "Storage pools group targets into classes (e.g. flash and "
+        "capacity). A directory's stripe pattern selects the pool its new "
+        "files are placed in, so hot project directories can be pinned to "
+        "flash targets while bulk data lands on capacity pools.",
+    ),
+    (
+        "Quotas and Usage Tracking",
+        "BeeGFS tracks per-user and per-group block and inode usage on "
+        "each storage target. The management service aggregates usage and "
+        "enforces limits when quota enforcement is enabled. Usage queries "
+        "are served from periodically refreshed caches.",
+    ),
+    (
+        "The beegfs-ctl Command",
+        "beegfs-ctl is the administrative front end: it lists nodes and "
+        "targets, sets and queries stripe patterns, starts resyncs, "
+        "migrates data away from targets, and queries client connection "
+        "state. Pattern changes apply to files created afterwards.",
+    ),
+    (
+        "Monitoring with beegfs-mon",
+        "beegfs-mon collects per-service statistics (request rates, queue "
+        "lengths, per-client operation counts) into a time-series database "
+        "and is the recommended way to attribute load on a shared "
+        "installation to specific jobs or users.",
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Hallucination profile
+# ---------------------------------------------------------------------------
+_MISCONCEPTIONS = {
+    "stripe.num_targets": (
+        "The number of storage targets used by a directory; setting the "
+        "parent directory's pattern to -1 distributes the files in it more "
+        "evenly across all targets."
+    ),
+    "stripe.chunk_size": (
+        "The block size used by the underlying ext4 file system on each "
+        "storage target."
+    ),
+    "client.conn_max_internode_num": (
+        "The total number of requests a client may send per second to one "
+        "storage node."
+    ),
+    "tune.file_cache_buf_kb": (
+        "The number of KiB the storage server reads ahead from disk for "
+        "each request."
+    ),
+    "tune.dirty_buf_mb": (
+        "The maximum size of a single write call before it bypasses the "
+        "cache and is sent synchronously."
+    ),
+    "tune.read_ahead_total_mb": (
+        "The size of the read cache kept on each storage server for "
+        "recently read chunks."
+    ),
+    "tune.read_ahead_file_kb": (
+        "The largest file size eligible for client-side caching."
+    ),
+    "tune.read_whole_file_kb": (
+        "The amount of data read ahead after every random read."
+    ),
+    "tune.page_cache_mb": (
+        "The maximum memory the metadata service uses to cache directory "
+        "entries."
+    ),
+    "meta.conn_max_internode_num": (
+        "The number of metadata server worker threads reserved for this "
+        "client."
+    ),
+    "meta.mod_queue_depth": (
+        "The number of retries for failed metadata modifications."
+    ),
+    "meta.dentry_prefetch_num": (
+        "The maximum number of prefetch threads the client may spawn while "
+        "listing directories."
+    ),
+}
+
+#: The striping misconception is as pervasive for BeeGFS as for Lustre.
+_UNIVERSAL_FLAWS = frozenset({"stripe.num_targets"})
+
+# ---------------------------------------------------------------------------
+# Mock tuning policy heuristics
+# ---------------------------------------------------------------------------
+def _xfer(report) -> int:
+    if report is None:
+        return MiB
+    return int(report.get("common_access_size", MiB)) or MiB
+
+
+def _chunk_for(report, facts, aggressive: bool) -> int:
+    xfer = _xfer(report)
+    floor = 16 * MiB if aggressive else 4 * MiB
+    return max(floor, min(xfer, 64 * MiB))
+
+
+_LADDERS = {
+    "shared_seq_large": (
+        ("stripe.num_targets", lambda r, f: -1, lambda r, f: -1),
+        (
+            "stripe.chunk_size",
+            lambda r, f: _chunk_for(r, f, False),
+            lambda r, f: _chunk_for(r, f, True),
+        ),
+        ("tune.file_cache_buf_kb", lambda r, f: 4096, lambda r, f: 16384),
+        ("client.conn_max_internode_num", lambda r, f: 24, lambda r, f: 48),
+        ("tune.dirty_buf_mb", lambda r, f: 128, lambda r, f: 512),
+    ),
+    "shared_random_small": (
+        ("stripe.num_targets", lambda r, f: -1, lambda r, f: -1),
+        ("client.conn_max_internode_num", lambda r, f: 24, lambda r, f: 48),
+        ("tune.file_cache_buf_kb", lambda r, f: 4096, lambda r, f: 4096),
+    ),
+    "metadata_small_files": (
+        ("meta.conn_max_internode_num", lambda r, f: 16, lambda r, f: 64),
+        ("meta.mod_queue_depth", lambda r, f: 8, lambda r, f: 32),
+        ("meta.dentry_prefetch_num", lambda r, f: 128, lambda r, f: 512),
+    ),
+    "fpp_data": (
+        ("tune.file_cache_buf_kb", lambda r, f: 4096, lambda r, f: 16384),
+        (
+            "stripe.chunk_size",
+            lambda r, f: _chunk_for(r, f, False),
+            lambda r, f: _chunk_for(r, f, True),
+        ),
+        ("client.conn_max_internode_num", lambda r, f: 24, lambda r, f: 48),
+        ("tune.dirty_buf_mb", lambda r, f: 128, lambda r, f: 256),
+    ),
+}
+_LADDERS["mixed"] = _LADDERS["shared_seq_large"] + _LADDERS["metadata_small_files"]
+
+_SECONDARY = {
+    "shared_seq_large": (
+        ("tune.read_ahead_total_mb", lambda r, f: 2048),
+        ("tune.read_ahead_file_kb", lambda r, f: 524288),
+    ),
+    "shared_random_small": (
+        ("tune.dirty_buf_mb", lambda r, f: 256),
+    ),
+    "metadata_small_files": (
+        ("meta.conn_max_internode_num", lambda r, f: 128),
+        ("meta.dentry_prefetch_num", lambda r, f: 2048),
+    ),
+    "fpp_data": (
+        ("tune.read_ahead_total_mb", lambda r, f: 1024),
+        ("tune.read_ahead_file_kb", lambda r, f: 262144),
+    ),
+    "mixed": (
+        ("tune.read_ahead_total_mb", lambda r, f: 2048),
+        ("tune.read_ahead_file_kb", lambda r, f: 524288),
+    ),
+}
+
+_MISGUIDED_ACTIONS = {
+    "stripe.num_targets": lambda r, f: -1,  # "distribute files across targets"
+    "stripe.chunk_size": lambda r, f: 64 * KiB,  # "match the fs block size"
+    "client.conn_max_internode_num": lambda r, f: 16,  # magnitude off
+    "tune.file_cache_buf_kb": lambda r, f: 64,  # "server readahead"
+    "tune.dirty_buf_mb": lambda r, f: 4,  # "smaller sync threshold"
+    "tune.read_ahead_total_mb": lambda r, f: 4096,
+    "tune.read_ahead_file_kb": lambda r, f: 2048,
+    "tune.read_whole_file_kb": lambda r, f: 65536,
+    "tune.page_cache_mb": lambda r, f: 4096,
+    "meta.conn_max_internode_num": lambda r, f: 16,
+    "meta.mod_queue_depth": lambda r, f: 4,  # "retry count"
+    "meta.dentry_prefetch_num": lambda r, f: 4,  # "limit prefetch threads"
+}
+
+_UNGROUNDED_TRAPS = {
+    "metadata_small_files": (("stripe.num_targets", -1),),
+    "mixed": (("stripe.chunk_size", 64 * KiB),),
+    "shared_random_small": (("stripe.chunk_size", 64 * KiB),),
+    "shared_seq_large": (("tune.dirty_buf_mb", 4),),
+    "fpp_data": (("stripe.num_targets", -1),),
+}
+
+_META_PARAMS = frozenset(
+    {
+        "meta.conn_max_internode_num",
+        "meta.mod_queue_depth",
+        "meta.dentry_prefetch_num",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Expert baseline (the same administrator, tuning the BeeGFS testbed)
+# ---------------------------------------------------------------------------
+_EXPERT = {
+    "IOR_64K": {
+        "stripe.num_targets": -1,
+        "client.conn_max_internode_num": 48,
+        "tune.file_cache_buf_kb": 4096,
+        "tune.dirty_buf_mb": 256,
+    },
+    "IOR_16M": {
+        "stripe.num_targets": -1,
+        "stripe.chunk_size": 16 * MiB,
+        "tune.file_cache_buf_kb": 16384,
+        "client.conn_max_internode_num": 48,
+        "tune.dirty_buf_mb": 512,
+        "tune.read_ahead_total_mb": 2048,
+        "tune.read_ahead_file_kb": 524288,
+    },
+    "MDWorkbench_2K": {
+        "meta.conn_max_internode_num": 64,
+        "meta.mod_queue_depth": 32,
+        "meta.dentry_prefetch_num": 1024,
+    },
+    "MDWorkbench_8K": {
+        "meta.conn_max_internode_num": 64,
+        "meta.mod_queue_depth": 32,
+        "meta.dentry_prefetch_num": 1024,
+    },
+    "IO500": {
+        "stripe.num_targets": 5,
+        "stripe.chunk_size": 16 * MiB,
+        "tune.file_cache_buf_kb": 16384,
+        "client.conn_max_internode_num": 48,
+        "tune.dirty_buf_mb": 512,
+        "tune.read_ahead_total_mb": 2048,
+        "tune.read_ahead_file_kb": 524288,
+    },
+    "AMReX": {
+        "stripe.num_targets": -1,
+        "stripe.chunk_size": 4 * MiB,
+        "tune.file_cache_buf_kb": 16384,
+        "client.conn_max_internode_num": 48,
+        "tune.dirty_buf_mb": 256,
+    },
+    "MACSio_512K": {
+        "stripe.num_targets": -1,
+        "client.conn_max_internode_num": 48,
+        "tune.file_cache_buf_kb": 4096,
+        "tune.dirty_buf_mb": 256,
+    },
+    "MACSio_16M": {
+        "stripe.num_targets": -1,
+        "stripe.chunk_size": 16 * MiB,
+        "tune.file_cache_buf_kb": 16384,
+        "client.conn_max_internode_num": 48,
+        "tune.dirty_buf_mb": 512,
+    },
+}
+
+_RATIONALE = {
+    "IOR_64K": (
+        "Random small writes to one shared file: stripe across every "
+        "target and raise connection concurrency; BeeGFS has no inline "
+        "short-I/O path, so buffer sizing does the aggregation work."
+    ),
+    "IOR_16M": (
+        "Large sequential shared-file streams: wide pattern with 16 MiB "
+        "chunks matching the transfer size, big cache buffers, and a wide "
+        "readahead window for the read phase."
+    ),
+    "MDWorkbench_2K": (
+        "Pure metadata churn: keep the default pattern narrow and raise "
+        "the metadata connection limits; enabling directory-entry prefetch "
+        "is the big win since it ships disabled."
+    ),
+    "MDWorkbench_8K": "Same reasoning as MDWorkbench_2K.",
+    "IO500": (
+        "Configure for the bandwidth phases that dominate the score, "
+        "using every target."
+    ),
+    "AMReX": (
+        "A few shared level files written in large chunks: wide pattern, "
+        "chunks sized up from the small default, and large cache buffers."
+    ),
+    "MACSio_512K": (
+        "Scattered medium writes to one shared dump file: wide pattern "
+        "and deeper connection pipeline."
+    ),
+    "MACSio_16M": (
+        "Large contiguous dump objects: wide pattern, large chunks, "
+        "maximum buffer size."
+    ),
+}
+
+_SEARCH_CANDIDATES = {
+    "stripe.num_targets": (1, 2, 5, -1),
+    "stripe.chunk_size": (512 * KiB, 4 * MiB, 16 * MiB, 64 * MiB),
+    "client.conn_max_internode_num": (12, 24, 48, 96),
+    "tune.file_cache_buf_kb": (512, 4096, 16384),
+    "tune.dirty_buf_mb": (32, 128, 512),
+    "tune.read_ahead_total_mb": (48, 512, 2048),
+    "tune.read_ahead_file_kb": (8192, 131072, 524288),
+    "tune.read_whole_file_kb": (1024, 8192),
+    "tune.page_cache_mb": (65536, 98304),
+    "meta.conn_max_internode_num": (8, 32, 128),
+    "meta.mod_queue_depth": (6, 16, 64),
+    "meta.dentry_prefetch_num": (0, 128, 512, 2048),
+}
+
+
+# ---------------------------------------------------------------------------
+# /proc device naming (the client module's procfs mirrors per-node state)
+# ---------------------------------------------------------------------------
+def _storage_devices(cluster, fsname: str) -> list[str]:
+    return [f"{fsname}-storage{i:02d}" for i in range(cluster.n_ost)]
+
+
+def _meta_devices(cluster, fsname: str) -> list[str]:
+    return [f"{fsname}-meta00"]
+
+
+BACKEND = PfsBackend(
+    name="beegfs",
+    display_name="BeeGFS 7.4",
+    fs_family="BeeGFS",
+    proc_root="/proc/fs/beegfs",
+    specs=tuple(_SELECTED + _BINARY + _FILTERED + _READONLY),
+    roles={
+        "stripe_size_bytes": ("stripe.chunk_size", 1),
+        "stripe_count": ("stripe.num_targets", 1),
+        "data_rpcs_in_flight": ("client.conn_max_internode_num", 1),
+        "rpc_cap_bytes": ("tune.file_cache_buf_kb", KiB),
+        "dirty_bytes": ("tune.dirty_buf_mb", MiB),
+        # no short_io role: BeeGFS has no inline fast path
+        "checksums": ("net.data_checksums", 1),
+        "read_ahead_total_bytes": ("tune.read_ahead_total_mb", MiB),
+        "read_ahead_file_bytes": ("tune.read_ahead_file_kb", KiB),
+        "read_ahead_whole_bytes": ("tune.read_whole_file_kb", KiB),
+        "cached_bytes": ("tune.page_cache_mb", MiB),
+        "meta_rpcs_in_flight": ("meta.conn_max_internode_num", 1),
+        "meta_mod_rpcs_in_flight": ("meta.mod_queue_depth", 1),
+        "statahead_count": ("meta.dentry_prefetch_num", 1),
+    },
+    manual_title="BeeGFS 7.4 Administration and Tuning Guide (simulated)",
+    manual_intro=(
+        "This guide describes the administration and tuning of the BeeGFS "
+        "parallel file system."
+    ),
+    subsystem_chapters=_SUBSYSTEM_CHAPTER,
+    filler_chapters=_FILLER_CHAPTERS,
+    # Connection-based messaging: no bulk-handshake negotiation, slightly
+    # higher base RTT over the persistent-connection pool, cheaper metadata
+    # requests than PtlRPC.
+    cost_overrides={
+        "bulk_handshake": 40e-6,
+        "data_rtt": 70e-6,
+        "meta_rtt": 150e-6,
+    },
+    misconceptions=_MISCONCEPTIONS,
+    belief_overrides={},
+    universal_flaws=_UNIVERSAL_FLAWS,
+    tuning=TuningHeuristics(
+        ladders=_LADDERS,
+        secondary=_SECONDARY,
+        misguided_actions=_MISGUIDED_ACTIONS,
+        ungrounded_traps=_UNGROUNDED_TRAPS,
+        meta_params=_META_PARAMS,
+        noise_param="tune.page_cache_mb",
+        noise_value=65536,
+    ),
+    expert_configs=_EXPERT,
+    expert_rationale=_RATIONALE,
+    search_candidates=_SEARCH_CANDIDATES,
+    device_namers={
+        "client": _storage_devices,
+        "meta": _meta_devices,
+        "storage": _storage_devices,
+    },
+    hardware_terms={
+        "data_servers": "storage servers (one storage target each)",
+        "mgmt_server": "combined mgmtd/metadata node",
+        "target_disks": "Storage target disks",
+        "meta_service": "Metadata service",
+        "client_cache": "client cache buffers",
+        "storage_targets": "storage targets",
+    },
+)

@@ -1,0 +1,1004 @@
+"""The Lustre 2.15 backend: ground truth for the paper's evaluation system.
+
+Every table here was previously scattered across ``pfs/params.py`` (the
+parameter registry), ``corpus/manual.py`` (chapters), ``pfs/proctree.py``
+(device naming), ``llm/knowledge.py`` (hallucination profile),
+``llm/reasoning.py`` (tuning ladders) and ``baselines/expert.py`` /
+``baselines/search.py`` — the backend refactor moved them, byte-identical,
+into one place.
+
+The registry mirrors Lustre 2.15 semantics: names, defaults and ranges follow
+the real system where the paper cites them (e.g. ``llite.statahead_max``
+default 32, range 0–8192).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    KiB,
+    MiB,
+    PAGE_SIZE,
+    ParamSpec,
+    PfsBackend,
+    TuningHeuristics,
+)
+
+
+def _p(**kwargs) -> ParamSpec:
+    return ParamSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The 13 high-impact runtime-tunable parameters STELLAR selects for Lustre.
+# ---------------------------------------------------------------------------
+_SELECTED = [
+    _p(
+        name="lov.stripe_size",
+        ptype="int",
+        default=1 * MiB,
+        min_expr=64 * KiB,
+        max_expr=4 * 1024 * MiB,
+        unit="bytes",
+        impact="high",
+        per_device=False,
+        selected=True,
+        user_settable=True,
+        description=(
+            "The number of bytes stored on each OST object before moving to "
+            "the next OST in a file's layout. Applies to files created after "
+            "the setting is changed on their parent directory."
+        ),
+        perf_note=(
+            "Directly shapes I/O throughput: stripe size should generally "
+            "match or exceed the application's transfer size so each RPC "
+            "stays within one stripe object; very small stripes fragment "
+            "large transfers across servers, while very large stripes can "
+            "reduce parallelism for medium files."
+        ),
+    ),
+    _p(
+        name="lov.stripe_count",
+        ptype="int",
+        default=1,
+        min_expr=-1,
+        max_expr="n_ost",
+        unit="count",
+        impact="high",
+        selected=True,
+        user_settable=True,
+        description=(
+            "The number of Object Storage Targets (OSTs) across which a file "
+            "will be striped. A value of -1 stripes across all available "
+            "OSTs. The layout is fixed when the file is created."
+        ),
+        perf_note=(
+            "The primary lever for aggregate bandwidth on shared files: "
+            "striping a large shared file across more OSTs multiplies "
+            "available disk and network bandwidth and reduces extent lock "
+            "contention. For workloads creating many small files, stripe "
+            "counts above 1 add per-file object allocation overhead on "
+            "every create and unlink, slowing metadata-intensive jobs."
+        ),
+    ),
+    _p(
+        name="osc.max_rpcs_in_flight",
+        ptype="int",
+        default=8,
+        min_expr=1,
+        max_expr=256,
+        unit="count",
+        impact="high",
+        per_device=True,
+        selected=True,
+        description=(
+            "The maximum number of concurrent bulk RPCs an object storage "
+            "client (OSC) keeps in flight to a single OST."
+        ),
+        perf_note=(
+            "Controls data-path concurrency and therefore directly "
+            "influences both latency hiding and achievable bandwidth; "
+            "increase it when many processes per node target the same OST "
+            "or when the bandwidth-delay product exceeds the in-flight "
+            "window."
+        ),
+    ),
+    _p(
+        name="osc.max_pages_per_rpc",
+        ptype="int",
+        default=256,
+        min_expr=1,
+        max_expr=4096,
+        unit="pages",
+        impact="high",
+        per_device=True,
+        selected=True,
+        description=(
+            "The maximum number of 4 KiB pages aggregated into a single bulk "
+            "RPC (256 pages = 1 MiB; 4096 pages = 16 MiB)."
+        ),
+        perf_note=(
+            "Larger RPCs amortize per-RPC CPU, network and disk-request "
+            "overhead and directly improve large sequential I/O throughput; "
+            "small random requests cannot be aggregated and see little "
+            "benefit."
+        ),
+    ),
+    _p(
+        name="osc.max_dirty_mb",
+        ptype="int",
+        default=32,
+        min_expr=1,
+        max_expr=2047,
+        unit="MiB",
+        impact="high",
+        per_device=True,
+        selected=True,
+        description=(
+            "The amount of dirty (unwritten) client page-cache data allowed "
+            "per OSC device before writers are throttled."
+        ),
+        perf_note=(
+            "Governs write-back aggregation and pipelining: enough dirty "
+            "headroom lets the client coalesce writes into full-size RPCs "
+            "and keep the pipe to the OST full; too little serializes "
+            "writers behind cache flushes."
+        ),
+    ),
+    _p(
+        name="osc.short_io_bytes",
+        ptype="int",
+        default=16 * KiB,
+        min_expr=0,
+        max_expr=64 * KiB,
+        unit="bytes",
+        impact="medium",
+        per_device=True,
+        selected=True,
+        description=(
+            "Requests at or below this size are sent inline in the RPC "
+            "request/reply (short I/O) instead of using a separate bulk "
+            "transfer handshake. 0 disables short I/O."
+        ),
+        perf_note=(
+            "Reduces per-request latency for small random reads and writes "
+            "by skipping the bulk DMA setup round-trip; irrelevant for "
+            "large transfers."
+        ),
+    ),
+    _p(
+        name="llite.max_read_ahead_mb",
+        ptype="int",
+        default=64,
+        min_expr=0,
+        max_expr="system_memory_mb / 2",
+        unit="MiB",
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum amount of data, per client mount, that may be "
+            "prefetched by the readahead engine across all files."
+        ),
+        perf_note=(
+            "Determines how far sequential reads can run ahead of the "
+            "application, hiding network and disk latency; raising it helps "
+            "streaming reads from many files at once, while random readers "
+            "gain nothing."
+        ),
+    ),
+    _p(
+        name="llite.max_read_ahead_per_file_mb",
+        ptype="int",
+        default=32,
+        min_expr=0,
+        max_expr="llite.max_read_ahead_mb / 2",
+        unit="MiB",
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum readahead window for a single file. Its value may "
+            "be at most half of llite.max_read_ahead_mb."
+        ),
+        perf_note=(
+            "Caps per-stream prefetch depth: large sequential reads of a "
+            "single big file need this window to cover the bandwidth-delay "
+            "product to the OSTs."
+        ),
+    ),
+    _p(
+        name="llite.max_read_ahead_whole_mb",
+        ptype="int",
+        default=2,
+        min_expr=0,
+        max_expr="llite.max_read_ahead_per_file_mb",
+        unit="MiB",
+        impact="medium",
+        selected=True,
+        description=(
+            "Files smaller than this size are read in their entirety on "
+            "first access rather than page by page."
+        ),
+        perf_note=(
+            "Turns many small reads of a small file into one RPC; useful "
+            "when applications scan small-to-medium files front to back."
+        ),
+    ),
+    _p(
+        name="llite.max_cached_mb",
+        ptype="int",
+        default=147456,  # 3/4 of 196 GiB client RAM, in MiB
+        min_expr=32,
+        max_expr="system_memory_mb",
+        unit="MiB",
+        impact="medium",
+        selected=True,
+        description=(
+            "The maximum amount of file data cached in the client page "
+            "cache for this mount (default: three quarters of RAM)."
+        ),
+        perf_note=(
+            "Bounds how much previously read or written data can be served "
+            "from client memory on re-access; shrinking it forces re-reads "
+            "over the network."
+        ),
+    ),
+    _p(
+        name="llite.statahead_max",
+        ptype="int",
+        default=32,
+        min_expr=0,
+        max_expr=8192,
+        unit="count",
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum number of files for which attributes are "
+            "prefetched asynchronously by the statahead thread when a "
+            "process traverses a directory (e.g. readdir followed by stat). "
+            "Setting it to 0 disables statahead."
+        ),
+        perf_note=(
+            "Pipelines metadata attribute fetches during directory scans, "
+            "hiding per-stat round-trip latency; directly accelerates "
+            "metadata-intensive workloads that stat many files in readdir "
+            "order."
+        ),
+    ),
+    _p(
+        name="mdc.max_rpcs_in_flight",
+        ptype="int",
+        default=8,
+        min_expr=2,  # must stay above max_mod_rpcs_in_flight's minimum of 1
+        max_expr=256,
+        unit="count",
+        per_device=True,
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum number of concurrent metadata RPCs a client keeps "
+            "in flight to a single MDT."
+        ),
+        perf_note=(
+            "Caps metadata concurrency per client node; when more processes "
+            "than this issue metadata operations simultaneously, requests "
+            "queue on the client and metadata operation rates drop."
+        ),
+    ),
+    _p(
+        name="mdc.max_mod_rpcs_in_flight",
+        ptype="int",
+        default=7,
+        min_expr=1,
+        max_expr="mdc.max_rpcs_in_flight - 1",
+        unit="count",
+        per_device=True,
+        impact="high",
+        selected=True,
+        description=(
+            "The maximum number of concurrent *modifying* metadata RPCs "
+            "(create, unlink, rename, setattr) in flight to a single MDT. "
+            "Must be strictly less than mdc.max_rpcs_in_flight."
+        ),
+        perf_note=(
+            "Bounds file creation and deletion concurrency per client; "
+            "workloads that create or remove many files in parallel are "
+            "directly limited by this value."
+        ),
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# Binary parameters: significant performance impact but represent user
+# trade-offs (data integrity, semantics) — excluded from tuning by design.
+# ---------------------------------------------------------------------------
+_BINARY = [
+    _p(
+        name="osc.checksums",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="high",
+        per_device=True,
+        description=(
+            "Enables in-memory checksums of bulk data at the osc layer to "
+            "detect corruption between client and OST."
+        ),
+        perf_note=(
+            "Checksumming costs CPU per transferred byte and measurably "
+            "reduces large-transfer throughput, but disabling it risks "
+            "undetected data corruption; configure per data-integrity "
+            "requirements rather than for performance."
+        ),
+    ),
+    _p(
+        name="llite.checksums",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="high",
+        description=(
+            "Enables checksums at the llite layer for data read into or "
+            "written from the client page cache."
+        ),
+        perf_note=(
+            "Like osc checksums, a data-integrity trade-off: it consumes "
+            "client CPU per byte and should follow integrity policy, not "
+            "performance goals."
+        ),
+    ),
+    _p(
+        name="llite.fast_read",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="medium",
+        description=(
+            "Allows reads to be served directly from the page cache without "
+            "taking the distributed lock when the pages are already cached."
+        ),
+        perf_note=(
+            "A correctness/performance trade-off for concurrent writers; "
+            "leave enabled unless strict lock semantics are required."
+        ),
+    ),
+    _p(
+        name="llite.statahead_agl",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="low",
+        description=(
+            "Enables asynchronous glimpse locks (AGL) so statahead can also "
+            "prefetch file sizes from OSTs."
+        ),
+        perf_note="Complements statahead for ls -l style scans.",
+    ),
+    _p(
+        name="osc.grant_shrink",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="low",
+        doc="partial",
+        description=(
+            "Allows the client to return unused grant (preallocated write "
+            "space) to OSTs when idle."
+        ),
+        perf_note="Affects grant accounting, not steady-state throughput.",
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# Writable but low/no-impact or under-documented parameters: the extraction
+# pipeline must filter these out.
+# ---------------------------------------------------------------------------
+_FILTERED = [
+    _p(
+        name="ldlm.lru_size",
+        ptype="int",
+        default=0,
+        min_expr=0,
+        max_expr=1 << 20,
+        unit="count",
+        impact="low",
+        description=(
+            "The number of client-side locks kept in the LRU cached locks "
+            "queue; 0 enables dynamic sizing."
+        ),
+        perf_note=(
+            "Primarily affects client memory usage rather than directly "
+            "impacting I/O performance; oversizing it wastes memory."
+        ),
+    ),
+    _p(
+        name="ldlm.lru_max_age",
+        ptype="int",
+        default=3900,
+        min_expr=1,
+        max_expr=36000,
+        unit="seconds",
+        impact="low",
+        doc="partial",
+        description="Maximum age of an unused lock before cancellation.",
+        perf_note="A memory/lock housekeeping setting.",
+    ),
+    _p(
+        name="osc.idle_timeout",
+        ptype="int",
+        default=20,
+        min_expr=0,
+        max_expr=3600,
+        unit="seconds",
+        impact="low",
+        doc="partial",
+        per_device=True,
+        description="Seconds of inactivity before an idle OSC connection is closed.",
+        perf_note="A connection housekeeping setting.",
+    ),
+    _p(
+        name="osc.resend_count",
+        ptype="int",
+        default=4,
+        min_expr=0,
+        max_expr=10,
+        unit="count",
+        impact="low",
+        doc="partial",
+        per_device=True,
+        description="How many times a failed request is resent before erroring.",
+        perf_note="Matters for fault handling, not steady-state performance.",
+    ),
+    _p(
+        name="mdc.ping_interval",
+        ptype="int",
+        default=25,
+        min_expr=1,
+        max_expr=600,
+        unit="seconds",
+        impact="none",
+        doc="none",
+        per_device=True,
+        description="Interval between keep-alive pings to the MDT.",
+        perf_note="",
+    ),
+    _p(
+        name="nrs.delay_min",
+        ptype="int",
+        default=5,
+        min_expr=0,
+        max_expr=3600,
+        unit="seconds",
+        impact="none",
+        description=(
+            "Minimum artificial delay injected by the NRS delay policy."
+        ),
+        perf_note=(
+            "The delay policy simulates high server load scenarios for "
+            "testing; it is relevant to experimentation but not directly "
+            "connected to I/O performance tuning."
+        ),
+    ),
+    _p(
+        name="nrs.delay_max",
+        ptype="int",
+        default=10,
+        min_expr=0,
+        max_expr=3600,
+        unit="seconds",
+        impact="none",
+        description="Maximum artificial delay injected by the NRS delay policy.",
+        perf_note=(
+            "Used together with nrs.delay_min to simulate loaded servers "
+            "during testing; not a performance tuning control."
+        ),
+    ),
+    _p(
+        name="nrs.delay_pct",
+        ptype="int",
+        default=100,
+        min_expr=0,
+        max_expr=100,
+        unit="count",
+        impact="none",
+        description="Percentage of requests subjected to the NRS delay policy.",
+        perf_note="Testing aid; not a performance tuning control.",
+    ),
+    _p(
+        name="llite.lazystatfs",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="low",
+        doc="partial",
+        description="Allows statfs to return without waiting for unreachable OSTs.",
+        perf_note="Availability behaviour, not throughput.",
+    ),
+    _p(
+        name="llite.xattr_cache",
+        ptype="bool",
+        default=1,
+        min_expr=0,
+        max_expr=1,
+        unit="flag",
+        binary=True,
+        impact="low",
+        doc="partial",
+        description="Caches extended attributes on the client.",
+        perf_note="Minor metadata effect for xattr-heavy workloads only.",
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# Read-only informational entries (exist in /proc but are not writable).
+# ---------------------------------------------------------------------------
+_READONLY = [
+    _p(name="lov.version", ptype="int", default=2155, writable=False, impact="none", doc="none"),
+    _p(name="llite.blocksize", ptype="int", default=4096, writable=False, impact="none", doc="none"),
+    _p(name="osc.kbytestotal", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
+    _p(name="osc.kbytesfree", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
+    _p(name="osc.stats", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
+    _p(name="mdc.uuid", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
+    _p(name="mdc.stats", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
+    _p(name="llite.stats", ptype="int", default=0, writable=False, impact="none", doc="none"),
+    _p(name="mds.num_exports", ptype="int", default=11, writable=False, impact="none", doc="none"),
+]
+
+# ---------------------------------------------------------------------------
+# Manual chapters
+# ---------------------------------------------------------------------------
+_SUBSYSTEM_CHAPTER = {
+    "lov": "Managing File Layout (Striping)",
+    "osc": "Tuning the Object Storage Client",
+    "llite": "Tuning the Lustre Client (llite)",
+    "mdc": "Tuning the Metadata Client",
+    "ldlm": "The Lustre Distributed Lock Manager",
+    "nrs": "Network Request Scheduler Policies",
+    "mds": "Metadata Server Administration",
+}
+
+_FILLER_CHAPTERS = (
+    (
+        "Introduction to the Lustre Architecture",
+        "A Lustre file system consists of a Management Server (MGS), one or "
+        "more Metadata Servers (MDS) exporting Metadata Targets (MDTs), and "
+        "Object Storage Servers (OSS) exporting Object Storage Targets "
+        "(OSTs). Clients mount the file system through the llite layer and "
+        "communicate with servers using the PtlRPC protocol over LNet. File "
+        "metadata (names, permissions, layout) lives on the MDT while file "
+        "data is striped over OST objects. The separation of metadata and "
+        "data paths is what allows a Lustre file system to scale bandwidth "
+        "by adding OSS nodes.",
+    ),
+    (
+        "Understanding PtlRPC and Bulk Transfers",
+        "Data moves between clients and OSTs using bulk RPCs. A bulk "
+        "transfer is negotiated with a request/reply handshake after which "
+        "the payload pages are moved via remote DMA where the fabric "
+        "supports it. Requests are queued per import and scheduled by the "
+        "Network Request Scheduler on the server. Each client maintains a "
+        "separate import (and therefore separate request queues and "
+        "in-flight accounting) for every OST and MDT it communicates with.",
+    ),
+    (
+        "LNet Networking",
+        "LNet provides the message passing layer used by PtlRPC. Network "
+        "interfaces are grouped into LNet networks such as tcp0 or o2ib0. "
+        "Routing between networks is performed by LNet routers. The "
+        "configuration is managed with lnetctl and persists in "
+        "/etc/lnet.conf. Credits control the number of concurrent messages "
+        "per peer and per interface.",
+    ),
+    (
+        "Recovery and High Availability",
+        "When a client loses contact with a server it enters recovery: "
+        "requests are replayed after reconnection in transaction order. "
+        "Servers maintain a recovery window during which clients must "
+        "reconnect; requests from clients that miss the window are evicted. "
+        "Failover pairs share storage so a standby server can take over a "
+        "target. Imperative recovery shortens the window using the MGS to "
+        "notify clients of restarts.",
+    ),
+    (
+        "Quotas and Usage Accounting",
+        "Lustre enforces block and inode quotas per user, group and "
+        "project. Quota masters run on the MDT and acquire/release quota "
+        "space from slaves on OSTs. The lfs quota and lfs setquota commands "
+        "manage limits; accounting is always enabled on modern versions "
+        "even when enforcement is off.",
+    ),
+    (
+        "The Distributed NamespacE (DNE)",
+        "DNE allows a file system to use multiple MDTs. Remote directories "
+        "place a subtree on another MDT; striped directories hash directory "
+        "entries across several MDTs to scale the operation rate of a "
+        "single large directory. Striped directories add an extra RPC to "
+        "some operations, so they are recommended only for directories with "
+        "very high file counts.",
+    ),
+    (
+        "Hierarchical Storage Management (HSM)",
+        "HSM connects Lustre to an archive tier. Files can be archived, "
+        "released (leaving a stub), and restored on access via copytools. "
+        "Release and restore operations are coordinated by the MDT, which "
+        "maintains HSM state flags per file.",
+    ),
+    (
+        "Monitoring with the jobstats Framework",
+        "Job statistics attribute server-side operation counts to scheduler "
+        "job identifiers. Enable them by setting jobid_var appropriately; "
+        "statistics appear under obdfilter.*.job_stats and "
+        "mdt.*.job_stats and are invaluable when attributing load on a "
+        "shared file system to specific batch jobs.",
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Hallucination profile (what unaided models mis-remember — Figure 2)
+# ---------------------------------------------------------------------------
+_MISCONCEPTIONS = {
+    "lov.stripe_count": (
+        "The number of OSTs used by a directory; setting the parent "
+        "directory's stripe count to -1 distributes the files in it more "
+        "evenly across all OSTs."
+    ),
+    "lov.stripe_size": (
+        "The block size used by the underlying ldiskfs file system for "
+        "each OST object."
+    ),
+    "llite.statahead_max": (
+        "The maximum number of concurrent statahead threads the client "
+        "may spawn while listing directories."
+    ),
+    "osc.max_rpcs_in_flight": (
+        "The total number of RPCs a client may send per second to one OST."
+    ),
+    "osc.max_pages_per_rpc": (
+        "The number of pages the OST reads ahead from disk for each RPC."
+    ),
+    "osc.max_dirty_mb": (
+        "The maximum size of a single write call before it bypasses the "
+        "page cache and is sent synchronously."
+    ),
+    "osc.short_io_bytes": (
+        "The minimum size of an RPC before compression is applied to the "
+        "payload."
+    ),
+    "llite.max_read_ahead_mb": (
+        "The size of the read cache kept on each OSS for recently read data."
+    ),
+    "llite.max_read_ahead_per_file_mb": (
+        "The largest file size eligible for client-side caching."
+    ),
+    "llite.max_read_ahead_whole_mb": (
+        "The amount of data read ahead after every random read."
+    ),
+    "llite.max_cached_mb": (
+        "The maximum memory the MDS uses to cache inode attributes."
+    ),
+    "mdc.max_rpcs_in_flight": (
+        "The number of metadata server threads reserved for this client."
+    ),
+    "mdc.max_mod_rpcs_in_flight": (
+        "The number of retries for failed metadata modifications."
+    ),
+}
+
+#: Pinned Figure 2 outcomes: (model, param) -> (definition_correct, max_value)
+_BELIEF_OVERRIDES = {
+    ("gpt-4.5", "llite.statahead_max"): (False, 64),
+    ("gemini-2.5-pro", "llite.statahead_max"): (False, 128),
+    ("claude-3.7-sonnet", "llite.statahead_max"): (True, 1024),
+}
+
+#: Misconceptions so pervasive in training corpora that every model holds
+#: them unaided.  The stripe-count one is the paper's own §5.4 example: the
+#: ablated agent claims stripe count "distributes the files more evenly
+#: across all OSTs" — a flawed reading of how striping affects a directory's
+#: files.
+_UNIVERSAL_FLAWS = frozenset({"lov.stripe_count"})
+
+# ---------------------------------------------------------------------------
+# Mock tuning policy heuristics (what a grounded LLM proposes for Lustre)
+# ---------------------------------------------------------------------------
+def _xfer(report) -> int:
+    if report is None:
+        return MiB
+    return int(report.get("common_access_size", MiB)) or MiB
+
+
+def _stripe_size_for(report, facts, aggressive: bool) -> int:
+    xfer = _xfer(report)
+    floor = 16 * MiB if aggressive else 4 * MiB
+    return max(floor, min(xfer, 64 * MiB))
+
+
+_LADDERS = {
+    "shared_seq_large": (
+        ("lov.stripe_count", lambda r, f: -1, lambda r, f: -1),
+        (
+            "lov.stripe_size",
+            lambda r, f: _stripe_size_for(r, f, False),
+            lambda r, f: _stripe_size_for(r, f, True),
+        ),
+        ("osc.max_pages_per_rpc", lambda r, f: 1024, lambda r, f: 4096),
+        ("osc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 32),
+        ("osc.max_dirty_mb", lambda r, f: 128, lambda r, f: 512),
+    ),
+    "shared_random_small": (
+        ("lov.stripe_count", lambda r, f: -1, lambda r, f: -1),
+        ("osc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 32),
+        (
+            "osc.short_io_bytes",
+            lambda r, f: 64 * KiB if _xfer(r) <= 64 * KiB else None,
+            lambda r, f: 64 * KiB if _xfer(r) <= 64 * KiB else None,
+        ),
+        ("osc.max_pages_per_rpc", lambda r, f: 1024, lambda r, f: 1024),
+    ),
+    "metadata_small_files": (
+        ("mdc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 64),
+        ("mdc.max_mod_rpcs_in_flight", lambda r, f: 8, lambda r, f: 32),
+        ("llite.statahead_max", lambda r, f: 128, lambda r, f: 512),
+    ),
+    "fpp_data": (
+        ("osc.max_pages_per_rpc", lambda r, f: 1024, lambda r, f: 4096),
+        (
+            "lov.stripe_size",
+            lambda r, f: _stripe_size_for(r, f, False),
+            lambda r, f: _stripe_size_for(r, f, True),
+        ),
+        ("osc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 32),
+        ("osc.max_dirty_mb", lambda r, f: 128, lambda r, f: 256),
+    ),
+}
+_LADDERS["mixed"] = (
+    _LADDERS["shared_seq_large"][:4]
+    + (_LADDERS["shared_random_small"][2],)  # short_io
+    + _LADDERS["metadata_small_files"]
+)
+
+_SECONDARY = {
+    "shared_seq_large": (
+        ("llite.max_read_ahead_mb", lambda r, f: 2048),
+        ("llite.max_read_ahead_per_file_mb", lambda r, f: 1024),
+    ),
+    "shared_random_small": (
+        ("osc.max_dirty_mb", lambda r, f: 256),
+    ),
+    "metadata_small_files": (
+        ("mdc.max_rpcs_in_flight", lambda r, f: 128),
+        ("llite.statahead_max", lambda r, f: 2048),
+    ),
+    "fpp_data": (
+        ("llite.max_read_ahead_mb", lambda r, f: 1024),
+        ("llite.max_read_ahead_per_file_mb", lambda r, f: 512),
+    ),
+    "mixed": (
+        ("llite.max_read_ahead_mb", lambda r, f: 2048),
+        ("llite.max_read_ahead_per_file_mb", lambda r, f: 1024),
+    ),
+}
+
+#: What a model with a *flawed* definition does instead (keyed by parameter).
+_MISGUIDED_ACTIONS = {
+    "lov.stripe_count": lambda r, f: -1,  # "distribute files across OSTs"
+    "lov.stripe_size": lambda r, f: 64 * KiB,  # "match the fs block size"
+    "llite.statahead_max": lambda r, f: 8,  # "limit statahead threads"
+    "osc.max_dirty_mb": lambda r, f: 4,  # "smaller sync threshold"
+    "osc.max_pages_per_rpc": lambda r, f: 64,  # "server readahead pages"
+    "osc.max_rpcs_in_flight": lambda r, f: 16,  # direction survives, magnitude off
+    "mdc.max_rpcs_in_flight": lambda r, f: 16,
+    "mdc.max_mod_rpcs_in_flight": lambda r, f: 8,
+    "osc.short_io_bytes": lambda r, f: 0,  # "disable compression threshold"
+    "llite.max_read_ahead_mb": lambda r, f: 4096,
+    "llite.max_read_ahead_per_file_mb": lambda r, f: 2048,
+    "llite.max_read_ahead_whole_mb": lambda r, f: 64,
+    "llite.max_cached_mb": lambda r, f: 4096,
+}
+
+#: Misconception-driven levers an UNGROUNDED agent adds per workload class.
+_UNGROUNDED_TRAPS = {
+    "metadata_small_files": (("lov.stripe_count", -1),),
+    "mixed": (("lov.stripe_size", 64 * KiB),),
+    "shared_random_small": (("lov.stripe_size", 64 * KiB),),
+    "shared_seq_large": (("osc.max_dirty_mb", 4),),
+    "fpp_data": (("lov.stripe_count", -1),),
+}
+
+_META_PARAMS = frozenset(
+    {
+        "mdc.max_rpcs_in_flight",
+        "mdc.max_mod_rpcs_in_flight",
+        "llite.statahead_max",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Expert baseline (§5.2)
+# ---------------------------------------------------------------------------
+_EXPERT = {
+    "IOR_64K": {
+        "lov.stripe_count": -1,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.short_io_bytes": 64 * KiB,
+        "osc.max_pages_per_rpc": 1024,
+        "osc.max_dirty_mb": 256,
+    },
+    "IOR_16M": {
+        "lov.stripe_count": -1,
+        "lov.stripe_size": 16 * MiB,
+        "osc.max_pages_per_rpc": 4096,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.max_dirty_mb": 512,
+        "llite.max_read_ahead_mb": 2048,
+        "llite.max_read_ahead_per_file_mb": 1024,
+    },
+    "MDWorkbench_2K": {
+        "mdc.max_rpcs_in_flight": 64,
+        "mdc.max_mod_rpcs_in_flight": 32,
+        "llite.statahead_max": 1024,
+    },
+    "MDWorkbench_8K": {
+        "mdc.max_rpcs_in_flight": 64,
+        "mdc.max_mod_rpcs_in_flight": 32,
+        "llite.statahead_max": 1024,
+    },
+    "IO500": {
+        # Bandwidth-focused: tuned for the IOR phases that dominate wall
+        # time, per common practice; metadata client limits left default.
+        "lov.stripe_count": 5,
+        "lov.stripe_size": 16 * MiB,
+        "osc.max_pages_per_rpc": 4096,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.max_dirty_mb": 512,
+        "llite.max_read_ahead_mb": 2048,
+        "llite.max_read_ahead_per_file_mb": 1024,
+    },
+    "AMReX": {
+        "lov.stripe_count": -1,
+        "osc.max_pages_per_rpc": 4096,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.max_dirty_mb": 256,
+    },
+    "MACSio_512K": {
+        "lov.stripe_count": -1,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.max_pages_per_rpc": 1024,
+        "osc.max_dirty_mb": 256,
+    },
+    "MACSio_16M": {
+        "lov.stripe_count": -1,
+        "lov.stripe_size": 16 * MiB,
+        "osc.max_pages_per_rpc": 4096,
+        "osc.max_rpcs_in_flight": 32,
+        "osc.max_dirty_mb": 512,
+    },
+}
+
+_RATIONALE = {
+    "IOR_64K": (
+        "Random small writes to one shared file: stripe across every OST to "
+        "spread per-request overhead and lock traffic, raise RPC "
+        "concurrency, and enable inline short I/O for 64 KiB requests."
+    ),
+    "IOR_16M": (
+        "Large sequential shared-file streams: stripe wide with 16 MiB "
+        "stripes matching the transfer size, maximize RPC size and "
+        "concurrency, and widen readahead for the read phase."
+    ),
+    "MDWorkbench_2K": (
+        "Pure metadata churn over many tiny files: keep the default layout "
+        "(striping would add per-file object costs) and raise the client "
+        "metadata concurrency limits and statahead window."
+    ),
+    "MDWorkbench_8K": "Same reasoning as MDWorkbench_2K.",
+    "IO500": (
+        "The score is usually dominated by the IOR bandwidth phases, so "
+        "configure for streaming throughput across all OSTs."
+    ),
+    "AMReX": (
+        "A small number of shared level files written in large chunks: "
+        "stripe wide so both output files use every OST."
+    ),
+    "MACSio_512K": (
+        "Scattered medium writes to a single shared dump file: stripe wide "
+        "and deepen the RPC pipeline."
+    ),
+    "MACSio_16M": (
+        "Large contiguous dump objects: stripe wide with large stripes and "
+        "maximum RPC size."
+    ),
+}
+
+#: Candidate grids for the oracle coordinate-descent baseline.
+_SEARCH_CANDIDATES = {
+    "lov.stripe_count": (1, 2, 5, -1),
+    "lov.stripe_size": (1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB),
+    "osc.max_rpcs_in_flight": (8, 16, 32, 64),
+    "osc.max_pages_per_rpc": (256, 1024, 4096),
+    "osc.max_dirty_mb": (32, 128, 512),
+    "osc.short_io_bytes": (0, 16 * KiB, 64 * KiB),
+    "llite.max_read_ahead_mb": (64, 512, 2048),
+    "llite.max_read_ahead_per_file_mb": (32, 256, 1024),
+    "llite.max_read_ahead_whole_mb": (2, 16),
+    "llite.max_cached_mb": (65536, 147456),
+    "llite.statahead_max": (32, 128, 512, 2048),
+    "mdc.max_rpcs_in_flight": (8, 32, 128),
+    "mdc.max_mod_rpcs_in_flight": (7, 16, 64),
+}
+
+
+# ---------------------------------------------------------------------------
+# /proc device naming
+# ---------------------------------------------------------------------------
+def _osc_devices(cluster, fsname: str) -> list[str]:
+    return [f"{fsname}-OST{i:04x}-osc" for i in range(cluster.n_ost)]
+
+
+def _mdc_devices(cluster, fsname: str) -> list[str]:
+    return [f"{fsname}-MDT0000-mdc"]
+
+
+BACKEND = PfsBackend(
+    name="lustre",
+    display_name="Lustre 2.15",
+    fs_family="Lustre",
+    proc_root="/proc/fs/lustre",
+    specs=tuple(_SELECTED + _BINARY + _FILTERED + _READONLY),
+    roles={
+        "stripe_size_bytes": ("lov.stripe_size", 1),
+        "stripe_count": ("lov.stripe_count", 1),
+        "data_rpcs_in_flight": ("osc.max_rpcs_in_flight", 1),
+        "rpc_cap_bytes": ("osc.max_pages_per_rpc", PAGE_SIZE),
+        "dirty_bytes": ("osc.max_dirty_mb", MiB),
+        "short_io_bytes": ("osc.short_io_bytes", 1),
+        "checksums": ("osc.checksums", 1),
+        "read_ahead_total_bytes": ("llite.max_read_ahead_mb", MiB),
+        "read_ahead_file_bytes": ("llite.max_read_ahead_per_file_mb", MiB),
+        "read_ahead_whole_bytes": ("llite.max_read_ahead_whole_mb", MiB),
+        "cached_bytes": ("llite.max_cached_mb", MiB),
+        "meta_rpcs_in_flight": ("mdc.max_rpcs_in_flight", 1),
+        "meta_mod_rpcs_in_flight": ("mdc.max_mod_rpcs_in_flight", 1),
+        "statahead_count": ("llite.statahead_max", 1),
+    },
+    manual_title="Lustre Software Release 2.15 Operations Manual (simulated)",
+    manual_intro=(
+        "This manual describes the administration and tuning of the Lustre "
+        "parallel file system."
+    ),
+    subsystem_chapters=_SUBSYSTEM_CHAPTER,
+    filler_chapters=_FILLER_CHAPTERS,
+    cost_overrides={},  # CostModel defaults are calibrated to Lustre 2.15
+    misconceptions=_MISCONCEPTIONS,
+    belief_overrides=_BELIEF_OVERRIDES,
+    universal_flaws=_UNIVERSAL_FLAWS,
+    tuning=TuningHeuristics(
+        ladders=_LADDERS,
+        secondary=_SECONDARY,
+        misguided_actions=_MISGUIDED_ACTIONS,
+        ungrounded_traps=_UNGROUNDED_TRAPS,
+        meta_params=_META_PARAMS,
+        noise_param="llite.max_cached_mb",
+        noise_value=65536,
+    ),
+    expert_configs=_EXPERT,
+    expert_rationale=_RATIONALE,
+    search_candidates=_SEARCH_CANDIDATES,
+    device_namers={"osc": _osc_devices, "mdc": _mdc_devices},
+)

@@ -1,121 +1,36 @@
 """Human expert baseline (§5.2).
 
 The paper's expert received the full benchmark description and Darshan
-traces, with practically unbounded time.  These configurations encode what
-an experienced Lustre administrator recommends for each workload.  For the
-multi-phase IO500 the expert follows the common practice of optimizing for
-the headline bandwidth phases — leaving metadata concurrency and short-I/O
-untouched, which is precisely where STELLAR finds its edge (the paper's
-observation that STELLAR outperformed the expert on IO500).
+traces, with practically unbounded time.  The per-workload configurations
+live on each backend (``expert_configs``): what an experienced administrator
+of *that* file system recommends for each workload.  For the multi-phase
+IO500 the expert follows the common practice of optimizing for the headline
+bandwidth phases — leaving metadata concurrency untouched, which is
+precisely where STELLAR finds its edge (the paper's observation that
+STELLAR outperformed the expert on IO500).
 """
 
 from __future__ import annotations
 
+from repro.backends import resolve_backend
+from repro.backends.base import PfsBackend
+
 KiB = 1024
 MiB = 1024 * KiB
 
-_EXPERT: dict[str, dict[str, int]] = {
-    "IOR_64K": {
-        "lov.stripe_count": -1,
-        "osc.max_rpcs_in_flight": 32,
-        "osc.short_io_bytes": 64 * KiB,
-        "osc.max_pages_per_rpc": 1024,
-        "osc.max_dirty_mb": 256,
-    },
-    "IOR_16M": {
-        "lov.stripe_count": -1,
-        "lov.stripe_size": 16 * MiB,
-        "osc.max_pages_per_rpc": 4096,
-        "osc.max_rpcs_in_flight": 32,
-        "osc.max_dirty_mb": 512,
-        "llite.max_read_ahead_mb": 2048,
-        "llite.max_read_ahead_per_file_mb": 1024,
-    },
-    "MDWorkbench_2K": {
-        "mdc.max_rpcs_in_flight": 64,
-        "mdc.max_mod_rpcs_in_flight": 32,
-        "llite.statahead_max": 1024,
-    },
-    "MDWorkbench_8K": {
-        "mdc.max_rpcs_in_flight": 64,
-        "mdc.max_mod_rpcs_in_flight": 32,
-        "llite.statahead_max": 1024,
-    },
-    "IO500": {
-        # Bandwidth-focused: tuned for the IOR phases that dominate wall
-        # time, per common practice; metadata client limits left default.
-        "lov.stripe_count": 5,
-        "lov.stripe_size": 16 * MiB,
-        "osc.max_pages_per_rpc": 4096,
-        "osc.max_rpcs_in_flight": 32,
-        "osc.max_dirty_mb": 512,
-        "llite.max_read_ahead_mb": 2048,
-        "llite.max_read_ahead_per_file_mb": 1024,
-    },
-    "AMReX": {
-        "lov.stripe_count": -1,
-        "osc.max_pages_per_rpc": 4096,
-        "osc.max_rpcs_in_flight": 32,
-        "osc.max_dirty_mb": 256,
-    },
-    "MACSio_512K": {
-        "lov.stripe_count": -1,
-        "osc.max_rpcs_in_flight": 32,
-        "osc.max_pages_per_rpc": 1024,
-        "osc.max_dirty_mb": 256,
-    },
-    "MACSio_16M": {
-        "lov.stripe_count": -1,
-        "lov.stripe_size": 16 * MiB,
-        "osc.max_pages_per_rpc": 4096,
-        "osc.max_rpcs_in_flight": 32,
-        "osc.max_dirty_mb": 512,
-    },
-}
 
-_RATIONALE: dict[str, str] = {
-    "IOR_64K": (
-        "Random small writes to one shared file: stripe across every OST to "
-        "spread per-request overhead and lock traffic, raise RPC "
-        "concurrency, and enable inline short I/O for 64 KiB requests."
-    ),
-    "IOR_16M": (
-        "Large sequential shared-file streams: stripe wide with 16 MiB "
-        "stripes matching the transfer size, maximize RPC size and "
-        "concurrency, and widen readahead for the read phase."
-    ),
-    "MDWorkbench_2K": (
-        "Pure metadata churn over many tiny files: keep the default layout "
-        "(striping would add per-file object costs) and raise the client "
-        "metadata concurrency limits and statahead window."
-    ),
-    "MDWorkbench_8K": "Same reasoning as MDWorkbench_2K.",
-    "IO500": (
-        "The score is usually dominated by the IOR bandwidth phases, so "
-        "configure for streaming throughput across all OSTs."
-    ),
-    "AMReX": (
-        "A small number of shared level files written in large chunks: "
-        "stripe wide so both output files use every OST."
-    ),
-    "MACSio_512K": (
-        "Scattered medium writes to a single shared dump file: stripe wide "
-        "and deepen the RPC pipeline."
-    ),
-    "MACSio_16M": (
-        "Large contiguous dump objects: stripe wide with large stripes and "
-        "maximum RPC size."
-    ),
-}
-
-
-def expert_updates(workload: str) -> dict[str, int]:
+def expert_updates(
+    workload: str, backend: PfsBackend | str | None = None
+) -> dict[str, int]:
     """The expert's configuration for a catalog workload."""
+    backend = resolve_backend(backend)
     try:
-        return dict(_EXPERT[workload])
+        return dict(backend.expert_configs[workload])
     except KeyError:
-        raise KeyError(f"no expert baseline recorded for {workload!r}") from None
+        raise KeyError(
+            f"no expert baseline recorded for {workload!r} on {backend.name}"
+        ) from None
 
 
-def expert_rationale(workload: str) -> str:
-    return _RATIONALE.get(workload, "")
+def expert_rationale(workload: str, backend: PfsBackend | str | None = None) -> str:
+    return resolve_backend(backend).expert_rationale.get(workload, "")

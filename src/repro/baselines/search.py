@@ -1,4 +1,4 @@
-"""Oracle coordinate-descent search over the 13 tunable parameters.
+"""Oracle coordinate-descent search over the backend's tunable parameters.
 
 A stand-in for the traditional autotuners the paper declines to compare
 against directly (they need hundreds to thousands of evaluations): this
@@ -20,23 +20,6 @@ from repro.workloads.base import Workload
 
 KiB = 1024
 MiB = 1024 * KiB
-
-#: Candidate grids per parameter (coordinate descent sweeps these).
-CANDIDATES: dict[str, list[int]] = {
-    "lov.stripe_count": [1, 2, 5, -1],
-    "lov.stripe_size": [1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB],
-    "osc.max_rpcs_in_flight": [8, 16, 32, 64],
-    "osc.max_pages_per_rpc": [256, 1024, 4096],
-    "osc.max_dirty_mb": [32, 128, 512],
-    "osc.short_io_bytes": [0, 16 * KiB, 64 * KiB],
-    "llite.max_read_ahead_mb": [64, 512, 2048],
-    "llite.max_read_ahead_per_file_mb": [32, 256, 1024],
-    "llite.max_read_ahead_whole_mb": [2, 16],
-    "llite.max_cached_mb": [65536, 147456],
-    "llite.statahead_max": [32, 128, 512, 2048],
-    "mdc.max_rpcs_in_flight": [8, 32, 128],
-    "mdc.max_mod_rpcs_in_flight": [7, 16, 64],
-}
 
 
 @dataclass
@@ -71,10 +54,16 @@ class OracleSearch:
         self.seed = seed
         self.max_rounds = max_rounds
         self.sim = Simulator(cluster)
+        #: the cluster backend's candidate grids (coordinate sweep order)
+        self.candidates = cluster.backend.search_candidates
 
     def _config(self, updates: dict[str, int]) -> PfsConfig:
         facts = self.cluster.config_facts()
-        return PfsConfig(facts=facts).with_updates(updates).clipped()
+        return (
+            PfsConfig(facts=facts, backend=self.cluster.backend)
+            .with_updates(updates)
+            .clipped()
+        )
 
     def _measure(self, workload: Workload, updates: dict[str, int], rep: int) -> float:
         config = self._config(updates)
@@ -89,7 +78,7 @@ class OracleSearch:
         trace: list[tuple[str, int, float]] = []
         for _ in range(self.max_rounds):
             improved = False
-            for name, candidates in CANDIDATES.items():
+            for name, candidates in self.candidates.items():
                 trials = [
                     dict(best, **{name: value})
                     for value in candidates

@@ -2,11 +2,13 @@
 
 Examples::
 
-    stellar extract                 # offline RAG extraction report
-    stellar tune IOR_16M            # one tuning run with transcript
-    stellar experiment fig5         # reproduce a paper figure
+    stellar extract                    # offline RAG extraction report
+    stellar tune IOR_16M               # one tuning run with transcript
+    stellar tune IOR_16M --backend beegfs
+    stellar experiment fig5            # reproduce a paper figure
     stellar experiment all --reps 4
-    stellar list                    # available workloads and experiments
+    stellar experiment crossfs         # cross-backend rule transfer
+    stellar list                       # workloads, experiments, backends
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.backends import list_backends
 from repro.cluster import make_cluster
 from repro.core.engine import Stellar
 from repro.workloads import get_workload, list_workloads
@@ -30,6 +33,7 @@ EXPERIMENTS = (
     "extraction",
     "userspace",
     "autotuner-cost",
+    "crossfs",
 )
 
 
@@ -41,14 +45,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and experiments")
+    sub.add_parser("list", help="list workloads, experiments and backends")
 
     extract = sub.add_parser("extract", help="run the offline RAG extraction")
     extract.add_argument("--model", default="gpt-4o")
+    extract.add_argument("--backend", choices=list_backends(), default="lustre")
 
     tune = sub.add_parser("tune", help="run one tuning run for a workload")
     tune.add_argument("workload", choices=list_workloads())
     tune.add_argument("--model", default="claude-3.7-sonnet")
+    tune.add_argument("--backend", choices=list_backends(), default="lustre")
     tune.add_argument("--max-attempts", type=int, default=5)
     tune.add_argument("--no-descriptions", action="store_true")
     tune.add_argument("--no-analysis", action="store_true")
@@ -57,6 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="reproduce a paper figure")
     experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
     experiment.add_argument("--reps", type=int, default=8)
+    experiment.add_argument("--backend", choices=list_backends(), default="lustre")
     return parser
 
 
@@ -99,16 +106,21 @@ def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
         from repro.experiments import autotuner_cost
 
         return autotuner_cost.run(cluster, seed=seed).render()
+    if name == "crossfs":
+        from repro.experiments import crossfs
+
+        return crossfs.run(cluster, reps=reps, seed=seed).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    cluster = make_cluster(seed=args.seed)
+    cluster = make_cluster(seed=args.seed, backend=getattr(args, "backend", "lustre"))
 
     if args.command == "list":
         print("workloads:", ", ".join(list_workloads()))
         print("experiments:", ", ".join(EXPERIMENTS))
+        print("backends:", ", ".join(list_backends()))
         return 0
 
     if args.command == "extract":

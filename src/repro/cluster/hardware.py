@@ -43,7 +43,17 @@ class ClusterSpec:
     mds_service_threads: int = 32
     ost_service_threads: int = 8
     seed: int = 0
+    #: which PfsBackend this testbed runs (resolved lazily by name so the
+    #: spec stays cheap to pickle across the experiment process pool)
+    backend_name: str = "lustre"
     rng: RngStreams = field(default_factory=lambda: RngStreams(0), repr=False)
+
+    @property
+    def backend(self):
+        """The active :class:`~repro.backends.base.PfsBackend`."""
+        from repro.backends import get_backend
+
+        return get_backend(self.backend_name)
 
     @property
     def n_oss(self) -> int:
@@ -81,20 +91,25 @@ class ClusterSpec:
         }
 
     def describe(self) -> str:
-        """Human/agent readable hardware summary (part of agent context)."""
+        """Human/agent readable hardware summary (part of agent context).
+
+        Node-role nouns come from the backend so a BeeGFS agent is not
+        briefed about OSTs and llite caches.
+        """
         oss = self.oss_nodes[0]
         client = self.client_nodes[0]
+        terms = self.backend.hardware_terms
         return (
-            f"Cluster: {self.n_oss} OSS nodes (one OST each), "
-            f"{len(self.mds_nodes)} combined MGS/MDS node, "
+            f"Cluster: {self.n_oss} {terms['data_servers']}, "
+            f"{len(self.mds_nodes)} {terms['mgmt_server']}, "
             f"{self.n_clients} client nodes.\n"
             f"Each node: {oss.cores} cores, {oss.memory_bytes // GiB} GB RAM, "
             f"{oss.nic_bandwidth * 8 / 1e9:.0f} Gbps NIC.\n"
-            f"OST disks: {oss.disk_bandwidth / 1e6:.0f} MB/s sustained, "
+            f"{terms['target_disks']}: {oss.disk_bandwidth / 1e6:.0f} MB/s sustained, "
             f"{oss.disk_seek_overhead * 1e3:.1f} ms per-request overhead.\n"
-            f"MDS: {self.mds_service_threads} service threads.\n"
+            f"{terms['meta_service']}: {self.mds_service_threads} service threads.\n"
             f"Clients: {client.memory_bytes // GiB} GB RAM each "
-            f"({self.system_memory_mb} MiB addressable by llite caches)."
+            f"({self.system_memory_mb} MiB addressable by {terms['client_cache']})."
         )
 
 
@@ -102,11 +117,13 @@ def make_cluster(
     n_oss: int = 5,
     n_clients: int = 5,
     seed: int = 0,
+    backend: str = "lustre",
     **overrides,
 ) -> ClusterSpec:
     """Build the paper's 10-node CloudLab testbed (5 OSS + MGS/MDS + 5 clients).
 
-    Keyword overrides are applied to the ClusterSpec (e.g. faster disks).
+    ``backend`` selects the file system the testbed runs; keyword overrides
+    are applied to the ClusterSpec (e.g. faster disks).
     """
     oss = [NodeSpec(name=f"oss{i}", role="oss") for i in range(n_oss)]
     mds = [NodeSpec(name="mds0", role="mds")]
@@ -116,6 +133,7 @@ def make_cluster(
         mds_nodes=mds,
         client_nodes=clients,
         seed=seed,
+        backend_name=backend,
         rng=RngStreams(seed),
     )
     for key, value in overrides.items():

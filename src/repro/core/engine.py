@@ -116,10 +116,9 @@ class Stellar:
 
         selected = self.extraction.selected
         if user_accessible_only:
-            from repro.pfs import params as P
-
+            registry = self.cluster.backend.registry
             selected = [
-                p for p in selected if P.REGISTRY[p.name].user_settable
+                p for p in selected if registry[p.name].user_settable
             ]
         parameters = [
             p.to_info(include_description=use_descriptions) for p in selected
@@ -140,6 +139,7 @@ class Stellar:
             max_attempts=max_attempts,
             transcript=transcript,
             session=f"tuning:{workload.name}:{run_seed}",
+            fs_family=self.cluster.backend.fs_family,
         )
         loop = agent.run_loop()
         return TuningSession(

@@ -45,7 +45,7 @@ class ConfigurationRunner:
         self.base_config = (
             base_config.copy()
             if base_config is not None
-            else PfsConfig(facts=cluster.config_facts())
+            else PfsConfig(facts=cluster.config_facts(), backend=cluster.backend)
         )
         self.hygiene = HygieneLog()
         self.executions: list[Execution] = []

@@ -1,106 +1,21 @@
-"""Synthetic "Lustre 2.15 Operations Manual".
+"""Synthetic operations manuals, rendered per backend.
 
-Rendered from the parameter registry so documentation is *derivable* ground
-truth: parameters with ``doc="full"`` get a definition, a performance note, a
-machine-parseable range line (including dependent-range expressions in the
-syntax the extraction pipeline understands) and the default; ``doc="partial"``
-entries lack the range line and performance discussion; ``doc="none"``
-entries are simply absent.  Filler chapters on unrelated subsystems make
-retrieval non-trivial, as in the real 600-page manual.
+Rendered from a backend's parameter registry so documentation is *derivable*
+ground truth: parameters with ``doc="full"`` get a definition, a performance
+note, a machine-parseable range line (including dependent-range expressions
+in the syntax the extraction pipeline understands) and the default;
+``doc="partial"`` entries lack the range line and performance discussion;
+``doc="none"`` entries are simply absent.  Filler chapters on unrelated
+subsystems make retrieval non-trivial, as in the real 600-page manual.
 """
 
 from __future__ import annotations
 
-from repro.pfs import params as P
-
-_SUBSYSTEM_CHAPTER = {
-    "lov": "Managing File Layout (Striping)",
-    "osc": "Tuning the Object Storage Client",
-    "llite": "Tuning the Lustre Client (llite)",
-    "mdc": "Tuning the Metadata Client",
-    "ldlm": "The Lustre Distributed Lock Manager",
-    "nrs": "Network Request Scheduler Policies",
-    "mds": "Metadata Server Administration",
-}
-
-_FILLER_CHAPTERS = [
-    (
-        "Introduction to the Lustre Architecture",
-        "A Lustre file system consists of a Management Server (MGS), one or "
-        "more Metadata Servers (MDS) exporting Metadata Targets (MDTs), and "
-        "Object Storage Servers (OSS) exporting Object Storage Targets "
-        "(OSTs). Clients mount the file system through the llite layer and "
-        "communicate with servers using the PtlRPC protocol over LNet. File "
-        "metadata (names, permissions, layout) lives on the MDT while file "
-        "data is striped over OST objects. The separation of metadata and "
-        "data paths is what allows a Lustre file system to scale bandwidth "
-        "by adding OSS nodes.",
-    ),
-    (
-        "Understanding PtlRPC and Bulk Transfers",
-        "Data moves between clients and OSTs using bulk RPCs. A bulk "
-        "transfer is negotiated with a request/reply handshake after which "
-        "the payload pages are moved via remote DMA where the fabric "
-        "supports it. Requests are queued per import and scheduled by the "
-        "Network Request Scheduler on the server. Each client maintains a "
-        "separate import (and therefore separate request queues and "
-        "in-flight accounting) for every OST and MDT it communicates with.",
-    ),
-    (
-        "LNet Networking",
-        "LNet provides the message passing layer used by PtlRPC. Network "
-        "interfaces are grouped into LNet networks such as tcp0 or o2ib0. "
-        "Routing between networks is performed by LNet routers. The "
-        "configuration is managed with lnetctl and persists in "
-        "/etc/lnet.conf. Credits control the number of concurrent messages "
-        "per peer and per interface.",
-    ),
-    (
-        "Recovery and High Availability",
-        "When a client loses contact with a server it enters recovery: "
-        "requests are replayed after reconnection in transaction order. "
-        "Servers maintain a recovery window during which clients must "
-        "reconnect; requests from clients that miss the window are evicted. "
-        "Failover pairs share storage so a standby server can take over a "
-        "target. Imperative recovery shortens the window using the MGS to "
-        "notify clients of restarts.",
-    ),
-    (
-        "Quotas and Usage Accounting",
-        "Lustre enforces block and inode quotas per user, group and "
-        "project. Quota masters run on the MDT and acquire/release quota "
-        "space from slaves on OSTs. The lfs quota and lfs setquota commands "
-        "manage limits; accounting is always enabled on modern versions "
-        "even when enforcement is off.",
-    ),
-    (
-        "The Distributed NamespacE (DNE)",
-        "DNE allows a file system to use multiple MDTs. Remote directories "
-        "place a subtree on another MDT; striped directories hash directory "
-        "entries across several MDTs to scale the operation rate of a "
-        "single large directory. Striped directories add an extra RPC to "
-        "some operations, so they are recommended only for directories with "
-        "very high file counts.",
-    ),
-    (
-        "Hierarchical Storage Management (HSM)",
-        "HSM connects Lustre to an archive tier. Files can be archived, "
-        "released (leaving a stub), and restored on access via copytools. "
-        "Release and restore operations are coordinated by the MDT, which "
-        "maintains HSM state flags per file.",
-    ),
-    (
-        "Monitoring with the jobstats Framework",
-        "Job statistics attribute server-side operation counts to scheduler "
-        "job identifiers. Enable them by setting jobid_var appropriately; "
-        "statistics appear under obdfilter.*.job_stats and "
-        "mdt.*.job_stats and are invaluable when attributing load on a "
-        "shared file system to specific batch jobs.",
-    ),
-]
+from repro.backends import resolve_backend
+from repro.backends.base import ParamSpec, PfsBackend
 
 
-def _range_sentence(spec: P.ParamSpec) -> str:
+def _range_sentence(spec: ParamSpec) -> str:
     def render(expr) -> str:
         if isinstance(expr, (int, float)):
             return f"{int(expr)}"
@@ -112,14 +27,17 @@ def _range_sentence(spec: P.ParamSpec) -> str:
     )
 
 
-def render_parameter_section(spec: P.ParamSpec) -> str:
+def render_parameter_section(
+    spec: ParamSpec, backend: PfsBackend | str | None = None
+) -> str:
     """The manual text for a single parameter (empty if undocumented)."""
+    backend = resolve_backend(backend)
     if spec.doc == "none" or not spec.writable:
         return ""
     lines = [f"=== The {spec.basename} parameter ==="]
     lines.append(
         f"Parameter name: {spec.name} (exposed under "
-        f"/proc/fs/lustre/{spec.subsystem}/). Unit: {spec.unit}."
+        f"{backend.proc_root}/{spec.subsystem}/). Unit: {spec.unit}."
     )
     lines.append(f"Definition: {spec.description}")
     if spec.doc == "full":
@@ -136,21 +54,20 @@ def render_parameter_section(spec: P.ParamSpec) -> str:
     return "\n".join(lines)
 
 
-def render_manual(fsname: str = "testfs") -> str:
-    """The full manual text."""
-    sections: list[str] = [
-        "Lustre Software Release 2.15 Operations Manual (simulated)",
-        "This manual describes the administration and tuning of the Lustre "
-        "parallel file system.",
-    ]
-    for title, body in _FILLER_CHAPTERS:
+def render_manual(
+    fsname: str = "testfs", backend: PfsBackend | str | None = None
+) -> str:
+    """The full manual text for one backend (default: Lustre)."""
+    backend = resolve_backend(backend)
+    sections: list[str] = [backend.manual_title, backend.manual_intro]
+    for title, body in backend.filler_chapters:
         sections.append(f"== Chapter: {title} ==\n{body}")
-    by_subsystem: dict[str, list[P.ParamSpec]] = {}
-    for spec in P.REGISTRY.values():
+    by_subsystem: dict[str, list[ParamSpec]] = {}
+    for spec in backend.registry.values():
         by_subsystem.setdefault(spec.subsystem, []).append(spec)
-    for subsystem, chapter in _SUBSYSTEM_CHAPTER.items():
+    for subsystem, chapter in backend.subsystem_chapters.items():
         specs = by_subsystem.get(subsystem, [])
-        rendered = [render_parameter_section(s) for s in specs]
+        rendered = [render_parameter_section(s, backend) for s in specs]
         rendered = [r for r in rendered if r]
         if not rendered:
             continue

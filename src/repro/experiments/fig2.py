@@ -8,13 +8,13 @@ extraction output (which uses the older GPT-4o, as the paper notes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.backends import get_backend
 from repro.cluster.hardware import ClusterSpec
 from repro.llm.client import LLMClient
 from repro.llm.knowledge import parametric_belief
 from repro.llm.profiles import get_profile
-from repro.pfs import params as P
 from repro.rag.extraction import ParameterExtractor
 
 PARAMETER = "llite.statahead_max"
@@ -60,7 +60,12 @@ class Fig2Result:
 
 
 def run(cluster: ClusterSpec, seed: int = 0) -> Fig2Result:
-    spec = P.REGISTRY[PARAMETER]
+    # Figure 2 is specifically about Lustre's statahead_max hallucinations;
+    # pin the backend (keeping the caller's hardware) so the extraction
+    # contrast stays well-defined when pointed at another backend.
+    if cluster.backend_name != "lustre":
+        cluster = replace(cluster, backend_name="lustre")
+    spec = get_backend("lustre").registry[PARAMETER]
     true_max = float(spec.max_expr)
     result = Fig2Result(parameter=PARAMETER, true_max=true_max)
 

@@ -71,7 +71,12 @@ def _one_workload(
 ) -> WorkloadComparison:
     default = measure_config(cluster, name, {}, "default", reps=reps, seed=seed)
     expert = measure_config(
-        cluster, name, expert_updates(name), "expert", reps=reps, seed=seed + 1
+        cluster,
+        name,
+        expert_updates(name, cluster.backend),
+        "expert",
+        reps=reps,
+        seed=seed + 1,
     )
     sessions = run_sessions(
         cluster, name, reps=reps, seed=seed, extraction=extraction

@@ -16,12 +16,12 @@ from repro.workloads import get_workload
 #: The paper runs each case eight times.
 DEFAULT_REPS = 8
 
-_EXTRACTION_CACHE: dict[int, ExtractionResult] = {}
+_EXTRACTION_CACHE: dict[tuple[str, int], ExtractionResult] = {}
 
 
 def shared_extraction(cluster: ClusterSpec, seed: int = 0) -> ExtractionResult:
     """The offline phase is deterministic; share it across experiments."""
-    key = seed
+    key = (cluster.backend_name, seed)
     if key not in _EXTRACTION_CACHE:
         _EXTRACTION_CACHE[key] = Stellar.build(cluster, seed=seed).extraction
     return _EXTRACTION_CACHE[key]
@@ -62,7 +62,11 @@ def measure_config(
     call site uses.
     """
     sim = Simulator(cluster)
-    config = PfsConfig(facts=cluster.config_facts()).with_updates(updates).clipped()
+    config = (
+        PfsConfig(facts=cluster.config_facts(), backend=cluster.backend)
+        .with_updates(updates)
+        .clipped()
+    )
     workload = get_workload(workload_name)
     runs = sim.run_repetitions(workload, config, n=reps, seed=seed)
     return Measurement(label=label, times=[run.seconds for run in runs])

@@ -1,9 +1,11 @@
 """Corrupted parametric knowledge (the hallucination model).
 
-What an LLM "knows" about Lustre parameters without grounding: a noisy copy
-of the ground truth.  Corruption is deterministic per (model, parameter) so
-experiments are reproducible, and a small override table pins the exact
-Figure 2 outcomes for ``llite.statahead_max``:
+What an LLM "knows" about a file system's parameters without grounding: a
+noisy copy of the ground truth.  The misconception texts, pinned outcomes
+and universally-held flaws live on each :class:`PfsBackend`; corruption is
+deterministic per (model, parameter) so experiments are reproducible, and
+the Lustre backend's override table pins the exact Figure 2 outcomes for
+``llite.statahead_max``:
 
 - GPT-4.5 and Gemini-2.5-Pro: flawed definition + wrong maximum;
 - Claude-3.7-Sonnet: correct definition but wrong maximum;
@@ -17,74 +19,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import find_backend_for_param, get_backend
+from repro.backends.base import ParamSpec, PfsBackend
 from repro.llm.profiles import ModelProfile
-from repro.pfs import params as P
 
-#: Plausible-but-wrong definitions per parameter (drawn on definition flaws).
-MISCONCEPTIONS: dict[str, str] = {
-    "lov.stripe_count": (
-        "The number of OSTs used by a directory; setting the parent "
-        "directory's stripe count to -1 distributes the files in it more "
-        "evenly across all OSTs."
-    ),
-    "lov.stripe_size": (
-        "The block size used by the underlying ldiskfs file system for "
-        "each OST object."
-    ),
-    "llite.statahead_max": (
-        "The maximum number of concurrent statahead threads the client "
-        "may spawn while listing directories."
-    ),
-    "osc.max_rpcs_in_flight": (
-        "The total number of RPCs a client may send per second to one OST."
-    ),
-    "osc.max_pages_per_rpc": (
-        "The number of pages the OST reads ahead from disk for each RPC."
-    ),
-    "osc.max_dirty_mb": (
-        "The maximum size of a single write call before it bypasses the "
-        "page cache and is sent synchronously."
-    ),
-    "osc.short_io_bytes": (
-        "The minimum size of an RPC before compression is applied to the "
-        "payload."
-    ),
-    "llite.max_read_ahead_mb": (
-        "The size of the read cache kept on each OSS for recently read data."
-    ),
-    "llite.max_read_ahead_per_file_mb": (
-        "The largest file size eligible for client-side caching."
-    ),
-    "llite.max_read_ahead_whole_mb": (
-        "The amount of data read ahead after every random read."
-    ),
-    "llite.max_cached_mb": (
-        "The maximum memory the MDS uses to cache inode attributes."
-    ),
-    "mdc.max_rpcs_in_flight": (
-        "The number of metadata server threads reserved for this client."
-    ),
-    "mdc.max_mod_rpcs_in_flight": (
-        "The number of retries for failed metadata modifications."
-    ),
-}
+#: Legacy view of the Lustre backend's misconception table (tests use it to
+#: enumerate the parameters with plausible-but-wrong definitions).
+MISCONCEPTIONS = get_backend("lustre").misconceptions
 
 #: Wrong-but-believable maxima models quote for parameters (Figure 2 style).
 _COMMON_WRONG_MAXIMA = [16, 64, 128, 256, 1024, 4096]
-
-#: Pinned Figure 2 outcomes: (model, param) -> (definition_correct, max_value)
-_FIG2_OVERRIDES: dict[tuple[str, str], tuple[bool, int]] = {
-    ("gpt-4.5", "llite.statahead_max"): (False, 64),
-    ("gemini-2.5-pro", "llite.statahead_max"): (False, 128),
-    ("claude-3.7-sonnet", "llite.statahead_max"): (True, 1024),
-}
-
-#: Misconceptions so pervasive in training corpora that every model holds
-#: them unaided.  The stripe-count one is the paper's own §5.4 example: the
-#: ablated agent claims stripe count "distributes the files more evenly
-#: across all OSTs" — a flawed reading of how striping affects a directory's
-#: files.
-_UNIVERSAL_FLAWS = {"lov.stripe_count"}
 
 
 @dataclass(frozen=True)
@@ -110,22 +54,33 @@ def _rng_for(model: str, param: str) -> np.random.Generator:
     return np.random.default_rng(int.from_bytes(digest[:8], "little"))
 
 
-def _true_bounds(spec: P.ParamSpec) -> tuple[float, float]:
+def _true_bounds(spec: ParamSpec) -> tuple[float, float]:
     low = spec.min_expr if isinstance(spec.min_expr, (int, float)) else 0.0
     high = spec.max_expr if isinstance(spec.max_expr, (int, float)) else 2.0 * spec.default + 1
     return float(low), float(high)
 
 
-def parametric_belief(profile: ModelProfile, param_name: str) -> ParamBelief:
-    """The (possibly hallucinated) unaided belief of ``profile`` about a parameter."""
-    spec = P.get(param_name)
+def parametric_belief(
+    profile: ModelProfile, param_name: str, backend: PfsBackend | None = None
+) -> ParamBelief:
+    """The (possibly hallucinated) unaided belief of ``profile`` about a parameter.
+
+    When ``backend`` is omitted it is resolved from the parameter name —
+    the mock model "recognizes" which file system a parameter belongs to,
+    exactly like a real model keying off the name in the prompt.
+    """
+    if backend is None:
+        backend = find_backend_for_param(param_name)
+    spec = backend.param(param_name)
     rng = _rng_for(profile.name, spec.name)
     true_low, true_high = _true_bounds(spec)
 
-    override = _FIG2_OVERRIDES.get((profile.name, spec.name))
+    override = backend.belief_overrides.get((profile.name, spec.name))
     if override is not None:
         definition_ok, wrong_max = override
-        definition = spec.description if definition_ok else MISCONCEPTIONS[spec.name]
+        definition = (
+            spec.description if definition_ok else backend.misconceptions[spec.name]
+        )
         return ParamBelief(
             name=spec.name,
             definition=definition,
@@ -136,14 +91,14 @@ def parametric_belief(profile: ModelProfile, param_name: str) -> ParamBelief:
         )
 
     definition_ok = (
-        spec.name not in _UNIVERSAL_FLAWS
+        spec.name not in backend.universal_flaws
         and rng.random() >= profile.p_wrong_definition
     )
-    if definition_ok or spec.name not in MISCONCEPTIONS:
+    if definition_ok or spec.name not in backend.misconceptions:
         definition = spec.description
         definition_ok = True
     else:
-        definition = MISCONCEPTIONS[spec.name]
+        definition = backend.misconceptions[spec.name]
 
     range_ok = rng.random() >= profile.p_wrong_range
     if range_ok:
@@ -162,7 +117,9 @@ def parametric_belief(profile: ModelProfile, param_name: str) -> ParamBelief:
     )
 
 
-def believed_direction_is_correct(profile: ModelProfile, param_name: str) -> bool:
+def believed_direction_is_correct(
+    profile: ModelProfile, param_name: str, backend: PfsBackend | None = None
+) -> bool:
     """Whether the model's unaided intuition about a parameter's tuning
     direction for a given workload class is trustworthy.
 
@@ -170,4 +127,4 @@ def believed_direction_is_correct(profile: ModelProfile, param_name: str) -> boo
     "stripe count spreads files across OSTs") derives a flawed direction —
     the mechanism behind the paper's No-Descriptions ablation.
     """
-    return parametric_belief(profile, param_name).definition_correct
+    return parametric_belief(profile, param_name, backend).definition_correct

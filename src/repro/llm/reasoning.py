@@ -9,6 +9,12 @@ environment interaction:
 - propose and run a new configuration (with documented rationale), or
 - end tuning (with justification), per §4.3.2 of the paper.
 
+The policy is file-system-agnostic: it detects which backend the prompt's
+parameters belong to (:func:`repro.backends.detect_backend`) and applies
+that backend's :class:`~repro.backends.base.TuningHeuristics` — the target
+ladders, secondary refinements, misguided actions and ungrounded traps that
+encode what an LLM proposes for that file system.
+
 Grounding semantics: when a parameter's prompt context includes an accurate
 description, the engine uses the ground-truth effect direction; when
 descriptions are missing (No-Descriptions ablation) it falls back to the
@@ -28,12 +34,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.backends import detect_backend
+from repro.backends.base import KiB, MiB, PfsBackend
 from repro.llm.knowledge import believed_direction_is_correct
 from repro.llm.profiles import ModelProfile
 from repro.llm.promptparse import AttemptRecord, IOReport, ParameterInfo
-
-KiB = 1024
-MiB = 1024 * KiB
 
 #: Improvement (vs best so far) below which returns are "diminishing".
 DIMINISHING_RETURNS = 0.05
@@ -156,135 +161,18 @@ _DATA_RULE_TAGS = {
 }
 _META_RULE_TAGS = {"many_small_files"}
 
-_META_PARAMS = {
-    "mdc.max_rpcs_in_flight",
-    "mdc.max_mod_rpcs_in_flight",
-    "llite.statahead_max",
-}
 
-
-def rule_tags_for(parameter: str, workload_class: str, tags: list[str]) -> list[str]:
+def rule_tags_for(
+    parameter: str, workload_class: str, tags: list[str], backend: PfsBackend
+) -> list[str]:
     """Tags attached to a rule about ``parameter``: the workload class plus
     the tag subset relevant to that parameter's domain."""
-    relevant = _META_RULE_TAGS if parameter in _META_PARAMS else _DATA_RULE_TAGS
+    relevant = (
+        _META_RULE_TAGS
+        if parameter in backend.tuning.meta_params
+        else _DATA_RULE_TAGS
+    )
     return [workload_class] + [t for t in tags if t in relevant]
-
-
-# ---------------------------------------------------------------------------
-# Target ladders: (parameter, moderate value fn, aggressive value fn)
-# Value functions receive (report, facts) and may return None to skip.
-# ---------------------------------------------------------------------------
-def _xfer(report: IOReport | None) -> int:
-    if report is None:
-        return MiB
-    return int(report.get("common_access_size", MiB)) or MiB
-
-
-def _n_ost(facts: dict[str, float]) -> int:
-    return int(facts.get("n_ost", 5))
-
-
-def _stripe_size_for(report, facts, aggressive: bool) -> int:
-    xfer = _xfer(report)
-    floor = 16 * MiB if aggressive else 4 * MiB
-    return max(floor, min(xfer, 64 * MiB))
-
-
-_LADDERS: dict[str, list[tuple[str, Any, Any]]] = {
-    "shared_seq_large": [
-        ("lov.stripe_count", lambda r, f: -1, lambda r, f: -1),
-        (
-            "lov.stripe_size",
-            lambda r, f: _stripe_size_for(r, f, False),
-            lambda r, f: _stripe_size_for(r, f, True),
-        ),
-        ("osc.max_pages_per_rpc", lambda r, f: 1024, lambda r, f: 4096),
-        ("osc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 32),
-        ("osc.max_dirty_mb", lambda r, f: 128, lambda r, f: 512),
-    ],
-    "shared_random_small": [
-        ("lov.stripe_count", lambda r, f: -1, lambda r, f: -1),
-        ("osc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 32),
-        (
-            "osc.short_io_bytes",
-            lambda r, f: 64 * KiB if _xfer(r) <= 64 * KiB else None,
-            lambda r, f: 64 * KiB if _xfer(r) <= 64 * KiB else None,
-        ),
-        ("osc.max_pages_per_rpc", lambda r, f: 1024, lambda r, f: 1024),
-    ],
-    "metadata_small_files": [
-        ("mdc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 64),
-        ("mdc.max_mod_rpcs_in_flight", lambda r, f: 8, lambda r, f: 32),
-        ("llite.statahead_max", lambda r, f: 128, lambda r, f: 512),
-    ],
-    "fpp_data": [
-        ("osc.max_pages_per_rpc", lambda r, f: 1024, lambda r, f: 4096),
-        (
-            "lov.stripe_size",
-            lambda r, f: _stripe_size_for(r, f, False),
-            lambda r, f: _stripe_size_for(r, f, True),
-        ),
-        ("osc.max_rpcs_in_flight", lambda r, f: 16, lambda r, f: 32),
-        ("osc.max_dirty_mb", lambda r, f: 128, lambda r, f: 256),
-    ],
-}
-_LADDERS["mixed"] = (
-    _LADDERS["shared_seq_large"][:4]
-    + [_LADDERS["shared_random_small"][2]]  # short_io
-    + _LADDERS["metadata_small_files"]
-)
-
-#: Secondary (third-attempt) refinements per class.
-_SECONDARY: dict[str, list[tuple[str, Any]]] = {
-    "shared_seq_large": [
-        ("llite.max_read_ahead_mb", lambda r, f: 2048),
-        ("llite.max_read_ahead_per_file_mb", lambda r, f: 1024),
-    ],
-    "shared_random_small": [
-        ("osc.max_dirty_mb", lambda r, f: 256),
-    ],
-    "metadata_small_files": [
-        ("mdc.max_rpcs_in_flight", lambda r, f: 128),
-        ("llite.statahead_max", lambda r, f: 2048),
-    ],
-    "fpp_data": [
-        ("llite.max_read_ahead_mb", lambda r, f: 1024),
-        ("llite.max_read_ahead_per_file_mb", lambda r, f: 512),
-    ],
-    "mixed": [
-        ("llite.max_read_ahead_mb", lambda r, f: 2048),
-        ("llite.max_read_ahead_per_file_mb", lambda r, f: 1024),
-    ],
-}
-
-#: What a model with a *flawed* definition does instead (keyed by parameter).
-_MISGUIDED_ACTIONS: dict[str, Any] = {
-    "lov.stripe_count": lambda r, f: -1,  # "distribute files across OSTs"
-    "lov.stripe_size": lambda r, f: 64 * KiB,  # "match the fs block size"
-    "llite.statahead_max": lambda r, f: 8,  # "limit statahead threads"
-    "osc.max_dirty_mb": lambda r, f: 4,  # "smaller sync threshold"
-    "osc.max_pages_per_rpc": lambda r, f: 64,  # "server readahead pages"
-    "osc.max_rpcs_in_flight": lambda r, f: 16,  # direction survives, magnitude off
-    "mdc.max_rpcs_in_flight": lambda r, f: 16,
-    "mdc.max_mod_rpcs_in_flight": lambda r, f: 8,
-    "osc.short_io_bytes": lambda r, f: 0,  # "disable compression threshold"
-    "llite.max_read_ahead_mb": lambda r, f: 4096,
-    "llite.max_read_ahead_per_file_mb": lambda r, f: 2048,
-    "llite.max_read_ahead_whole_mb": lambda r, f: 64,
-    "llite.max_cached_mb": lambda r, f: 4096,
-}
-
-#: Misconception-driven levers an UNGROUNDED agent adds per workload class:
-#: a flawed definition makes a parameter look relevant when it is not (the
-#: paper's example: "stripe count distributes files more evenly across all
-#: OSTs" pulls striping into a metadata-workload configuration).
-_UNGROUNDED_TRAPS: dict[str, list[tuple[str, int]]] = {
-    "metadata_small_files": [("lov.stripe_count", -1)],
-    "mixed": [("lov.stripe_size", 64 * KiB)],
-    "shared_random_small": [("lov.stripe_size", 64 * KiB)],
-    "shared_seq_large": [("osc.max_dirty_mb", 4)],
-    "fpp_data": [("lov.stripe_count", -1)],
-}
 
 #: Metrics the Tuning Agent wants before committing to a first config; if the
 #: initial report lacks them it asks the Analysis Agent (the minor loop).
@@ -304,6 +192,9 @@ class TuningPolicy:
     # -- main entry ------------------------------------------------------
     def decide(self, ctx: TuningContext) -> Decision:
         report = ctx.report
+        # The policy infers which file system it is tuning from the
+        # parameter names in the prompt (as a real model would).
+        backend = detect_backend([p.name for p in ctx.parameters])
         # Minor loop: request missing analysis before the first proposal.
         if report is not None and not ctx.attempts:
             for metric, question in _DESIRED_METRICS:
@@ -321,14 +212,15 @@ class TuningPolicy:
             )
 
         if not ctx.attempts:
-            return self._initial_proposal(ctx, workload_class)
-        return self._followup_proposal(ctx, workload_class)
+            return self._initial_proposal(ctx, workload_class, backend)
+        return self._followup_proposal(ctx, workload_class, backend)
 
     # -- proposals ---------------------------------------------------------
     def _values_for(
-        self, ctx: TuningContext, ladder, aggressive: bool
+        self, ctx: TuningContext, backend: PfsBackend, ladder, aggressive: bool
     ) -> dict[str, int]:
         """Instantiate a ladder, routing through beliefs when ungrounded."""
+        heur = backend.tuning
         grounded = ctx.has_descriptions()
         changes: dict[str, int] = {}
         for name, moderate_fn, aggressive_fn in ladder:
@@ -336,8 +228,10 @@ class TuningPolicy:
             if info is None:
                 continue
             fn = aggressive_fn if aggressive else moderate_fn
-            if not grounded and not believed_direction_is_correct(self.profile, name):
-                fn = _MISGUIDED_ACTIONS.get(name, fn)
+            if not grounded and not believed_direction_is_correct(
+                self.profile, name, backend
+            ):
+                fn = heur.misguided_actions.get(name, fn)
             value = fn(ctx.report, ctx.facts)
             if value is None:
                 continue
@@ -346,14 +240,16 @@ class TuningPolicy:
             # Without accurate descriptions, flawed parametric definitions
             # make additional parameters look relevant to this workload.
             workload_class = classify_workload(ctx.report)
-            for name, value in _UNGROUNDED_TRAPS.get(workload_class, []):
+            for name, value in heur.ungrounded_traps.get(workload_class, ()):
                 if ctx.parameter(name) is None or name in changes:
                     continue
-                if not believed_direction_is_correct(self.profile, name):
+                if not believed_direction_is_correct(self.profile, name, backend):
                     changes[name] = value
         return changes
 
-    def _initial_proposal(self, ctx: TuningContext, workload_class: str) -> Decision:
+    def _initial_proposal(
+        self, ctx: TuningContext, workload_class: str, backend: PfsBackend
+    ) -> Decision:
         applied_rules = self._matching_rules(ctx, workload_class)
         if applied_rules:
             # One value per parameter: among matching rules (including
@@ -381,8 +277,8 @@ class TuningPolicy:
                     f"directly as the first configuration."
                 )
                 return Decision(kind="run", changes=changes, rationale=rationale)
-        ladder = _LADDERS[workload_class]
-        changes = self._values_for(ctx, ladder, aggressive=False)
+        ladder = backend.tuning.ladders[workload_class]
+        changes = self._values_for(ctx, backend, ladder, aggressive=False)
         # Less calibrated models occasionally omit a secondary lever from
         # their first proposal (recovered in later iterations).
         if len(changes) > 2 and self.rng.random() < self.profile.reasoning_noise:
@@ -390,7 +286,10 @@ class TuningPolicy:
         rationale = self._explain(ctx, workload_class, changes, first=True)
         return Decision(kind="run", changes=changes, rationale=rationale)
 
-    def _followup_proposal(self, ctx: TuningContext, workload_class: str) -> Decision:
+    def _followup_proposal(
+        self, ctx: TuningContext, workload_class: str, backend: PfsBackend
+    ) -> Decision:
+        heur = backend.tuning
         attempts = ctx.attempts
         best = max(attempts, key=lambda a: a.speedup)
         last = attempts[-1]
@@ -401,10 +300,10 @@ class TuningPolicy:
 
         # Occasional suboptimal exploration (model-specific noise).
         if self.rng.random() < self.profile.reasoning_noise:
-            noise_param = ctx.parameter("llite.max_cached_mb")
-            if noise_param is not None and "llite.max_cached_mb" not in best.changes:
+            noise_param = ctx.parameter(heur.noise_param)
+            if noise_param is not None and heur.noise_param not in best.changes:
                 changes = dict(best.changes)
-                changes["llite.max_cached_mb"] = 65536
+                changes[heur.noise_param] = heur.noise_value
                 return Decision(
                     kind="run",
                     changes=changes,
@@ -421,7 +320,9 @@ class TuningPolicy:
 
         if last.speedup < 0.98 * best.speedup:
             # Regression: revert to the best configuration and refine from it.
-            candidate = self._next_candidate(ctx, workload_class, base=best.changes)
+            candidate = self._next_candidate(
+                ctx, workload_class, backend, base=best.changes
+            )
             if candidate is not None and untried(candidate):
                 return Decision(
                     kind="run",
@@ -445,7 +346,7 @@ class TuningPolicy:
             # Clear progress (or nothing gained yet): push the same direction
             # harder, or pivot if already at the aggressive tier.
             aggressive = self._values_for(
-                ctx, _LADDERS[workload_class], aggressive=True
+                ctx, backend, heur.ladders[workload_class], aggressive=True
             )
             merged = dict(best.changes)
             merged.update(aggressive)
@@ -461,7 +362,9 @@ class TuningPolicy:
                 )
 
         # Diminishing returns: one secondary refinement, then stop.
-        candidate = self._next_candidate(ctx, workload_class, base=best.changes)
+        candidate = self._next_candidate(
+            ctx, workload_class, backend, base=best.changes
+        )
         if candidate is not None and untried(candidate) and improvement >= DIMINISHING_RETURNS:
             return Decision(
                 kind="run",
@@ -486,15 +389,22 @@ class TuningPolicy:
         return Decision(kind="end", reason=reason)
 
     def _next_candidate(
-        self, ctx: TuningContext, workload_class: str, base: dict[str, int]
+        self,
+        ctx: TuningContext,
+        workload_class: str,
+        backend: PfsBackend,
+        base: dict[str, int],
     ) -> dict[str, int] | None:
+        heur = backend.tuning
         grounded = ctx.has_descriptions()
-        for name, fn in _SECONDARY.get(workload_class, []):
+        for name, fn in heur.secondary.get(workload_class, ()):
             info = ctx.parameter(name)
             if info is None:
                 continue
-            if not grounded and not believed_direction_is_correct(self.profile, name):
-                fn = _MISGUIDED_ACTIONS.get(name, fn)
+            if not grounded and not believed_direction_is_correct(
+                self.profile, name, backend
+            ):
+                fn = heur.misguided_actions.get(name, fn)
             value = int(fn(ctx.report, ctx.facts))
             if base.get(name) == value:
                 continue
@@ -567,6 +477,7 @@ class TuningPolicy:
         """Distill the tuning run into reusable rules (§4.4)."""
         if not ctx.attempts:
             return []
+        backend = detect_backend([p.name for p in ctx.parameters])
         workload_class = classify_workload(ctx.report)
         tags = context_tags(workload_class, ctx.report)
         best = max(ctx.attempts, key=lambda a: a.speedup)
@@ -575,13 +486,13 @@ class TuningPolicy:
             return rules
         context_text = self._context_text(workload_class, ctx.report)
         for name, value in sorted(best.changes.items()):
-            description = self._rule_text(name, value, workload_class)
+            description = self._rule_text(name, value, workload_class, backend)
             rules.append(
                 {
                     "parameter": name,
                     "rule_description": description,
                     "tuning_context": context_text,
-                    "context_tags": rule_tags_for(name, workload_class, tags),
+                    "context_tags": rule_tags_for(name, workload_class, tags, backend),
                     "recommended_value": value,
                     "observed_speedup": round(best.speedup, 3),
                 }
@@ -601,7 +512,9 @@ class TuningPolicy:
                                 f"({attempt.speedup:.2f}x)."
                             ),
                             "tuning_context": context_text,
-                            "context_tags": rule_tags_for(name, workload_class, tags),
+                            "context_tags": rule_tags_for(
+                                name, workload_class, tags, backend
+                            ),
                             "recommended_value": None,
                             "observed_speedup": round(attempt.speedup, 3),
                         }
@@ -625,21 +538,26 @@ class TuningPolicy:
             bits.append(f"{meta:.0%} of I/O time in metadata operations")
         return "; ".join(bits)
 
-    def _rule_text(self, name: str, value: int, workload_class: str) -> str:
-        if name == "lov.stripe_size":
+    def _rule_text(
+        self, name: str, value: int, workload_class: str, backend: PfsBackend
+    ) -> str:
+        role = backend.role_of.get(name)
+        if role == "stripe_size_bytes":
             return (
                 "Choose the stripe size based on the dominant transfer and "
                 "file size: large streaming transfers benefit from stripes "
                 "at least as large as one transfer, while small-file "
                 "workloads should keep the default."
             )
-        if name == "lov.stripe_count":
+        if role == "stripe_count":
+            targets = backend.hardware_terms.get("storage_targets", "OSTs")
             return (
-                "Stripe heavily shared data files across all available OSTs "
-                "to multiply bandwidth and spread lock traffic; keep the "
-                "stripe count at 1 for workloads creating many small files."
+                f"Stripe heavily shared data files across all available "
+                f"{targets} to multiply bandwidth and spread lock traffic; "
+                "keep the stripe count at 1 for workloads creating many "
+                "small files."
             )
-        if name.startswith("mdc.") or name == "llite.statahead_max":
+        if name in backend.tuning.meta_params:
             return (
                 f"For metadata-dominated workloads raise {name} well above "
                 "its default so per-client operation concurrency matches "

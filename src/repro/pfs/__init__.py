@@ -1,24 +1,24 @@
-"""Lustre-like parallel file system performance simulator.
+"""Parallel file system performance simulator.
 
 The PFS model has two faces:
 
-1. A **configuration surface** mirroring Lustre 2.15: a parameter registry
-   (:mod:`repro.pfs.params`) with defaults, valid ranges (including dependent
-   ranges expressed in a small expression language), a ``/proc``-style tree of
-   writable files (:mod:`repro.pfs.proctree`) and a validated
-   :class:`~repro.pfs.config.PfsConfig`.
+1. A **configuration surface** owned by the active backend
+   (:mod:`repro.backends`): a parameter registry with defaults, valid ranges
+   (including dependent ranges expressed in a small expression language), a
+   ``/proc``-style tree of writable files (:mod:`repro.pfs.proctree`) and a
+   validated :class:`~repro.pfs.config.PfsConfig`.
 
 2. A **performance model**: workloads compile to phases
    (:mod:`repro.pfs.phases`) which the analytic model (:mod:`repro.pfs.model`)
    costs using shared RPC/disk/network primitives (:mod:`repro.pfs.costs`),
    striping math (:mod:`repro.pfs.striping`) and an LDLM-style lock contention
-   model (:mod:`repro.pfs.locks`).  :class:`~repro.pfs.simulator.Simulator`
-   ties it together and produces per-phase timings plus the I/O records the
-   Darshan tracer consumes.
+   model (:mod:`repro.pfs.locks`).  The model reads configuration only
+   through backend-mapped *roles*, so any registered backend plugs in.
+   :class:`~repro.pfs.simulator.Simulator` ties it together and produces
+   per-phase timings plus the I/O records the Darshan tracer consumes.
 """
 
 from repro.pfs.config import PfsConfig
-from repro.pfs.params import REGISTRY, ParamSpec, high_impact_parameter_names
 from repro.pfs.simulator import RunResult, Simulator
 
 __all__ = [
@@ -29,3 +29,15 @@ __all__ = [
     "Simulator",
     "RunResult",
 ]
+
+_LEGACY_LUSTRE_NAMES = ("REGISTRY", "ParamSpec", "high_impact_parameter_names")
+
+
+def __getattr__(name: str):
+    # Legacy Lustre-bound re-exports, resolved lazily (PEP 562) so library
+    # code paths never touch the repro.pfs.params shim.
+    if name in _LEGACY_LUSTRE_NAMES:
+        from repro.pfs import params
+
+        return getattr(params, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
-from repro.pfs import params as P
+from repro.backends import get_backend, resolve_backend
+from repro.backends.base import PfsBackend
 from repro.pfs.expressions import ExpressionError, compile_expression
 
 
@@ -95,8 +96,14 @@ class _Facts(dict):
 class PfsConfig:
     """A complete assignment of writable parameters."""
 
-    def __init__(self, values: Mapping[str, int] | None = None, facts: Mapping[str, float] | None = None):
-        self._values: dict[str, int] = P.defaults()
+    def __init__(
+        self,
+        values: Mapping[str, int] | None = None,
+        facts: Mapping[str, float] | None = None,
+        backend: PfsBackend | str | None = None,
+    ):
+        self.backend: PfsBackend = resolve_backend(backend)
+        self._values: dict[str, int] = self.backend.defaults()
         self.facts: dict[str, float] = _Facts(
             self, facts or {"system_memory_mb": 196 * 1024, "n_ost": 5}
         )
@@ -108,14 +115,33 @@ class PfsConfig:
 
     # -- mapping protocol -------------------------------------------------
     def __getitem__(self, name: str) -> int:
-        spec = P.get(name)
+        spec = self.backend.param(name)
         return self._values[spec.name]
 
     def __setitem__(self, name: str, value) -> None:
-        spec = P.get(name)
+        spec = self.backend.param(name)
         if not spec.writable:
             raise PermissionError(f"parameter {spec.name} is read-only")
         self._set_raw(spec.name, int(value))
+
+    def role(self, role_name: str, default: int | None = None) -> int:
+        """Value of the parameter filling a model role, in the role's unit.
+
+        The analytic model is written against roles (``dirty_bytes``,
+        ``data_rpcs_in_flight``, …); each backend maps them to its own
+        parameters with a unit scale.  ``default`` serves roles a backend
+        legitimately omits (see ``MODEL_ROLES``).
+        """
+        entry = self.backend.roles.get(role_name)
+        if entry is None:
+            if default is None:
+                raise KeyError(
+                    f"backend {self.backend.name!r} maps no parameter to "
+                    f"role {role_name!r}"
+                )
+            return default
+        name, scale = entry
+        return self._values[name] * scale
 
     def _set_raw(self, name: str, value: int) -> None:
         """Write a resolved parameter name, keeping caches coherent."""
@@ -130,11 +156,7 @@ class PfsConfig:
         self._bounds_cache.clear()
 
     def __contains__(self, name: str) -> bool:
-        try:
-            P.get(name)
-            return True
-        except KeyError:
-            return False
+        return name in self.backend
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._values)
@@ -149,9 +171,15 @@ class PfsConfig:
     def __getstate__(self) -> dict:
         # Caches are rebuilt lazily; ``facts`` crosses as a plain dict so the
         # observer's owner cycle never hits the pickle machinery half-built.
-        return {"values": dict(self._values), "facts": dict(self.facts)}
+        # The backend is a process-wide singleton and crosses by name.
+        return {
+            "values": dict(self._values),
+            "facts": dict(self.facts),
+            "backend": self.backend.name,
+        }
 
     def __setstate__(self, state: dict) -> None:
+        self.backend = get_backend(state.get("backend"))
         self._values = state["values"]
         self.facts = _Facts(self, state["facts"])
         self._env_cache = None
@@ -162,6 +190,7 @@ class PfsConfig:
 
     def copy(self) -> "PfsConfig":
         new = PfsConfig.__new__(PfsConfig)
+        new.backend = self.backend
         new._values = dict(self._values)
         new.facts = _Facts(new, self.facts)
         new._env_cache = None
@@ -183,8 +212,9 @@ class PfsConfig:
         return out
 
     def cache_key(self) -> tuple:
-        """Hashable identity of (values, facts) — used for batch dedup."""
+        """Hashable identity of (backend, values, facts) — for batch dedup."""
         return (
+            self.backend.name,
             tuple(sorted(self._values.items())),
             tuple(sorted(self.facts.items())),
         )
@@ -200,7 +230,7 @@ class PfsConfig:
 
     def bounds(self, name: str) -> tuple[float, float]:
         """Resolved (min, max) for a parameter under current values/facts."""
-        spec = P.get(name)
+        spec = self.backend.param(name)
         cached = self._bounds_cache.get(spec.name)
         if cached is not None:
             return cached
@@ -214,7 +244,7 @@ class PfsConfig:
         """All out-of-range settings in dependency-stable order."""
         out: list[Violation] = []
         for name, value in self._values.items():
-            spec = P.REGISTRY[name]
+            spec = self.backend.registry[name]
             try:
                 low, high = self.bounds(name)
             except ExpressionError as exc:
@@ -253,12 +283,16 @@ class PfsConfig:
 
     # -- convenience -------------------------------------------------------
     @classmethod
-    def default(cls, facts: Mapping[str, float] | None = None) -> "PfsConfig":
-        return cls(facts=facts)
+    def default(
+        cls,
+        facts: Mapping[str, float] | None = None,
+        backend: PfsBackend | str | None = None,
+    ) -> "PfsConfig":
+        return cls(facts=facts, backend=backend)
 
     def summarize(self, only_nondefault: bool = True) -> str:
         """Human/agent readable summary, optionally only non-default values."""
-        base = P.defaults()
+        base = self.backend.defaults()
         lines = []
         for name, value in sorted(self._values.items()):
             if only_nondefault and base.get(name) == value:

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import re
 
-from repro.pfs import params as P
+from repro.backends import resolve_backend
+from repro.backends.base import PfsBackend
 
 _HEADER = """\
 # testfs agent/client configuration (simulated, DAOS-style)
@@ -22,10 +23,11 @@ provider: ofi+tcp
 """
 
 
-def render_config_file() -> str:
+def render_config_file(backend: PfsBackend | str | None = None) -> str:
     """The configuration file listing every runtime-tunable parameter."""
+    backend = resolve_backend(backend)
     lines = [_HEADER, "tunables:"]
-    for spec in sorted(P.REGISTRY.values(), key=lambda s: s.name):
+    for spec in sorted(backend.registry.values(), key=lambda s: s.name):
         if not spec.writable:
             continue
         lines.append(f"  - param: {spec.name}    # tunable, default={spec.default}")

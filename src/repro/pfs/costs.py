@@ -1,19 +1,22 @@
 """Cost primitives shared by the analytic model and the event micro-models.
 
 Every timing constant in the PFS model lives here, derived from the cluster
-hardware spec and the active configuration.  Calibration targets Lustre
-2.15 on 10 Gbps TCP hardware of the paper's CloudLab class: data RPC
+hardware spec and the active configuration.  Default calibration targets
+Lustre 2.15 on 10 Gbps TCP hardware of the paper's CloudLab class: data RPC
 round-trips of a few hundred microseconds, metadata RPC round trips of
 ~200 us over TCP, HDD-array OSTs with ~0.4 ms random-request overhead.
+Other backends adjust the per-RPC fields through ``cost_overrides``, and
+all configuration reads go through model *roles* (``config.role``) so the
+model never names a backend's parameters directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
+from repro.backends.base import PAGE_SIZE
 from repro.cluster.hardware import ClusterSpec
 from repro.pfs.config import PfsConfig
-from repro.pfs.params import MiB, PAGE_SIZE
 
 #: MDS service time per operation type (seconds of one service thread).
 MDS_SERVICE_TIME = {
@@ -70,18 +73,26 @@ class CostModel:
     disk_overhead_short: float = 2.5e-4
 
     def __post_init__(self):
+        for name, value in self.config.backend.cost_overrides.items():
+            if name not in OVERRIDABLE_COST_FIELDS:
+                raise AttributeError(
+                    f"backend {self.config.backend.name!r} overrides unknown "
+                    f"cost field {name!r}; overridable: "
+                    f"{sorted(OVERRIDABLE_COST_FIELDS)}"
+                )
+            setattr(self, name, value)
         client = self.cluster.client_nodes[0]
         server = self.cluster.oss_nodes[0]
         self.client_nic = client.nic_bandwidth
         self.server_nic = server.nic_bandwidth
         self.disk_bw = server.disk_bandwidth
         self.cores = client.cores
-        self.checksums = bool(self.config["osc.checksums"])
+        self.checksums = bool(self.config.role("checksums", 0))
 
     # -- data path -------------------------------------------------------
     def rpc_bytes_cap(self) -> int:
         """Largest possible bulk RPC under the current configuration."""
-        return int(self.config["osc.max_pages_per_rpc"]) * PAGE_SIZE
+        return int(self.config.role("rpc_cap_bytes"))
 
     def effective_rpc_size(self, xfer: int, pattern: str, stripe_size: int) -> int:
         """Bytes per bulk RPC after client-side aggregation/fragmentation.
@@ -92,12 +103,14 @@ class CostModel:
         """
         cap = min(self.rpc_bytes_cap(), stripe_size)
         if pattern == "seq":
-            dirty = int(self.config["osc.max_dirty_mb"]) * MiB
+            dirty = int(self.config.role("dirty_bytes"))
             return max(PAGE_SIZE, min(cap, max(xfer, dirty)))
         return max(1, min(xfer, cap))
 
     def uses_short_io(self, rpc_size: int) -> bool:
-        return rpc_size <= int(self.config["osc.short_io_bytes"])
+        # Backends without an inline fast path map no short_io role: the
+        # threshold is then 0 and no request qualifies.
+        return rpc_size <= int(self.config.role("short_io_bytes", 0))
 
     def disk_overhead(self, pattern: str, short_io: bool) -> float:
         if pattern == "seq":
@@ -150,7 +163,7 @@ class CostModel:
 
     def statahead_slots_per_rank(self) -> float:
         """Async attribute-prefetch slots a scanning rank contributes."""
-        statahead = int(self.config["llite.statahead_max"])
+        statahead = int(self.config.role("statahead_count", 0))
         if statahead <= 0:
             return 1.0
         return 1.0 + min(statahead, STATAHEAD_WINDOW_CAP) / STATAHEAD_SLOT_DIVISOR
@@ -167,3 +180,10 @@ class CostModel:
         threads = self.cluster.mds_service_threads
         rho = min(max(utilization, 0.0), 0.90)
         return (rho ** 8 / (1.0 - rho)) * service / threads * 4.0
+
+
+#: Timing fields a backend's ``cost_overrides`` may replace (computed once —
+#: CostModel construction sits in the costing hot path).
+OVERRIDABLE_COST_FIELDS = frozenset(
+    f.name for f in fields(CostModel) if f.name not in ("cluster", "config")
+)

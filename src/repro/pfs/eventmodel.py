@@ -39,7 +39,7 @@ def simulate_stream(
     """
     costs = CostModel(cluster, config)
     engine = Engine()
-    q = int(config["osc.max_rpcs_in_flight"])
+    q = int(config.role("data_rpcs_in_flight"))
     tokens = TokenPool(q, name="rpcs_in_flight")
     client_nic = BandwidthLink(
         engine, costs.client_nic, latency=costs.data_rtt / 2, name="client_nic"
@@ -105,9 +105,9 @@ def simulate_meta_stream(
     engine = Engine()
     mds = FifoServer(engine, servers=cluster.mds_service_threads, name="mds")
     modifying = any(op in ("create", "unlink", "mkdir") for op in spec.cycle)
-    q = int(config["mdc.max_rpcs_in_flight"])
+    q = int(config.role("meta_rpcs_in_flight"))
     if modifying:
-        q = min(q, int(config["mdc.max_mod_rpcs_in_flight"]))
+        q = min(q, int(config.role("meta_mod_rpcs_in_flight", q)))
     tokens = TokenPool(q, name="mdc_rpcs")
     finished = {"time": 0.0}
 
@@ -156,9 +156,9 @@ def analytic_meta_stream_estimate(
     costs = CostModel(cluster, config)
     cycle_rt = costs.meta_cycle_round_trip(spec.cycle, spec.stripe_count, 0)
     modifying = any(op in ("create", "unlink", "mkdir") for op in spec.cycle)
-    q = int(config["mdc.max_rpcs_in_flight"])
+    q = int(config.role("meta_rpcs_in_flight"))
     if modifying:
-        q = min(q, int(config["mdc.max_mod_rpcs_in_flight"]))
+        q = min(q, int(config.role("meta_mod_rpcs_in_flight", q)))
     conc = min(q, spec.n_ranks)
     client_bound = spec.files * spec.n_ranks * cycle_rt / conc
     service_per_file = sum(
@@ -186,7 +186,7 @@ def analytic_stream_estimate(
         "server_nic": total_bytes / costs.server_nic,
     }
     rtt = costs.rpc_round_trip(spec.rpc_size, spec.pattern)
-    q = int(config["osc.max_rpcs_in_flight"])
+    q = int(config.role("data_rpcs_in_flight"))
     window = q * spec.rpc_size
     bounds["pipeline"] = total_bytes / (window / rtt)
     return max(bounds.values()) + rtt

@@ -28,7 +28,6 @@ from repro.pfs.costs import (
     PDIROPS_CONCURRENCY,
     CostModel,
 )
-from repro.pfs.params import MiB
 from repro.pfs.phases import (
     MODIFYING_OPS,
     DataPhase,
@@ -77,9 +76,9 @@ class AnalyticModel:
     # ------------------------------------------------------------------
     def _layout(self) -> tuple[int, int]:
         k = resolve_stripe_count(
-            int(self.config["lov.stripe_count"]), self.cluster.n_ost
+            int(self.config.role("stripe_count")), self.cluster.n_ost
         )
-        stripe_size = int(self.config["lov.stripe_size"])
+        stripe_size = int(self.config.role("stripe_size_bytes"))
         return k, stripe_size
 
     def _eval_data(self, phase: DataPhase, job: MpiJob, state: RunState) -> PhaseResult:
@@ -99,7 +98,7 @@ class AnalyticModel:
         # this run and the working set fits in the client page cache.
         if phase.io == "read" and phase.reuse:
             cached = state.cached_bytes(fs.name)
-            limit = int(config["llite.max_cached_mb"]) * MiB
+            limit = int(config.role("cached_bytes"))
             per_client = phase.bytes_per_rank * ranks_pc
             if cached >= per_client and per_client <= limit:
                 seconds = per_client / CLIENT_MEM_BW + phase.ops_per_rank * 2e-6
@@ -148,9 +147,9 @@ class AnalyticModel:
 
         # --- latency-limited pipeline bound ------------------------------
         rtt = costs.rpc_round_trip(eff_rpc, phase.pattern, lock_lat)
-        q = int(config["osc.max_rpcs_in_flight"])
+        q = int(config.role("data_rpcs_in_flight"))
         if phase.io == "write":
-            dirty = int(config["osc.max_dirty_mb"]) * MiB
+            dirty = int(config.role("dirty_bytes"))
             flow_window = min(q * eff_rpc, dirty)
         else:
             flow_window = min(q * eff_rpc, self._read_window(phase, ranks_pc, used_osts))
@@ -190,11 +189,11 @@ class AnalyticModel:
             # rank has one synchronous request outstanding.
             client_window = ranks_pc * phase.xfer_size
             return client_window / used_osts
-        per_file = int(config["llite.max_read_ahead_per_file_mb"]) * MiB
-        whole = int(config["llite.max_read_ahead_whole_mb"]) * MiB
+        per_file = int(config.role("read_ahead_file_bytes"))
+        whole = int(config.role("read_ahead_whole_bytes"))
         if fs.file_size <= whole:
             per_file = max(per_file, fs.file_size)
-        global_cap = int(config["llite.max_read_ahead_mb"]) * MiB
+        global_cap = int(config.role("read_ahead_total_bytes"))
         if fs.shared:
             # Ranks on a client share the per-file window of the shared file.
             client_window = max(
@@ -251,8 +250,8 @@ class AnalyticModel:
 
         # --- client concurrency bound ------------------------------------
         cycle_rt = costs.meta_cycle_round_trip(phase.cycle, k, phase.data_bytes)
-        q_mdc = int(config["mdc.max_rpcs_in_flight"])
-        q_mod = int(config["mdc.max_mod_rpcs_in_flight"])
+        q_mdc = int(config.role("meta_rpcs_in_flight"))
+        q_mod = int(config.role("meta_mod_rpcs_in_flight", q_mdc))
         q_eff = min(q_mdc, q_mod) if phase.is_modifying else q_mdc
         per_rank_conc = 1.0
         if phase.scan_order and set(phase.cycle) == {"stat"}:

@@ -1,625 +1,49 @@
-"""Ground-truth registry of Lustre-like tunable parameters.
+"""Legacy module-level view of the **Lustre** parameter registry.
 
-Every other subsystem derives from this registry:
-
-- the synthetic operations manual renders each parameter's documentation from
-  ``description`` + ``perf_note`` (withheld or truncated for parameters whose
-  ``doc`` quality is ``partial``/``none``, which is what makes the RAG
-  sufficiency filter meaningful);
-- the ``/proc`` tree instantiates one file per parameter per device;
-- :class:`repro.pfs.config.PfsConfig` validates values against the static and
-  dependent ranges;
-- the performance model reads the high-impact parameters;
-- the mock LLM's *corrupted* parametric knowledge is a noisy copy of these
-  specs (hallucinated ranges/definitions — paper Figure 2).
-
-The registry mirrors Lustre 2.15 semantics: names, defaults and ranges follow
-the real system where the paper cites them (e.g. ``llite.statahead_max``
-default 32, range 0–8192).
+The ground-truth tables moved to :mod:`repro.backends.lustre` when the
+backend layer was extracted; this module remains as a thin, Lustre-bound
+compatibility shim for tests and examples.  Library code must not import it
+— resolve the active backend through :func:`repro.backends.get_backend`
+(usually via ``ClusterSpec.backend``) instead, so the same code path serves
+every registered file system.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.backends import get_backend
+from repro.backends.base import KiB, MiB, PAGE_SIZE, ParamSpec
 
-KiB = 1024
-MiB = 1024 * KiB
-PAGE_SIZE = 4096
-
-
-@dataclass(frozen=True)
-class ParamSpec:
-    """One tunable (or non-tunable) parameter."""
-
-    name: str  # dotted, e.g. "osc.max_rpcs_in_flight"
-    ptype: str  # "int" | "bool"
-    default: int
-    min_expr: float | str | None = None
-    max_expr: float | str | None = None
-    unit: str = "count"
-    writable: bool = True
-    binary: bool = False
-    impact: str = "high"  # "high" | "medium" | "low" | "none" (ground truth)
-    doc: str = "full"  # manual coverage: "full" | "partial" | "none"
-    per_device: bool = False  # instantiated once per OST/MDT device
-    # Settable without root (lfs setstripe on a user-owned directory); the
-    # §5.6 user-space tuning mode restricts STELLAR to these.
-    user_settable: bool = False
-    description: str = ""
-    perf_note: str = ""
-    selected: bool = False  # expected member of STELLAR's final 13
-
-    @property
-    def subsystem(self) -> str:
-        return self.name.split(".", 1)[0]
-
-    @property
-    def basename(self) -> str:
-        return self.name.rsplit(".", 1)[-1]
-
-
-def _p(**kwargs) -> ParamSpec:
-    return ParamSpec(**kwargs)
-
-
-# ---------------------------------------------------------------------------
-# The 13 high-impact runtime-tunable parameters STELLAR selects for Lustre.
-# ---------------------------------------------------------------------------
-_SELECTED = [
-    _p(
-        name="lov.stripe_size",
-        ptype="int",
-        default=1 * MiB,
-        min_expr=64 * KiB,
-        max_expr=4 * 1024 * MiB,
-        unit="bytes",
-        impact="high",
-        per_device=False,
-        selected=True,
-        user_settable=True,
-        description=(
-            "The number of bytes stored on each OST object before moving to "
-            "the next OST in a file's layout. Applies to files created after "
-            "the setting is changed on their parent directory."
-        ),
-        perf_note=(
-            "Directly shapes I/O throughput: stripe size should generally "
-            "match or exceed the application's transfer size so each RPC "
-            "stays within one stripe object; very small stripes fragment "
-            "large transfers across servers, while very large stripes can "
-            "reduce parallelism for medium files."
-        ),
-    ),
-    _p(
-        name="lov.stripe_count",
-        ptype="int",
-        default=1,
-        min_expr=-1,
-        max_expr="n_ost",
-        unit="count",
-        impact="high",
-        selected=True,
-        user_settable=True,
-        description=(
-            "The number of Object Storage Targets (OSTs) across which a file "
-            "will be striped. A value of -1 stripes across all available "
-            "OSTs. The layout is fixed when the file is created."
-        ),
-        perf_note=(
-            "The primary lever for aggregate bandwidth on shared files: "
-            "striping a large shared file across more OSTs multiplies "
-            "available disk and network bandwidth and reduces extent lock "
-            "contention. For workloads creating many small files, stripe "
-            "counts above 1 add per-file object allocation overhead on "
-            "every create and unlink, slowing metadata-intensive jobs."
-        ),
-    ),
-    _p(
-        name="osc.max_rpcs_in_flight",
-        ptype="int",
-        default=8,
-        min_expr=1,
-        max_expr=256,
-        unit="count",
-        impact="high",
-        per_device=True,
-        selected=True,
-        description=(
-            "The maximum number of concurrent bulk RPCs an object storage "
-            "client (OSC) keeps in flight to a single OST."
-        ),
-        perf_note=(
-            "Controls data-path concurrency and therefore directly "
-            "influences both latency hiding and achievable bandwidth; "
-            "increase it when many processes per node target the same OST "
-            "or when the bandwidth-delay product exceeds the in-flight "
-            "window."
-        ),
-    ),
-    _p(
-        name="osc.max_pages_per_rpc",
-        ptype="int",
-        default=256,
-        min_expr=1,
-        max_expr=4096,
-        unit="pages",
-        impact="high",
-        per_device=True,
-        selected=True,
-        description=(
-            "The maximum number of 4 KiB pages aggregated into a single bulk "
-            "RPC (256 pages = 1 MiB; 4096 pages = 16 MiB)."
-        ),
-        perf_note=(
-            "Larger RPCs amortize per-RPC CPU, network and disk-request "
-            "overhead and directly improve large sequential I/O throughput; "
-            "small random requests cannot be aggregated and see little "
-            "benefit."
-        ),
-    ),
-    _p(
-        name="osc.max_dirty_mb",
-        ptype="int",
-        default=32,
-        min_expr=1,
-        max_expr=2047,
-        unit="MiB",
-        impact="high",
-        per_device=True,
-        selected=True,
-        description=(
-            "The amount of dirty (unwritten) client page-cache data allowed "
-            "per OSC device before writers are throttled."
-        ),
-        perf_note=(
-            "Governs write-back aggregation and pipelining: enough dirty "
-            "headroom lets the client coalesce writes into full-size RPCs "
-            "and keep the pipe to the OST full; too little serializes "
-            "writers behind cache flushes."
-        ),
-    ),
-    _p(
-        name="osc.short_io_bytes",
-        ptype="int",
-        default=16 * KiB,
-        min_expr=0,
-        max_expr=64 * KiB,
-        unit="bytes",
-        impact="medium",
-        per_device=True,
-        selected=True,
-        description=(
-            "Requests at or below this size are sent inline in the RPC "
-            "request/reply (short I/O) instead of using a separate bulk "
-            "transfer handshake. 0 disables short I/O."
-        ),
-        perf_note=(
-            "Reduces per-request latency for small random reads and writes "
-            "by skipping the bulk DMA setup round-trip; irrelevant for "
-            "large transfers."
-        ),
-    ),
-    _p(
-        name="llite.max_read_ahead_mb",
-        ptype="int",
-        default=64,
-        min_expr=0,
-        max_expr="system_memory_mb / 2",
-        unit="MiB",
-        impact="high",
-        selected=True,
-        description=(
-            "The maximum amount of data, per client mount, that may be "
-            "prefetched by the readahead engine across all files."
-        ),
-        perf_note=(
-            "Determines how far sequential reads can run ahead of the "
-            "application, hiding network and disk latency; raising it helps "
-            "streaming reads from many files at once, while random readers "
-            "gain nothing."
-        ),
-    ),
-    _p(
-        name="llite.max_read_ahead_per_file_mb",
-        ptype="int",
-        default=32,
-        min_expr=0,
-        max_expr="llite.max_read_ahead_mb / 2",
-        unit="MiB",
-        impact="high",
-        selected=True,
-        description=(
-            "The maximum readahead window for a single file. Its value may "
-            "be at most half of llite.max_read_ahead_mb."
-        ),
-        perf_note=(
-            "Caps per-stream prefetch depth: large sequential reads of a "
-            "single big file need this window to cover the bandwidth-delay "
-            "product to the OSTs."
-        ),
-    ),
-    _p(
-        name="llite.max_read_ahead_whole_mb",
-        ptype="int",
-        default=2,
-        min_expr=0,
-        max_expr="llite.max_read_ahead_per_file_mb",
-        unit="MiB",
-        impact="medium",
-        selected=True,
-        description=(
-            "Files smaller than this size are read in their entirety on "
-            "first access rather than page by page."
-        ),
-        perf_note=(
-            "Turns many small reads of a small file into one RPC; useful "
-            "when applications scan small-to-medium files front to back."
-        ),
-    ),
-    _p(
-        name="llite.max_cached_mb",
-        ptype="int",
-        default=147456,  # 3/4 of 196 GiB client RAM, in MiB
-        min_expr=32,
-        max_expr="system_memory_mb",
-        unit="MiB",
-        impact="medium",
-        selected=True,
-        description=(
-            "The maximum amount of file data cached in the client page "
-            "cache for this mount (default: three quarters of RAM)."
-        ),
-        perf_note=(
-            "Bounds how much previously read or written data can be served "
-            "from client memory on re-access; shrinking it forces re-reads "
-            "over the network."
-        ),
-    ),
-    _p(
-        name="llite.statahead_max",
-        ptype="int",
-        default=32,
-        min_expr=0,
-        max_expr=8192,
-        unit="count",
-        impact="high",
-        selected=True,
-        description=(
-            "The maximum number of files for which attributes are "
-            "prefetched asynchronously by the statahead thread when a "
-            "process traverses a directory (e.g. readdir followed by stat). "
-            "Setting it to 0 disables statahead."
-        ),
-        perf_note=(
-            "Pipelines metadata attribute fetches during directory scans, "
-            "hiding per-stat round-trip latency; directly accelerates "
-            "metadata-intensive workloads that stat many files in readdir "
-            "order."
-        ),
-    ),
-    _p(
-        name="mdc.max_rpcs_in_flight",
-        ptype="int",
-        default=8,
-        min_expr=2,  # must stay above max_mod_rpcs_in_flight's minimum of 1
-        max_expr=256,
-        unit="count",
-        per_device=True,
-        impact="high",
-        selected=True,
-        description=(
-            "The maximum number of concurrent metadata RPCs a client keeps "
-            "in flight to a single MDT."
-        ),
-        perf_note=(
-            "Caps metadata concurrency per client node; when more processes "
-            "than this issue metadata operations simultaneously, requests "
-            "queue on the client and metadata operation rates drop."
-        ),
-    ),
-    _p(
-        name="mdc.max_mod_rpcs_in_flight",
-        ptype="int",
-        default=7,
-        min_expr=1,
-        max_expr="mdc.max_rpcs_in_flight - 1",
-        unit="count",
-        per_device=True,
-        impact="high",
-        selected=True,
-        description=(
-            "The maximum number of concurrent *modifying* metadata RPCs "
-            "(create, unlink, rename, setattr) in flight to a single MDT. "
-            "Must be strictly less than mdc.max_rpcs_in_flight."
-        ),
-        perf_note=(
-            "Bounds file creation and deletion concurrency per client; "
-            "workloads that create or remove many files in parallel are "
-            "directly limited by this value."
-        ),
-    ),
+__all__ = [
+    "KiB",
+    "MiB",
+    "PAGE_SIZE",
+    "ParamSpec",
+    "REGISTRY",
+    "defaults",
+    "high_impact_parameter_names",
+    "writable_specs",
+    "get",
 ]
 
-# ---------------------------------------------------------------------------
-# Binary parameters: significant performance impact but represent user
-# trade-offs (data integrity, semantics) — excluded from tuning by design.
-# ---------------------------------------------------------------------------
-_BINARY = [
-    _p(
-        name="osc.checksums",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="high",
-        per_device=True,
-        description=(
-            "Enables in-memory checksums of bulk data at the osc layer to "
-            "detect corruption between client and OST."
-        ),
-        perf_note=(
-            "Checksumming costs CPU per transferred byte and measurably "
-            "reduces large-transfer throughput, but disabling it risks "
-            "undetected data corruption; configure per data-integrity "
-            "requirements rather than for performance."
-        ),
-    ),
-    _p(
-        name="llite.checksums",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="high",
-        description=(
-            "Enables checksums at the llite layer for data read into or "
-            "written from the client page cache."
-        ),
-        perf_note=(
-            "Like osc checksums, a data-integrity trade-off: it consumes "
-            "client CPU per byte and should follow integrity policy, not "
-            "performance goals."
-        ),
-    ),
-    _p(
-        name="llite.fast_read",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="medium",
-        description=(
-            "Allows reads to be served directly from the page cache without "
-            "taking the distributed lock when the pages are already cached."
-        ),
-        perf_note=(
-            "A correctness/performance trade-off for concurrent writers; "
-            "leave enabled unless strict lock semantics are required."
-        ),
-    ),
-    _p(
-        name="llite.statahead_agl",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="low",
-        description=(
-            "Enables asynchronous glimpse locks (AGL) so statahead can also "
-            "prefetch file sizes from OSTs."
-        ),
-        perf_note="Complements statahead for ls -l style scans.",
-    ),
-    _p(
-        name="osc.grant_shrink",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="low",
-        doc="partial",
-        description=(
-            "Allows the client to return unused grant (preallocated write "
-            "space) to OSTs when idle."
-        ),
-        perf_note="Affects grant accounting, not steady-state throughput.",
-    ),
-]
+_LUSTRE = get_backend("lustre")
 
-# ---------------------------------------------------------------------------
-# Writable but low/no-impact or under-documented parameters: the extraction
-# pipeline must filter these out.
-# ---------------------------------------------------------------------------
-_FILTERED = [
-    _p(
-        name="ldlm.lru_size",
-        ptype="int",
-        default=0,
-        min_expr=0,
-        max_expr=1 << 20,
-        unit="count",
-        impact="low",
-        description=(
-            "The number of client-side locks kept in the LRU cached locks "
-            "queue; 0 enables dynamic sizing."
-        ),
-        perf_note=(
-            "Primarily affects client memory usage rather than directly "
-            "impacting I/O performance; oversizing it wastes memory."
-        ),
-    ),
-    _p(
-        name="ldlm.lru_max_age",
-        ptype="int",
-        default=3900,
-        min_expr=1,
-        max_expr=36000,
-        unit="seconds",
-        impact="low",
-        doc="partial",
-        description="Maximum age of an unused lock before cancellation.",
-        perf_note="A memory/lock housekeeping setting.",
-    ),
-    _p(
-        name="osc.idle_timeout",
-        ptype="int",
-        default=20,
-        min_expr=0,
-        max_expr=3600,
-        unit="seconds",
-        impact="low",
-        doc="partial",
-        per_device=True,
-        description="Seconds of inactivity before an idle OSC connection is closed.",
-        perf_note="A connection housekeeping setting.",
-    ),
-    _p(
-        name="osc.resend_count",
-        ptype="int",
-        default=4,
-        min_expr=0,
-        max_expr=10,
-        unit="count",
-        impact="low",
-        doc="partial",
-        per_device=True,
-        description="How many times a failed request is resent before erroring.",
-        perf_note="Matters for fault handling, not steady-state performance.",
-    ),
-    _p(
-        name="mdc.ping_interval",
-        ptype="int",
-        default=25,
-        min_expr=1,
-        max_expr=600,
-        unit="seconds",
-        impact="none",
-        doc="none",
-        per_device=True,
-        description="Interval between keep-alive pings to the MDT.",
-        perf_note="",
-    ),
-    _p(
-        name="nrs.delay_min",
-        ptype="int",
-        default=5,
-        min_expr=0,
-        max_expr=3600,
-        unit="seconds",
-        impact="none",
-        description=(
-            "Minimum artificial delay injected by the NRS delay policy."
-        ),
-        perf_note=(
-            "The delay policy simulates high server load scenarios for "
-            "testing; it is relevant to experimentation but not directly "
-            "connected to I/O performance tuning."
-        ),
-    ),
-    _p(
-        name="nrs.delay_max",
-        ptype="int",
-        default=10,
-        min_expr=0,
-        max_expr=3600,
-        unit="seconds",
-        impact="none",
-        description="Maximum artificial delay injected by the NRS delay policy.",
-        perf_note=(
-            "Used together with nrs.delay_min to simulate loaded servers "
-            "during testing; not a performance tuning control."
-        ),
-    ),
-    _p(
-        name="nrs.delay_pct",
-        ptype="int",
-        default=100,
-        min_expr=0,
-        max_expr=100,
-        unit="count",
-        impact="none",
-        description="Percentage of requests subjected to the NRS delay policy.",
-        perf_note="Testing aid; not a performance tuning control.",
-    ),
-    _p(
-        name="llite.lazystatfs",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="low",
-        doc="partial",
-        description="Allows statfs to return without waiting for unreachable OSTs.",
-        perf_note="Availability behaviour, not throughput.",
-    ),
-    _p(
-        name="llite.xattr_cache",
-        ptype="bool",
-        default=1,
-        min_expr=0,
-        max_expr=1,
-        unit="flag",
-        binary=True,
-        impact="low",
-        doc="partial",
-        description="Caches extended attributes on the client.",
-        perf_note="Minor metadata effect for xattr-heavy workloads only.",
-    ),
-]
-
-# ---------------------------------------------------------------------------
-# Read-only informational entries (exist in /proc but are not writable).
-# ---------------------------------------------------------------------------
-_READONLY = [
-    _p(name="lov.version", ptype="int", default=2155, writable=False, impact="none", doc="none"),
-    _p(name="llite.blocksize", ptype="int", default=4096, writable=False, impact="none", doc="none"),
-    _p(name="osc.kbytestotal", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
-    _p(name="osc.kbytesfree", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
-    _p(name="osc.stats", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
-    _p(name="mdc.uuid", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
-    _p(name="mdc.stats", ptype="int", default=0, writable=False, impact="none", doc="none", per_device=True),
-    _p(name="llite.stats", ptype="int", default=0, writable=False, impact="none", doc="none"),
-    _p(name="mds.num_exports", ptype="int", default=11, writable=False, impact="none", doc="none"),
-]
-
-REGISTRY: dict[str, ParamSpec] = {
-    spec.name: spec for spec in (_SELECTED + _BINARY + _FILTERED + _READONLY)
-}
+REGISTRY: dict[str, ParamSpec] = _LUSTRE.registry
 
 
 def defaults() -> dict[str, int]:
     """Default value for every writable parameter."""
-    return {s.name: s.default for s in REGISTRY.values() if s.writable}
+    return _LUSTRE.defaults()
 
 
 def high_impact_parameter_names() -> list[str]:
     """The 13 parameters STELLAR is expected to select for tuning."""
-    return [s.name for s in REGISTRY.values() if s.selected]
+    return _LUSTRE.selected_parameter_names()
 
 
 def writable_specs() -> list[ParamSpec]:
-    return [s for s in REGISTRY.values() if s.writable]
+    return _LUSTRE.writable_specs()
 
 
 def get(name: str) -> ParamSpec:
     """Lookup by full dotted name or unique basename."""
-    if name in REGISTRY:
-        return REGISTRY[name]
-    matches = [s for s in REGISTRY.values() if s.basename == name]
-    if len(matches) == 1:
-        return matches[0]
-    if not matches:
-        raise KeyError(f"unknown parameter {name!r}")
-    raise KeyError(f"ambiguous parameter basename {name!r}: {[m.name for m in matches]}")
+    return _LUSTRE.param(name)

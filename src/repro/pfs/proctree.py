@@ -1,20 +1,26 @@
 """A ``/proc``-style view of the tunable parameter surface.
 
-Lustre exposes parameters as files under ``/proc/fs/lustre`` and
-``/sys/fs/lustre`` with one instance per device (each OSC has its own
+Parallel file systems expose parameters as files (Lustre under
+``/proc/fs/lustre`` and ``/sys/fs/lustre``, the BeeGFS client module under
+its own procfs root) with one instance per device (each OSC has its own
 ``max_rpcs_in_flight`` file, etc.).  STELLAR's offline phase walks this tree
 and keeps only *writable* entries as extraction candidates — the "rough
-filter" of §4.2.2.  This module materializes that tree from the registry so
-the raw parameter count is realistic (hundreds of files) while the distinct
-tunable surface stays the registry's.
+filter" of §4.2.2.  This module materializes that tree from the cluster's
+backend registry so the raw parameter count is realistic (hundreds of
+files) while the distinct tunable surface stays the registry's.
+
+:class:`ProcView` maps the tree onto a live :class:`PfsConfig`, giving
+tests and tooling the read/write semantics of the real parameter files
+(reads reflect the configuration, writes to read-only entries fail).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backends.base import ParamSpec, PfsBackend
 from repro.cluster.hardware import ClusterSpec
-from repro.pfs import params as P
+from repro.pfs.config import PfsConfig
 
 
 @dataclass(frozen=True)
@@ -29,29 +35,31 @@ class ProcEntry:
 
 def build_proc_tree(cluster: ClusterSpec, fsname: str = "testfs") -> list[ProcEntry]:
     """Materialize the parameter tree for a mounted file system."""
+    backend = cluster.backend
     entries: list[ProcEntry] = []
-    for spec in P.REGISTRY.values():
-        devices = _devices_for(spec, cluster, fsname)
+    for spec in backend.registry.values():
+        devices = _devices_for(spec, backend, cluster, fsname)
         for device in devices:
             subsystem = spec.subsystem
             if device:
-                path = f"/proc/fs/lustre/{subsystem}/{device}/{spec.basename}"
+                path = f"{backend.proc_root}/{subsystem}/{device}/{spec.basename}"
             else:
-                path = f"/proc/fs/lustre/{subsystem}/{fsname}/{spec.basename}"
+                path = f"{backend.proc_root}/{subsystem}/{fsname}/{spec.basename}"
             entries.append(
                 ProcEntry(path=path, param=spec.name, device=device, writable=spec.writable)
             )
     return entries
 
 
-def _devices_for(spec: P.ParamSpec, cluster: ClusterSpec, fsname: str) -> list[str]:
+def _devices_for(
+    spec: ParamSpec, backend: PfsBackend, cluster: ClusterSpec, fsname: str
+) -> list[str]:
     if not spec.per_device:
         return [""]
-    if spec.subsystem == "osc":
-        return [f"{fsname}-OST{i:04x}-osc" for i in range(cluster.n_ost)]
-    if spec.subsystem == "mdc":
-        return [f"{fsname}-MDT0000-mdc"]
-    return [""]
+    namer = backend.device_namers.get(spec.subsystem)
+    if namer is None:
+        return [""]
+    return namer(cluster, fsname)
 
 
 def writable_parameter_names(entries: list[ProcEntry]) -> list[str]:
@@ -61,3 +69,42 @@ def writable_parameter_names(entries: list[ProcEntry]) -> list[str]:
         if entry.writable and entry.param not in seen:
             seen.append(entry.param)
     return seen
+
+
+class ProcView:
+    """Read/write access to the parameter tree backed by a configuration.
+
+    Mirrors admin-tool semantics: every device instance of a parameter
+    reads the same configured value, a write updates the configuration for
+    all instances, and writes to read-only files raise ``PermissionError``
+    (as the real ``/proc`` would return ``EACCES``).
+    """
+
+    def __init__(self, cluster: ClusterSpec, config: PfsConfig, fsname: str = "testfs"):
+        if config.backend.name != cluster.backend_name:
+            raise ValueError(
+                f"config targets backend {config.backend.name!r} but the "
+                f"cluster runs {cluster.backend_name!r}"
+            )
+        self.config = config
+        self.entries = build_proc_tree(cluster, fsname=fsname)
+        self._by_path = {entry.path: entry for entry in self.entries}
+
+    def _entry(self, path: str) -> ProcEntry:
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def read(self, path: str) -> int:
+        entry = self._entry(path)
+        if entry.writable:
+            return self.config[entry.param]
+        # Read-only informational entries report their registry default.
+        return self.config.backend.registry[entry.param].default
+
+    def write(self, path: str, value: int) -> None:
+        entry = self._entry(path)
+        if not entry.writable:
+            raise PermissionError(f"{path} is read-only")
+        self.config[entry.param] = value

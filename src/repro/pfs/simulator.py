@@ -71,6 +71,25 @@ class RunResult:
         return "\n".join(lines)
 
 
+def prepare_run_config(cluster: ClusterSpec, config: PfsConfig) -> PfsConfig:
+    """Validated per-run copy of ``config`` bound to ``cluster``'s facts.
+
+    The single setup path shared by :meth:`Simulator.run` and the batch
+    engine — the two must stay bit-identical (see ``tests/test_batch.py``),
+    so any new injected fact or guard belongs here, not in either caller.
+    """
+    if config.backend.name != cluster.backend_name:
+        raise ValueError(
+            f"config targets backend {config.backend.name!r} but the "
+            f"cluster runs {cluster.backend_name!r}"
+        )
+    config = config.copy()
+    config.facts.setdefault("n_ost", cluster.n_ost)
+    config.facts["system_memory_mb"] = cluster.system_memory_mb
+    config.validate()
+    return config
+
+
 class Simulator:
     """Runs workloads against the modeled cluster."""
 
@@ -84,10 +103,7 @@ class Simulator:
         real ``lctl set_param`` would fail — callers that want real-system
         clipping semantics should pass ``config.clipped()``.
         """
-        config = config.copy()
-        config.facts.setdefault("n_ost", self.cluster.n_ost)
-        config.facts["system_memory_mb"] = self.cluster.system_memory_mb
-        config.validate()
+        config = prepare_run_config(self.cluster, config)
 
         job = MpiJob.launch(workload.name, workload.n_ranks, self.cluster)
         model = AnalyticModel(self.cluster, config)

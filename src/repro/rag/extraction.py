@@ -78,7 +78,9 @@ class ParameterExtractor:
     def __init__(self, cluster: ClusterSpec, client: LLMClient, manual: str | None = None):
         self.cluster = cluster
         self.client = client
-        self.manual = manual if manual is not None else render_manual()
+        self.manual = (
+            manual if manual is not None else render_manual(backend=cluster.backend)
+        )
         self.index = VectorIndex.from_documents([self.manual])
 
     # ------------------------------------------------------------------

@@ -94,14 +94,14 @@ def _evaluate_phases(
 ) -> tuple[PfsConfig, list[PhaseResult]]:
     """Validate ``config`` and cost every phase, noise-free.
 
-    Mirrors the setup of :meth:`Simulator.run` exactly (fresh config copy,
-    facts injection, validation, fresh :class:`RunState`) so the shared
-    results feed bit-identical totals.
+    Uses the same :func:`~repro.pfs.simulator.prepare_run_config` setup as
+    :meth:`Simulator.run` (fresh config copy, facts injection, validation)
+    plus a fresh :class:`RunState`, so the shared results feed bit-identical
+    totals.
     """
-    config = config.copy()
-    config.facts.setdefault("n_ost", sim.cluster.n_ost)
-    config.facts["system_memory_mb"] = sim.cluster.system_memory_mb
-    config.validate()
+    from repro.pfs.simulator import prepare_run_config
+
+    config = prepare_run_config(sim.cluster, config)
 
     job = MpiJob.launch(workload.name, workload.n_ranks, sim.cluster)
     model = AnalyticModel(sim.cluster, config)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.hardware import ClusterSpec
-from repro.pfs.params import KiB, MiB
+from repro.backends.base import KiB, MiB
 from repro.pfs.phases import DataPhase, FileSet, MetaPhase, Phase
 from repro.workloads.base import Workload
 

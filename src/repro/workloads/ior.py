@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.hardware import ClusterSpec
-from repro.pfs.params import KiB, MiB
+from repro.backends.base import KiB, MiB
 from repro.pfs.phases import DataPhase, FileSet, Phase
 from repro.workloads.base import Workload
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.hardware import ClusterSpec
-from repro.pfs.params import KiB
+from repro.backends.base import KiB
 from repro.pfs.phases import FileSet, MetaPhase, Phase
 from repro.workloads.base import Workload
 

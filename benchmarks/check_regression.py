@@ -37,11 +37,37 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
 
+    missing = [
+        (str(path), key)
+        for data, path in ((baseline, args.baseline), (current, args.current))
+        for key in TRACKED
+        if key not in data
+    ]
+    if missing:
+        for path, key in missing:
+            print(f"ERROR: {path} is missing tracked key {key!r}", file=sys.stderr)
+        print(
+            "ERROR: both files must carry every tracked rate "
+            f"({', '.join(TRACKED)}); re-run benchmarks/test_throughput.py",
+            file=sys.stderr,
+        )
+        return 2
+
     failed = False
     for key in TRACKED:
         base = float(baseline[key])
         now = float(current[key])
-        ratio = now / base if base else float("inf")
+        if base <= 0.0:
+            # A zero/negative baseline would make every candidate "pass"
+            # (now/base -> inf); that is a broken measurement, not a pass.
+            print(
+                f"ERROR: baseline {key} is {base:g} "
+                f"(current {now:g}); a non-positive baseline rate means the "
+                "benchmark run is broken and the gate cannot be evaluated",
+                file=sys.stderr,
+            )
+            return 2
+        ratio = now / base
         status = "ok"
         if ratio < 1.0 - args.threshold:
             status = f"REGRESSION (> {args.threshold:.0%} below baseline)"

@@ -12,6 +12,10 @@
   Analysis Agent.
 - :mod:`~repro.agents.transcript` — structured event capture for case-study
   rendering (paper Figure 10).
+- :mod:`~repro.agents.online` — the online loop for dynamic workloads: drift
+  detection over the monitor stream plus bounded re-tuning sessions
+  (imported directly, not re-exported here, to keep the package import
+  light — it pulls in the whole engine).
 """
 
 from repro.agents.analysis import AnalysisAgent

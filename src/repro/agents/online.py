@@ -1,0 +1,201 @@
+"""Online re-tuning under workload drift.
+
+The paper's STELLAR tunes a static workload once.  This module closes the
+loop for time-varying workloads: a :class:`DriftDetector` watches the
+simulated monitor stream — the client-observable per-segment signals a real
+deployment would scrape (wall time, aggregate data throughput, metadata-op
+rate) — and an :class:`OnlineController` triggers **bounded** re-tuning
+sessions through the existing engine when the stream leaves a hysteresis
+band around its reference.
+
+Design constraints:
+
+- **Hysteresis, not thresholding.** Run-to-run noise and small drifts stay
+  inside the do-nothing band; only a sustained regime change (signal moving
+  more than ``band`` relative to the reference) triggers a session, and the
+  reference is re-based after every re-tune so the detector never chases its
+  own configuration changes.
+- **Bounded sessions.** At most ``max_retunes`` re-tuning sessions per
+  schedule, each capped at ``retune_attempts`` configurations — an online
+  tuner that spends more time probing than serving is worse than a static
+  one.
+- **Reuse the reflection machinery.** Re-tuning goes through
+  :meth:`Stellar.tune_and_accumulate`, so rules distilled from earlier
+  segments seed later sessions (a re-tune into a previously-seen regime
+  applies its accumulated rules as the first configuration).
+- **Import-graph rule.** This module never reads configuration values by
+  parameter name; any config introspection goes through roles
+  (``config.role(...)``).  Parameter names appear only opaquely, inside the
+  update dicts the engine's sessions return.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.engine import Stellar
+from repro.core.session import TuningSession
+from repro.pfs.simulator import RunResult
+from repro.workloads.base import Workload
+
+#: Rates below this (bytes/s or ops/s) are treated as "idle" — keeps the
+#: log-domain signals finite for segments that move no data or no metadata.
+RATE_FLOOR = 1.0
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One segment's client-observable monitor readings."""
+
+    seconds: float
+    data_rate: float  # aggregate bytes/s (read + write)
+    meta_rate: float  # metadata ops/s
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "MonitorSample":
+        seconds = max(run.seconds, 1e-9)
+        return cls(
+            seconds=seconds,
+            data_rate=(run.bytes_read + run.bytes_written) / seconds,
+            meta_rate=run.mds_ops / seconds,
+        )
+
+    def signals(self) -> tuple[float, float]:
+        """The drift signals, in the log domain (so deviations are relative)."""
+        return (
+            math.log(self.data_rate + RATE_FLOOR),
+            math.log(self.meta_rate + RATE_FLOOR),
+        )
+
+
+@dataclass
+class DriftDetector:
+    """Hysteresis-banded drift detection over the monitor stream.
+
+    The first sample observed (or the first after :meth:`rebase`) becomes the
+    reference; subsequent samples are compared signal-by-signal in the log
+    domain.  Drift fires only when some signal moved more than ``band``
+    (fractional change) from the reference — anything inside the band is the
+    do-nothing zone.
+    """
+
+    band: float = 0.5
+    _reference: MonitorSample | None = field(default=None, repr=False)
+
+    def rebase(self, sample: MonitorSample | None = None) -> None:
+        """Forget the reference; the next observed sample becomes it."""
+        self._reference = sample
+
+    @property
+    def reference(self) -> MonitorSample | None:
+        return self._reference
+
+    def deviation(self, sample: MonitorSample) -> float:
+        """Largest per-signal |log-ratio| vs the reference (0 when unset)."""
+        if self._reference is None:
+            return 0.0
+        return max(
+            abs(observed - reference)
+            for observed, reference in zip(sample.signals(), self._reference.signals())
+        )
+
+    def observe(self, sample: MonitorSample) -> bool:
+        """Feed one sample; ``True`` when it drifted outside the band."""
+        if self._reference is None:
+            self._reference = sample
+            return False
+        return self.deviation(sample) > math.log1p(self.band)
+
+
+@dataclass
+class RetuneEvent:
+    """One triggered re-tuning session."""
+
+    segment_index: int
+    deviation: float
+    session: TuningSession
+
+
+class OnlineController:
+    """Drives bounded re-tuning of a drifting schedule.
+
+    Usage (one decision pass over a schedule)::
+
+        controller = OnlineController(engine)
+        controller.start(schedule[0].workload)       # initial one-shot tune
+        for segment in schedule:
+            run = sim.run(segment.workload, controller.config(base), ...)
+            controller.observe(segment.index, run, segment.workload)
+
+    ``updates`` always holds the parameter updates currently in force; a
+    re-tune triggered by segment *i*'s sample takes effect from segment
+    *i + 1* (the drifted segment already ran — online tuning pays one segment
+    of pain per regime change, which the drift experiment measures honestly).
+    """
+
+    def __init__(
+        self,
+        engine: Stellar,
+        detector: DriftDetector | None = None,
+        max_retunes: int = 3,
+        initial_attempts: int = 5,
+        retune_attempts: int = 3,
+    ):
+        self.engine = engine
+        self.detector = detector if detector is not None else DriftDetector()
+        self.max_retunes = max_retunes
+        self.initial_attempts = initial_attempts
+        self.retune_attempts = retune_attempts
+        self.updates: dict[str, int] = {}
+        self.sessions: list[TuningSession] = []
+        self.retunes: list[RetuneEvent] = []
+        self.samples: list[MonitorSample] = []
+
+    # ------------------------------------------------------------------
+    def start(self, workload: Workload) -> dict[str, int]:
+        """The initial one-shot tune (identical to the static strategy)."""
+        session = self.engine.tune_and_accumulate(
+            workload, max_attempts=self.initial_attempts
+        )
+        self.sessions.append(session)
+        self.updates = dict(session.best_config)
+        self.detector.rebase()
+        return dict(self.updates)
+
+    def config(self, base):
+        """The currently-in-force configuration on top of ``base`` defaults."""
+        return base.with_updates(self.updates).clipped()
+
+    @property
+    def tuning_executions(self) -> int:
+        """Application executions spent inside tuning sessions (probe cost)."""
+        return sum(session.executions for session in self.sessions)
+
+    # ------------------------------------------------------------------
+    def observe(self, index: int, run: RunResult, workload: Workload) -> bool:
+        """Feed one completed segment; ``True`` when a re-tune fired.
+
+        The re-tuned updates apply from the *next* segment onward.
+        """
+        sample = MonitorSample.from_run(run)
+        self.samples.append(sample)
+        if not self.detector.observe(sample):
+            return False
+        if len(self.retunes) >= self.max_retunes:
+            return False
+        # observe() left the reference in place on drift, so the deviation
+        # recorded with the event is exactly the one that tripped the band.
+        deviation = self.detector.deviation(sample)
+        session = self.engine.tune_and_accumulate(
+            workload, max_attempts=self.retune_attempts
+        )
+        self.sessions.append(session)
+        self.updates = dict(session.best_config)
+        self.retunes.append(
+            RetuneEvent(segment_index=index, deviation=deviation, session=session)
+        )
+        # The configuration just changed; measure the new regime fresh instead
+        # of comparing it against pre-tune throughput.
+        self.detector.rebase()
+        return True

@@ -291,16 +291,33 @@ def find_backend_for_param(name: str) -> PfsBackend:
 
 
 def detect_backend(param_names) -> PfsBackend:
-    """The backend covering the most of ``param_names`` (Lustre on ties/none).
+    """The unique backend covering the most of ``param_names``.
 
     The mock LLM uses this: its "knowledge" of which file system it is tuning
     comes from the parameter names present in the prompt, exactly like a real
-    model inferring the system from context.
+    model inferring the system from context.  A prompt whose parameter names
+    match no registered backend, or whose best coverage is tied between
+    several backends, is undecidable — raising beats silently tuning the
+    wrong file system, so a descriptive :class:`KeyError` names the
+    candidates instead.
     """
-    best = get_backend(DEFAULT_BACKEND)
-    best_hits = -1
-    for backend in _REGISTRY.values():
-        hits = sum(1 for name in param_names if name in backend.registry)
-        if hits > best_hits:
-            best, best_hits = backend, hits
-    return best
+    names = list(param_names)
+    hits = {
+        backend.name: sum(1 for name in names if name in backend.registry)
+        for backend in _REGISTRY.values()
+    }
+    best_hits = max(hits.values(), default=0)
+    if best_hits == 0:
+        shown = sorted(set(names))[:5]
+        raise KeyError(
+            f"cannot detect backend: parameter names {shown or '(none)'} "
+            f"match no registered backend (registered: {sorted(_REGISTRY)})"
+        )
+    candidates = sorted(name for name, count in hits.items() if count == best_hits)
+    if len(candidates) > 1:
+        raise KeyError(
+            f"cannot detect backend: parameter names match {candidates} "
+            f"equally well ({best_hits} name(s) each); prompts must name "
+            "parameters from exactly one backend"
+        )
+    return _REGISTRY[candidates[0]]

@@ -8,6 +8,8 @@ Examples::
     stellar experiment fig5            # reproduce a paper figure
     stellar experiment all --reps 4
     stellar experiment crossfs         # cross-backend rule transfer
+    stellar experiment drift           # workload drift: static vs online
+    stellar drift --schedule regime_flip --backend beegfs
     stellar list                       # workloads, experiments, backends
 """
 
@@ -19,7 +21,7 @@ import sys
 from repro.backends import list_backends
 from repro.cluster import make_cluster
 from repro.core.engine import Stellar
-from repro.workloads import get_workload, list_workloads
+from repro.workloads import get_workload, list_schedules, list_workloads
 
 EXPERIMENTS = (
     "fig2",
@@ -34,6 +36,7 @@ EXPERIMENTS = (
     "userspace",
     "autotuner-cost",
     "crossfs",
+    "drift",
 )
 
 
@@ -64,6 +67,21 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
     experiment.add_argument("--reps", type=int, default=8)
     experiment.add_argument("--backend", choices=list_backends(), default="lustre")
+
+    drift = sub.add_parser(
+        "drift",
+        help="dynamic workloads: static one-shot vs online re-tuning vs oracle",
+    )
+    drift.add_argument(
+        "--schedule", choices=list_schedules() + ["all"], default="all"
+    )
+    from repro.workloads.dynamic import DEFAULT_SEGMENTS
+
+    drift.add_argument(
+        "--backend", choices=list_backends() + ["all"], default="all"
+    )
+    drift.add_argument("--segments", type=int, default=DEFAULT_SEGMENTS)
+    drift.add_argument("--reps", type=int, default=8)
     return parser
 
 
@@ -110,15 +128,44 @@ def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
         from repro.experiments import crossfs
 
         return crossfs.run(cluster, reps=reps, seed=seed).render()
+    if name == "drift":
+        from repro.experiments import drift
+
+        # Like the other figure experiments, honor the testbed's backend;
+        # the dedicated `stellar drift` subcommand covers the full grid.
+        return drift.run(
+            cluster, reps=reps, seed=seed, backends=(cluster.backend_name,)
+        ).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    cluster = make_cluster(seed=args.seed, backend=getattr(args, "backend", "lustre"))
+    backend_arg = getattr(args, "backend", "lustre")
+
+    if args.command == "drift":
+        from repro.experiments import drift
+        from repro.workloads import SCHEDULE_KINDS
+
+        schedules = (
+            SCHEDULE_KINDS if args.schedule == "all" else (args.schedule,)
+        )
+        backends = drift.BACKENDS if backend_arg == "all" else (backend_arg,)
+        result = drift.run(
+            reps=args.reps,
+            seed=args.seed,
+            schedules=schedules,
+            backends=backends,
+            n_segments=args.segments,
+        )
+        print(result.render())
+        return 0
+
+    cluster = make_cluster(seed=args.seed, backend=backend_arg)
 
     if args.command == "list":
         print("workloads:", ", ".join(list_workloads()))
+        print("schedules:", ", ".join(list_schedules()))
         print("experiments:", ", ".join(EXPERIMENTS))
         print("backends:", ", ".join(list_backends()))
         return 0

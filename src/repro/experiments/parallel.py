@@ -33,7 +33,12 @@ WORKERS_ENV = "REPRO_MAX_WORKERS"
 
 
 def effective_workers(max_workers: int | None = None, n_items: int | None = None) -> int:
-    """Resolve the worker count: explicit arg > env var > cpu count."""
+    """Resolve the worker count: explicit arg > env var > cpu count.
+
+    Non-positive counts raise: a zero/negative pool is a config typo, and
+    clamping it to 1 would silently serialize what the caller meant to fan
+    out — the same ``ValueError`` path as a non-integer ``REPRO_MAX_WORKERS``.
+    """
     if max_workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
         if env:
@@ -43,8 +48,16 @@ def effective_workers(max_workers: int | None = None, n_items: int | None = None
                 raise ValueError(
                     f"{WORKERS_ENV}={env!r} is not an integer worker count"
                 ) from None
+            if max_workers <= 0:
+                raise ValueError(
+                    f"{WORKERS_ENV}={env!r} must be a positive worker count"
+                )
         else:
             max_workers = os.cpu_count() or 1
+    elif max_workers <= 0:
+        raise ValueError(
+            f"max_workers={max_workers} must be a positive worker count"
+        )
     if n_items is not None:
         max_workers = min(max_workers, n_items)
     return max(1, max_workers)

@@ -74,8 +74,12 @@ class _Facts(dict):
         self._touch()
 
     def pop(self, key, *default):
+        # A miss with a default is a no-op read; invalidating the owner's
+        # bounds cache for it would throw away every resolved range.
+        present = key in self
         out = super().pop(key, *default)
-        self._touch()
+        if present:
+            self._touch()
         return out
 
     def popitem(self):

@@ -139,6 +139,23 @@ class Simulator:
 
         return run_batch(self, items)
 
+    def run_schedule(
+        self, schedule, configs, seed: int = 0
+    ) -> list[RunResult]:
+        """Execute a time-segmented schedule: segment ``i`` under config ``i``.
+
+        ``schedule`` is a :class:`~repro.workloads.dynamic.Schedule` (or any
+        iterable of segments/workloads); ``configs`` is one configuration for
+        the whole schedule or a per-segment sequence.  Segment ``i`` runs with
+        ``RngStreams.rep_seed(seed, i)`` and results come back in schedule
+        order — bit-identical to sequential per-segment :meth:`run` calls,
+        because the whole schedule goes through :meth:`run_batch` (segments
+        sharing a (workload, config) pair are costed once).
+        """
+        from repro.sim.batch import schedule_items
+
+        return self.run_batch(schedule_items(schedule, configs, seed=seed))
+
     def run_repetitions(
         self, workload: WorkloadLike, config: PfsConfig, n: int, seed: int = 0
     ) -> list[RunResult]:

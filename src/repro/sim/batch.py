@@ -129,3 +129,34 @@ def sweep_items(
     if len(configs) != len(seeds):
         raise ValueError("configs and seeds must align")
     return [(workload, c, s) for c, s in zip(configs, seeds)]
+
+
+def schedule_items(
+    schedule: Iterable,
+    configs: "PfsConfig | Sequence[PfsConfig]",
+    seed: int = 0,
+) -> list[BatchItem]:
+    """A time-segmented schedule as a batch: segment ``i`` runs with
+    ``RngStreams.rep_seed(seed, i)``.
+
+    ``schedule`` yields segments (anything with a ``workload`` attribute, or
+    bare workloads); ``configs`` is a single configuration applied to every
+    segment, or one configuration per segment (the online controller's
+    evolving sequence).  Seeds index the segment's *position*, so the same
+    ``seed`` replays the same noise regardless of which strategy chose the
+    configs — what makes strategy totals comparable.
+    """
+    workloads = [getattr(item, "workload", item) for item in schedule]
+    if isinstance(configs, PfsConfig):
+        configs = [configs] * len(workloads)
+    else:
+        configs = list(configs)
+    if len(configs) != len(workloads):
+        raise ValueError(
+            f"schedule has {len(workloads)} segment(s) but {len(configs)} "
+            "config(s); pass one config, or one per segment"
+        )
+    return [
+        (workload, config, RngStreams.rep_seed(seed, index))
+        for index, (workload, config) in enumerate(zip(workloads, configs))
+    ]

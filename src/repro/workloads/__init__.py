@@ -11,9 +11,31 @@ catalog mirrors §5.1.2–5.1.3 of the paper:
 - ``AMReX`` — block-structured AMR plotfile I/O kernel.
 - ``MACSio_512K`` / ``MACSio_16M`` — multi-physics proxy I/O with small and
   large dump objects.
+
+Time-varying workloads live in :mod:`repro.workloads.dynamic`: seeded
+schedules of segments (drift ramps, regime flips, multi-tenant mixes) that
+the simulator runs in order via ``Simulator.run_schedule`` and the online
+controller re-tunes against.
 """
 
 from repro.workloads.base import Workload
+from repro.workloads.dynamic import (
+    SCHEDULE_KINDS,
+    Schedule,
+    Segment,
+    build_schedule,
+    list_schedules,
+)
 from repro.workloads.registry import get_workload, list_workloads, register_workload
 
-__all__ = ["Workload", "get_workload", "list_workloads", "register_workload"]
+__all__ = [
+    "Workload",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+    "Schedule",
+    "Segment",
+    "SCHEDULE_KINDS",
+    "build_schedule",
+    "list_schedules",
+]

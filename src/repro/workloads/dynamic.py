@@ -1,0 +1,384 @@
+"""Dynamic (time-varying) workload schedules.
+
+STELLAR tunes a *static* workload once, but production clusters see
+time-varying I/O: applications drift through parameter regimes, jobs flip
+between bandwidth and metadata behaviour, and tenants interfere.  This module
+models that as a **schedule**: a seeded sequence of :class:`Segment`\\ s, each
+wrapping an ordinary catalog-style :class:`~repro.workloads.base.Workload`
+that the simulator executes in order (:meth:`Simulator.run_schedule`).
+
+Three schedule families cover the online-tuning literature's scenarios
+(IOPathTune's drifting I/O path, DIAL's client-observed regime shifts):
+
+- ``xfer_drift`` — a drift *ramp*: a checkpointing application writing a
+  fixed byte volume whose file granularity slides from a few large
+  sequential dumps to many small files while the client process count grows,
+  crossing the tuner's workload-class boundary mid-schedule;
+- ``regime_flip`` — a regime *flip*: a bandwidth-bound phase abruptly replaced
+  by a metadata storm at a seeded flip point (the worst case for a one-shot
+  static tune, whose wide striping actively hurts small-file creation);
+- ``tenant_mix`` — multi-tenant *interference*: a data tenant and a metadata
+  tenant interleaved in one job, with the mix sliding from data-dominated to
+  metadata-dominated across segments.
+
+Every segment workload is a plain frozen-field dataclass, so it compiles
+through the memoized per-cluster phase cache exactly like catalog workloads
+(PR 1 invariants hold: phases compile once per (workload, cluster), and
+``run_schedule`` dedups segments sharing a (workload, config) pair).
+
+Determinism: a schedule is a pure function of ``(kind, seed, n_segments,
+n_ranks)``.  The seeded jitter draws from a dedicated
+:class:`~repro.sim.random.RngStreams` stream per schedule kind, so adding a
+new schedule family never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends.base import KiB, MiB
+from repro.cluster.hardware import ClusterSpec
+from repro.pfs.phases import DataPhase, FileSet, MetaPhase, Phase
+from repro.sim.random import RngStreams
+from repro.workloads.base import Workload
+from repro.workloads.ior import IorWorkload
+from repro.workloads.mdworkbench import MdWorkbench
+
+#: Schedule families this module can build (see module docstring).
+SCHEDULE_KINDS = ("xfer_drift", "regime_flip", "tenant_mix")
+
+DEFAULT_SEGMENTS = 8
+
+
+@dataclass
+class InterleavedWorkload(Workload):
+    """Several tenants sharing the cluster within one scheduler slot.
+
+    Members' phases are interleaved round-robin, modelling co-running jobs
+    whose I/O alternates on the shared servers.  All members run with this
+    workload's rank count (one process pool, tenants sized via their own
+    byte/file volumes).
+    """
+
+    members: tuple = ()
+
+    def __post_init__(self):
+        self.traits = {
+            "io_intensity": "mixed",
+            "pattern": "multi_tenant",
+            "shared_file": True,
+        }
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        if not self.members:
+            raise ValueError("InterleavedWorkload needs at least one member")
+        lanes = [member.compile(cluster) for member in self.members]
+        phases: list[Phase] = []
+        for step in range(max(len(lane) for lane in lanes)):
+            for lane in lanes:
+                if step < len(lane):
+                    phases.append(lane[step])
+        return phases
+
+
+@dataclass
+class CheckpointWorkload(Workload):
+    """A checkpointing application with drifting dump granularity.
+
+    Every segment writes the same per-rank byte volume, but as the
+    simulation refines (AMR-style), the dump granularity shrinks.  At or
+    above 1 MiB per rank per dump the application checkpoints N-1 style —
+    every rank streams sequentially into a handful of large shared dump
+    files (bandwidth-bound, the regime wide striping is tuned for).  Below,
+    it switches to N-N: every rank creates, writes and closes thousands of
+    tiny private files, so the metadata path dominates and per-file stripe
+    objects turn wide striping from an asset into a liability — the classic
+    N-1 -> N-N drift, with no phase-mix switch announced to the tuner.
+    """
+
+    file_size: int = 64 * MiB  # bytes per rank per dump (N-1) / per file (N-N)
+    total_bytes_per_rank: int = 128 * MiB
+    max_files_per_rank: int = 2048  # refinement cap: dumps get partial past it
+    verify_stat: bool = True  # post-dump integrity scan over the files
+
+    def __post_init__(self):
+        small = self.file_size < MiB
+        self.traits = {
+            "io_intensity": "metadata" if small else "data",
+            "pattern": "checkpoint",
+            "shared_file": not small,
+            "file_size": self.file_size,
+        }
+
+    @property
+    def files_per_rank(self) -> int:
+        return min(
+            max(1, self.total_bytes_per_rank // self.file_size),
+            self.max_files_per_rank,
+        )
+
+    def build_phases(self, cluster: ClusterSpec) -> list[Phase]:
+        files_per_rank = self.files_per_rank
+        phases: list[Phase]
+        if self.file_size >= MiB:
+            # N-1: `files_per_rank` shared dumps, every rank contributing
+            # `file_size` sequential bytes to each.
+            fileset = FileSet(
+                name=f"{self.name}.ckpt",
+                n_files=files_per_rank,
+                file_size=self.file_size * self.n_ranks,
+                shared=True,
+            )
+            phases = [
+                DataPhase(
+                    name="ckpt.dump",
+                    fileset=fileset,
+                    io="write",
+                    xfer_size=min(4 * MiB, self.file_size),
+                    bytes_per_rank=files_per_rank * self.file_size,
+                    pattern="seq",
+                )
+            ]
+        else:
+            # N-N: a private small file per rank per dump.
+            fileset = FileSet(
+                name=f"{self.name}.ckpt",
+                n_files=files_per_rank * self.n_ranks,
+                file_size=self.file_size,
+                shared=False,
+                n_dirs=self.n_ranks,  # one checkpoint directory per rank
+            )
+            phases = [
+                MetaPhase(
+                    name="ckpt.small_dump",
+                    fileset=fileset,
+                    cycle=("create", "write_small", "close"),
+                    files_per_rank=files_per_rank,
+                    data_bytes=self.file_size,
+                    data_persists=True,
+                ),
+            ]
+        if self.verify_stat:
+            phases.append(
+                MetaPhase(
+                    name="ckpt.verify",
+                    fileset=fileset,
+                    cycle=("stat",),
+                    files_per_rank=files_per_rank,
+                    scan_order=True,
+                )
+            )
+        return phases
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One schedule slot: a workload active for one execution window."""
+
+    index: int
+    label: str
+    workload: Workload
+
+    def cache_key(self) -> tuple:
+        return (self.index, self.label, self.workload.cache_key())
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A seeded, ordered sequence of segments."""
+
+    name: str
+    seed: int
+    segments: tuple[Segment, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self):
+        return iter(self.segments)
+
+    def __getitem__(self, index: int) -> Segment:
+        return self.segments[index]
+
+    def cache_key(self) -> tuple:
+        return (self.name, self.seed, tuple(s.cache_key() for s in self.segments))
+
+    def describe(self) -> str:
+        lines = [f"schedule {self.name} (seed {self.seed}, {len(self)} segments)"]
+        for segment in self.segments:
+            lines.append(f"  [{segment.index}] {segment.label}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Schedule builders
+# ---------------------------------------------------------------------------
+
+
+def _jitter_stream(kind: str, seed: int):
+    return RngStreams(seed).stream(f"schedule:{kind}")
+
+
+def xfer_drift(seed: int = 0, n_segments: int = DEFAULT_SEGMENTS, n_ranks: int = 40) -> Schedule:
+    """Drift ramp: checkpoint granularity slides 64 MiB -> 8 KiB per file.
+
+    The dump file size ramps down one power-of-two rung per segment (with
+    seeded ±1-rung jitter) while the client process count grows — the I/O
+    size distribution drifts from a few large sequential streams into a
+    many-small-files storm, crossing from bandwidth-bound to metadata-bound
+    under the tuner's feet.  The per-rank byte volume stays fixed until the
+    ``max_files_per_rank`` refinement cap bites (below 64 KiB per file the
+    tail segments write partial dumps — see :class:`CheckpointWorkload`).
+    """
+    if n_segments < 2:
+        raise ValueError("a drift ramp needs at least 2 segments")
+    rng = _jitter_stream("xfer_drift", seed)
+    lo_exp, hi_exp = 13, 26  # 8 KiB .. 64 MiB per checkpoint file
+    segments = []
+    for index in range(n_segments):
+        frac = index / (n_segments - 1)
+        exp = hi_exp - frac * (hi_exp - lo_exp) + int(rng.integers(-1, 2))
+        exp = int(min(max(round(exp), lo_exp), hi_exp))
+        file_size = 2**exp
+        ranks = int(round(n_ranks * (0.6 + 0.4 * frac)))
+        workload = CheckpointWorkload(
+            name=f"drift_ckpt_{file_size // KiB}k",
+            n_ranks=ranks,
+            file_size=file_size,
+            total_bytes_per_rank=128 * MiB,
+        )
+        segments.append(
+            Segment(
+                index=index,
+                label=f"checkpoint file={file_size // KiB}KiB "
+                f"({workload.files_per_rank} files/rank) ranks={ranks}",
+                workload=workload,
+            )
+        )
+    return Schedule(name="xfer_drift", seed=seed, segments=tuple(segments))
+
+
+def regime_flip(seed: int = 0, n_segments: int = DEFAULT_SEGMENTS, n_ranks: int = 40) -> Schedule:
+    """Regime flip: bandwidth phase abruptly replaced by a metadata storm.
+
+    The flip point is drawn (seeded) from the middle third of the schedule,
+    so a static tuner cannot know when its configuration goes stale.
+    """
+    if n_segments < 3:
+        raise ValueError("a regime flip needs at least 3 segments")
+    rng = _jitter_stream("regime_flip", seed)
+    flip_at = int(rng.integers(n_segments // 3, max(2 * n_segments // 3, n_segments // 3 + 1)))
+    data = IorWorkload(
+        name="flip_ior_16m",
+        n_ranks=n_ranks,
+        xfer_size=16 * MiB,
+        block_size=128 * MiB,
+        blocks_per_rank=2,
+        pattern="seq",
+    )
+    meta = MdWorkbench(
+        name="flip_md_2k",
+        n_ranks=n_ranks,
+        dirs_per_rank=8,
+        files_per_dir=250,
+        file_size=2 * KiB,
+        rounds=2,
+    )
+    segments = []
+    for index in range(n_segments):
+        if index < flip_at:
+            segments.append(
+                Segment(index=index, label="bandwidth regime (ior 16MiB seq)", workload=data)
+            )
+        else:
+            segments.append(
+                Segment(index=index, label="metadata regime (small-file storm)", workload=meta)
+            )
+    return Schedule(name="regime_flip", seed=seed, segments=tuple(segments))
+
+
+def tenant_mix(seed: int = 0, n_segments: int = DEFAULT_SEGMENTS, n_ranks: int = 40) -> Schedule:
+    """Multi-tenant interference: the data/metadata mix slides over time.
+
+    Each segment interleaves a bandwidth tenant with a metadata tenant; the
+    metadata tenant's share ramps from ~5% to ~95% (with seeded jitter), so
+    the aggregate signature the monitor sees drifts continuously.  At the
+    extremes the mix degenerates to a single tenant — job churn: the data
+    job has not arrived yet / has finished and left the metadata tenant the
+    cluster to itself — which is exactly when the stale tenant-mix
+    configuration is most wrong.
+    """
+    if n_segments < 2:
+        raise ValueError("a tenant mix needs at least 2 segments")
+    rng = _jitter_stream("tenant_mix", seed)
+    segments = []
+    for index in range(n_segments):
+        frac = index / (n_segments - 1)
+        share = min(max(0.05 + 0.9 * frac + float(rng.normal(0.0, 0.04)), 0.02), 0.98)
+        data_blocks_mb = max(int(round(192 * (1.0 - share))), 8)
+        meta_files = max(int(round(800 * share)), 20)
+        data_tenant = IorWorkload(
+            name=f"mix_ior_{data_blocks_mb}m",
+            n_ranks=n_ranks,
+            xfer_size=4 * MiB,
+            block_size=data_blocks_mb * MiB,
+            blocks_per_rank=1,
+            pattern="seq",
+        )
+        meta_tenant = MdWorkbench(
+            name=f"mix_md_{meta_files}f",
+            n_ranks=n_ranks,
+            dirs_per_rank=4,
+            files_per_dir=meta_files,
+            file_size=1 * KiB,
+            rounds=1,
+        )
+        # Job churn: near the ramp's extremes only one tenant occupies the
+        # cluster (the other job has not arrived yet / has finished).
+        if frac <= 0.1:
+            members, note = (data_tenant,), "data tenant only"
+        elif frac >= 0.85:
+            members, note = (meta_tenant,), "metadata tenant only"
+        else:
+            members, note = (data_tenant, meta_tenant), f"~{share:.0%} metadata share"
+        workload = InterleavedWorkload(
+            name=f"mix_{int(round(share * 100))}pct_meta",
+            n_ranks=n_ranks,
+            members=members,
+        )
+        segments.append(
+            Segment(
+                index=index,
+                label=f"tenants: data {data_blocks_mb}MiB/rank + {meta_files} files/dir "
+                f"({note})",
+                workload=workload,
+            )
+        )
+    return Schedule(name="tenant_mix", seed=seed, segments=tuple(segments))
+
+
+_BUILDERS = {
+    "xfer_drift": xfer_drift,
+    "regime_flip": regime_flip,
+    "tenant_mix": tenant_mix,
+}
+
+
+def build_schedule(
+    kind: str,
+    seed: int = 0,
+    n_segments: int = DEFAULT_SEGMENTS,
+    n_ranks: int = 40,
+) -> Schedule:
+    """Build a named schedule deterministically from its seed."""
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown schedule kind {kind!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(seed=seed, n_segments=n_segments, n_ranks=n_ranks)
+
+
+def list_schedules() -> list[str]:
+    return sorted(_BUILDERS)

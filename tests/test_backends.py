@@ -71,9 +71,28 @@ class TestRegistryInvariants:
         assert find_backend_for_param(names[0]).name == backend.name
         assert detect_backend(names).name == backend.name
 
-    def test_detect_backend_defaults_to_lustre(self):
-        assert detect_backend([]).name == "lustre"
-        assert detect_backend(["no.such_param"]).name == "lustre"
+    def test_detect_backend_rejects_empty(self):
+        with pytest.raises(KeyError, match="match no registered backend"):
+            detect_backend([])
+
+    def test_detect_backend_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="match no registered backend"):
+            detect_backend(["no.such_param", "also.not_real"])
+
+    def test_detect_backend_rejects_ambiguous_tie(self):
+        # One parameter from each backend: a 1-1 coverage tie is undecidable.
+        tied = [
+            get_backend("lustre").selected_parameter_names()[0],
+            get_backend("beegfs").selected_parameter_names()[0],
+        ]
+        with pytest.raises(KeyError, match="equally well"):
+            detect_backend(tied)
+
+    def test_detect_backend_majority_wins_over_stray_name(self):
+        names = get_backend("beegfs").selected_parameter_names()[:3] + [
+            "no.such_param"
+        ]
+        assert detect_backend(names).name == "beegfs"
 
     def test_validate_rejects_read_only_role_target(self, backend):
         from dataclasses import replace

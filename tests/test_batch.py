@@ -113,6 +113,39 @@ class TestBoundsCache:
         config.facts.setdefault("n_ost", 3)
         assert config.bounds("lov.stripe_count")[1] == 3.0
 
+    def test_facts_pop_miss_keeps_bounds_cache(self, monkeypatch):
+        """A no-op ``pop(key, default)`` miss must not invalidate bounds."""
+        from repro.pfs import config as config_module
+
+        config = PfsConfig()
+        resolve_calls = []
+        original = config_module._resolve
+
+        def counting_resolve(*args, **kwargs):
+            resolve_calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(config_module, "_resolve", counting_resolve)
+        config.bounds("lov.stripe_count")
+        warm = len(resolve_calls)
+        assert warm > 0
+        # Miss with a default: a pure read, the cache must stay hot.
+        assert config.facts.pop("no_such_fact", None) is None
+        config.bounds("lov.stripe_count")
+        assert len(resolve_calls) == warm
+        # A real removal still invalidates.
+        config.facts["extra"] = 1.0
+        config.bounds("lov.stripe_count")
+        hot = len(resolve_calls)
+        config.facts.pop("extra")
+        config.bounds("lov.stripe_count")
+        assert len(resolve_calls) > hot
+
+    def test_facts_pop_missing_without_default_raises(self):
+        config = PfsConfig()
+        with pytest.raises(KeyError):
+            config.facts.pop("no_such_fact")
+
     def test_clipped_recomputes_dependent_bounds(self):
         config = PfsConfig()
         config["llite.max_read_ahead_mb"] = 100
@@ -197,9 +230,26 @@ class TestParallelHarness:
     def test_effective_workers_clamps(self, monkeypatch):
         monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
         assert parallel.effective_workers(4, n_items=2) == 2
-        assert parallel.effective_workers(0) == 1
         monkeypatch.setenv(parallel.WORKERS_ENV, "3")
         assert parallel.effective_workers(None, n_items=10) == 3
+
+    def test_effective_workers_rejects_bad_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "not-a-number")
+        with pytest.raises(ValueError, match="not an integer"):
+            parallel.effective_workers(None)
+        monkeypatch.setenv(parallel.WORKERS_ENV, "0")
+        with pytest.raises(ValueError, match="positive worker count"):
+            parallel.effective_workers(None)
+        monkeypatch.setenv(parallel.WORKERS_ENV, "-2")
+        with pytest.raises(ValueError, match="positive worker count"):
+            parallel.effective_workers(None)
+
+    def test_effective_workers_rejects_nonpositive_arg(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
+        with pytest.raises(ValueError, match="positive worker count"):
+            parallel.effective_workers(0)
+        with pytest.raises(ValueError, match="positive worker count"):
+            parallel.effective_workers(-2)
 
     def test_parallel_sessions_match_sequential(self, cluster):
         extraction = harness.shared_extraction(cluster)

@@ -1,0 +1,69 @@
+"""The benchmark regression gate: missing keys and zero baselines must fail
+loudly instead of silently passing."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+GOOD = {key: 100.0 for key in check_regression.TRACKED}
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCheckRegression:
+    def test_identical_rates_pass(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", GOOD)
+        assert check_regression.main([base, now]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", {k: 50.0 for k in GOOD})
+        assert check_regression.main([base, now]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_within_threshold_passes(self, tmp_path):
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", {k: 85.0 for k in GOOD})
+        assert check_regression.main([base, now]) == 0
+
+    @pytest.mark.parametrize("broken_file", ["baseline", "current"])
+    def test_missing_key_fails_with_message(self, tmp_path, capsys, broken_file):
+        incomplete = dict(GOOD)
+        dropped = check_regression.TRACKED[0]
+        del incomplete[dropped]
+        base = _write(
+            tmp_path, "base.json", incomplete if broken_file == "baseline" else GOOD
+        )
+        now = _write(
+            tmp_path, "now.json", incomplete if broken_file == "current" else GOOD
+        )
+        assert check_regression.main([base, now]) == 2
+        err = capsys.readouterr().err
+        assert dropped in err
+        assert "missing tracked key" in err
+
+    def test_zero_baseline_is_hard_error(self, tmp_path, capsys):
+        """base == 0 used to make ratio inf and silently pass the gate."""
+        base = _write(tmp_path, "base.json", {k: 0.0 for k in GOOD})
+        now = _write(tmp_path, "now.json", {k: 0.0 for k in GOOD})
+        assert check_regression.main([base, now]) == 2
+        assert "non-positive baseline" in capsys.readouterr().err
+
+    def test_zero_baseline_with_nonzero_current_still_errors(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", {k: 0.0 for k in GOOD})
+        now = _write(tmp_path, "now.json", GOOD)
+        assert check_regression.main([base, now]) == 2
+        assert "non-positive baseline" in capsys.readouterr().err

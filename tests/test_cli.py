@@ -52,6 +52,37 @@ class TestCli:
         out = capsys.readouterr().out
         assert "STELLAR" in out
 
+    def test_list_includes_schedules(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "regime_flip" in out
+        assert "drift" in out
+
+    def test_drift_single_cell(self, capsys):
+        assert main(
+            [
+                "drift",
+                "--schedule",
+                "regime_flip",
+                "--backend",
+                "lustre",
+                "--reps",
+                "1",
+                "--segments",
+                "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "online" in out and "oracle" in out
+
+    def test_experiment_drift_smoke(self, capsys):
+        # The experiment entry point honors --backend like every figure
+        # experiment: one backend, all three schedules.
+        assert main(["experiment", "drift", "--reps", "1", "--backend", "beegfs"]) == 0
+        out = capsys.readouterr().out
+        assert "beats the static tune in 3/3" in out
+        assert "lustre" not in out
+
     def test_experiment_unknown_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])

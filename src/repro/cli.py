@@ -22,6 +22,7 @@ from repro.backends import list_backends
 from repro.cluster import make_cluster
 from repro.core.engine import Stellar
 from repro.workloads import get_workload, list_schedules, list_workloads
+from repro.workloads.dynamic import DEFAULT_SEGMENTS
 
 EXPERIMENTS = (
     "fig2",
@@ -75,8 +76,6 @@ def _build_parser() -> argparse.ArgumentParser:
     drift.add_argument(
         "--schedule", choices=list_schedules() + ["all"], default="all"
     )
-    from repro.workloads.dynamic import DEFAULT_SEGMENTS
-
     drift.add_argument(
         "--backend", choices=list_backends() + ["all"], default="all"
     )
@@ -145,11 +144,21 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "drift":
         from repro.experiments import drift
-        from repro.workloads import SCHEDULE_KINDS
+        from repro.workloads import SCHEDULE_KINDS, build_schedule
 
         schedules = (
             SCHEDULE_KINDS if args.schedule == "all" else (args.schedule,)
         )
+        # Schedule builders have per-kind segment minima (a regime flip
+        # needs 3); surface those as a CLI error, not a traceback.  The
+        # catch stays scoped to the builders so an internal ValueError
+        # from the experiment itself still surfaces as a real traceback.
+        for kind in schedules:
+            try:
+                build_schedule(kind, seed=args.seed, n_segments=args.segments)
+            except ValueError as exc:
+                print(f"error: --segments {args.segments}: {exc}", file=sys.stderr)
+                return 2
         backends = drift.BACKENDS if backend_arg == "all" else (backend_arg,)
         result = drift.run(
             reps=args.reps,

@@ -31,8 +31,7 @@ from repro.agents.online import DriftDetector, OnlineController
 from repro.backends import list_backends
 from repro.cluster.hardware import ClusterSpec, make_cluster
 from repro.core.engine import Stellar
-from repro.experiments.harness import DEFAULT_REPS, shared_extraction
-from repro.experiments.stats import mean_ci90
+from repro.experiments.harness import DEFAULT_REPS, Measurement, shared_extraction
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
 from repro.sim.random import RngStreams
@@ -48,30 +47,14 @@ BACKENDS = tuple(list_backends())
 
 
 @dataclass
-class StrategyOutcome:
-    """Measured schedule totals for one strategy."""
-
-    label: str
-    totals: list[float] = field(default_factory=list)
-
-    @property
-    def mean(self) -> float:
-        return mean_ci90(self.totals)[0]
-
-    @property
-    def ci90(self) -> float:
-        return mean_ci90(self.totals)[1]
-
-
-@dataclass
 class DriftCell:
     """One (backend, schedule) comparison."""
 
     backend: str
     schedule: Schedule
-    static: StrategyOutcome
-    online: StrategyOutcome
-    oracle: StrategyOutcome
+    static: Measurement
+    online: Measurement
+    oracle: Measurement
     retunes: int = 0
     retune_segments: list[int] = field(default_factory=list)
     tuning_executions: int = 0
@@ -120,12 +103,12 @@ def _decision_root(seed: int) -> int:
 
 def _measure(
     sim: Simulator, schedule: Schedule, configs, reps: int, seed: int, label: str
-) -> StrategyOutcome:
+) -> Measurement:
     """``reps`` schedule runs; rep ``r`` replays seed ``rep_seed(seed, r)``."""
-    outcome = StrategyOutcome(label=label)
+    outcome = Measurement(label=label)
     for rep in range(reps):
         runs = sim.run_schedule(schedule, configs, seed=RngStreams.rep_seed(seed, rep))
-        outcome.totals.append(sum(run.seconds for run in runs))
+        outcome.times.append(sum(run.seconds for run in runs))
     return outcome
 
 
@@ -166,6 +149,10 @@ def run_cell(
     for segment in schedule:
         config = controller.config(base)
         online_configs.append(config)
+        if segment.index == schedule[-1].index:
+            # No segment follows, so a re-tune triggered here could never
+            # be applied — don't spend probe runs (or a re-tune slot) on it.
+            break
         probe = sim.run(
             segment.workload,
             config,

@@ -336,24 +336,23 @@ def tenant_mix(seed: int = 0, n_segments: int = DEFAULT_SEGMENTS, n_ranks: int =
         # Job churn: near the ramp's extremes only one tenant occupies the
         # cluster (the other job has not arrived yet / has finished).
         if frac <= 0.1:
-            members, note = (data_tenant,), "data tenant only"
+            members = (data_tenant,)
+            label = f"tenants: data {data_blocks_mb}MiB/rank (data tenant only)"
         elif frac >= 0.85:
-            members, note = (meta_tenant,), "metadata tenant only"
+            members = (meta_tenant,)
+            label = f"tenants: {meta_files} files/dir (metadata tenant only)"
         else:
-            members, note = (data_tenant, meta_tenant), f"~{share:.0%} metadata share"
+            members = (data_tenant, meta_tenant)
+            label = (
+                f"tenants: data {data_blocks_mb}MiB/rank + {meta_files} files/dir "
+                f"(~{share:.0%} metadata share)"
+            )
         workload = InterleavedWorkload(
             name=f"mix_{int(round(share * 100))}pct_meta",
             n_ranks=n_ranks,
             members=members,
         )
-        segments.append(
-            Segment(
-                index=index,
-                label=f"tenants: data {data_blocks_mb}MiB/rank + {meta_files} files/dir "
-                f"({note})",
-                workload=workload,
-            )
-        )
+        segments.append(Segment(index=index, label=label, workload=workload))
     return Schedule(name="tenant_mix", seed=seed, segments=tuple(segments))
 
 

@@ -251,6 +251,6 @@ class TestDriftExperiment:
         schedule = build_schedule("regime_flip", seed=0, n_segments=5)
         a = drift.run_cell(cluster, schedule, reps=2, seed=0)
         b = drift.run_cell(cluster, schedule, reps=2, seed=0)
-        assert a.static.totals == b.static.totals
-        assert a.online.totals == b.online.totals
+        assert a.static.times == b.static.times
+        assert a.online.times == b.online.times
         assert a.retune_segments == b.retune_segments

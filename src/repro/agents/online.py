@@ -173,6 +173,19 @@ class OnlineController:
         return sum(session.executions for session in self.sessions)
 
     # ------------------------------------------------------------------
+    def probe(self, sim, index: int, workload: Workload, config, seed: int) -> RunResult:
+        """Serve one segment under ``config`` and feed its monitor sample.
+
+        The controller owns probe execution so every consumer measures the
+        stream the same way: through ``Simulator.run``, which shares
+        deterministic results via the process-wide run cache when an
+        enclosing experiment enabled it.  Returns the probe run; the drift
+        decision recorded (if any) applies from the next segment.
+        """
+        run = sim.run(workload, config, seed=seed)
+        self.observe(index, run, workload)
+        return run
+
     def observe(self, index: int, run: RunResult, workload: Workload) -> bool:
         """Feed one completed segment; ``True`` when a re-tune fired.
 

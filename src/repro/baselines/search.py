@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from repro.cluster.hardware import ClusterSpec
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
-from repro.sim.batch import sweep_items
+from repro.sim.cache import RUN_CACHE
+from repro.sim.random import RngStreams
 from repro.workloads.base import Workload
 
 KiB = 1024
@@ -41,12 +42,16 @@ class OracleSearch:
     """Greedy coordinate descent with a bounded evaluation budget.
 
     Each coordinate's whole candidate grid is evaluated as one
-    :meth:`~repro.pfs.simulator.Simulator.run_batch` call (classic
-    sweep-then-move coordinate descent): all candidates are measured against
-    the current best configuration and the coordinate moves to the best
-    improving value, if any.  Every candidate run still draws its own seeded
-    noise, and the evaluation counter prices each simulated run exactly as
-    the sequential search did.
+    :meth:`~repro.pfs.simulator.Simulator.run_sweep` call (classic
+    sweep-then-move coordinate descent) through the columnar engine: all
+    candidates are measured against the current best configuration and the
+    coordinate moves to the best improving value, if any.  Every candidate
+    run still draws its own seeded noise — evaluation ``i`` runs under
+    ``RngStreams.rep_seed(seed, i)``, the shared repeated-measurement
+    derivation — and the evaluation counter prices each simulated run
+    exactly as the sequential search did.  The whole search runs under the
+    process-wide :data:`~repro.sim.cache.RUN_CACHE`, so re-running a search
+    (or re-measuring cells another strategy already measured) is free.
     """
 
     def __init__(self, cluster: ClusterSpec, seed: int = 0, max_rounds: int = 2):
@@ -67,9 +72,15 @@ class OracleSearch:
 
     def _measure(self, workload: Workload, updates: dict[str, int], rep: int) -> float:
         config = self._config(updates)
-        return self.sim.run(workload, config, seed=self.seed * 7919 + rep).seconds
+        return self.sim.run(
+            workload, config, seed=RngStreams.rep_seed(self.seed, rep)
+        ).seconds
 
     def run(self, workload: Workload) -> SearchResult:
+        with RUN_CACHE.enabled():
+            return self._run(workload)
+
+    def _run(self, workload: Workload) -> SearchResult:
         evaluations = 0
         best: dict[str, int] = {}
         default_seconds = self._measure(workload, {}, rep=evaluations)
@@ -87,12 +98,11 @@ class OracleSearch:
                 if not trials:
                     continue
                 seeds = [
-                    self.seed * 7919 + evaluations + i for i in range(len(trials))
+                    RngStreams.rep_seed(self.seed, evaluations + i)
+                    for i in range(len(trials))
                 ]
-                runs = self.sim.run_batch(
-                    sweep_items(
-                        workload, [self._config(t) for t in trials], seeds
-                    )
+                runs = self.sim.run_sweep(
+                    workload, [self._config(t) for t in trials], seeds
                 )
                 evaluations += len(runs)
                 sweep_best: tuple[float, dict[str, int]] | None = None

@@ -77,6 +77,30 @@ class ClusterSpec:
         """Client RAM in MiB — referenced by dependent parameter ranges."""
         return self.client_memory_bytes // MiB
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of this testbed's modeled hardware.
+
+        Leads with the backend name, like :meth:`PfsConfig.cache_key` — the
+        run cache composes the two.  Memoized on the instance: like the
+        compiled-phase cache, it assumes a ``ClusterSpec`` is not mutated
+        after its first simulated run.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = (
+                self.backend_name,
+                tuple(self.oss_nodes),
+                tuple(self.mds_nodes),
+                tuple(self.client_nodes),
+                self.switch_bandwidth,
+                self.switch_latency,
+                self.mds_service_threads,
+                self.ost_service_threads,
+                self.seed,
+            )
+            self.__dict__["_cache_key"] = key
+        return key
+
     def config_facts(self) -> dict[str, int]:
         """The hardware facts dependent parameter ranges resolve against.
 

@@ -26,8 +26,9 @@ from dataclasses import dataclass, field
 
 from repro.backends import get_backend
 from repro.cluster.hardware import ClusterSpec, make_cluster
-from repro.experiments.harness import DEFAULT_REPS, Measurement, measure_config
+from repro.experiments.harness import DEFAULT_REPS, Measurement, measure_configs
 from repro.rules.model import RuleSet
+from repro.sim.cache import RUN_CACHE
 
 WORKLOADS = ("IOR_16M", "MDWorkbench_2K")
 BACKENDS = ("lustre", "beegfs")
@@ -185,7 +186,16 @@ def run(
     ``cluster`` (if given) serves as the testbed for its own backend —
     tuning and transfer measurements alike — so one result never mixes
     hardware; the other backends get an identically-sized default testbed.
+
+    The whole experiment runs under the process-wide run cache, and each
+    (target, workload) row scores its default and transferred
+    configurations in one columnar sweep.
     """
+    with RUN_CACHE.enabled():
+        return _run(cluster, reps, seed, workloads)
+
+
+def _run(cluster, reps, seed, workloads) -> CrossFsResult:
     result = CrossFsResult()
     clusters: dict[str, ClusterSpec] = {}
     for backend_name in BACKENDS:
@@ -215,14 +225,11 @@ def run(
                     mapped_hits=mapped,
                     mapped_updates=updates,
                 )
-                row.default = measure_config(
-                    clusters[target], workload, {}, "default", reps=reps, seed=seed
-                )
-                row.transferred = measure_config(
+                row.default, row.transferred = measure_configs(
                     clusters[target],
                     workload,
-                    updates,
-                    "transferred",
+                    [{}, updates],
+                    ["default", "transferred"],
                     reps=reps,
                     seed=seed,
                 )

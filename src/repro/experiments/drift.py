@@ -34,6 +34,7 @@ from repro.core.engine import Stellar
 from repro.experiments.harness import DEFAULT_REPS, Measurement, shared_extraction
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
+from repro.sim.cache import RUN_CACHE
 from repro.sim.random import RngStreams
 from repro.workloads.dynamic import (
     DEFAULT_SEGMENTS,
@@ -120,7 +121,28 @@ def run_cell(
     band: float = 0.5,
     max_retunes: int = 3,
 ) -> DriftCell:
-    """Compare the three strategies on one backend and one schedule."""
+    """Compare the three strategies on one backend and one schedule.
+
+    The whole cell runs under the process-wide run cache: the three
+    strategies measure the same segments under shared seeds, so wherever
+    their configurations coincide (the online arm before its first re-tune
+    repeats the static arm, the oracle arm repeats whole tuning sessions)
+    the deterministic results are shared instead of re-simulated.  Serving
+    measurements go through :meth:`Simulator.run_schedule`, which sweeps
+    each workload's distinct per-segment configurations columnar.
+    """
+    with RUN_CACHE.enabled():
+        return _run_cell(cluster, schedule, reps, seed, band, max_retunes)
+
+
+def _run_cell(
+    cluster: ClusterSpec,
+    schedule: Schedule,
+    reps: int,
+    seed: int,
+    band: float,
+    max_retunes: int,
+) -> DriftCell:
     extraction = shared_extraction(cluster, seed=seed)
     sim = Simulator(cluster)
     base = PfsConfig(facts=cluster.config_facts(), backend=cluster.backend)
@@ -153,12 +175,13 @@ def run_cell(
             # No segment follows, so a re-tune triggered here could never
             # be applied — don't spend probe runs (or a re-tune slot) on it.
             break
-        probe = sim.run(
+        controller.probe(
+            sim,
+            segment.index,
             segment.workload,
             config,
             seed=RngStreams.rep_seed(decision_root, segment.index),
         )
-        controller.observe(segment.index, probe, segment.workload)
 
     # -- oracle: clairvoyant per-segment tuning ----------------------------
     oracle_engine = engine()

@@ -56,20 +56,56 @@ def measure_config(
 ) -> Measurement:
     """Run one configuration ``reps`` times with hygiene between runs.
 
-    Executed as one batch: all reps share a single model evaluation (the
-    config is identical), with per-rep noise seeded via
-    :meth:`RngStreams.rep_seed` — the same derivation every repeated-run
-    call site uses.
+    All reps share a single model evaluation (the config is identical), with
+    per-rep noise seeded via :meth:`RngStreams.rep_seed` — the same
+    derivation every repeated-run call site uses.  Implemented over
+    :func:`measure_configs`, so results are served from the process-wide run
+    cache when an enclosing experiment enabled it.
     """
+    return measure_configs(
+        cluster, workload_name, [updates], [label], reps=reps, seed=seed
+    )[0]
+
+
+def measure_configs(
+    cluster: ClusterSpec,
+    workload_name: str,
+    updates_list: list[dict[str, int]],
+    labels: list[str],
+    reps: int = DEFAULT_REPS,
+    seed: int = 0,
+) -> list[Measurement]:
+    """Measure several configurations of one workload in a single sweep.
+
+    The cartesian (config x rep-seed) grid (:func:`repro.sim.batch.grid_items`)
+    goes through the columnar sweep engine, so the candidate axis is costed
+    in one structure-of-arrays pass; results are bit-identical to calling
+    :func:`measure_config` per entry.  Cache enablement is left to the
+    *enclosing experiment* (drift cells, crossfs, the oracle search wrap
+    themselves in ``RUN_CACHE.enabled()``): strategies re-measuring the same
+    (workload, config, seed) cells then share one set of results, while a
+    bare measurement — the figure benchmarks time these — always performs a
+    fixed amount of work.
+    """
+    from repro.sim.batch import grid_items
+    from repro.sim.random import RngStreams
+    from repro.sim.sweep import run_items
+
+    if len(updates_list) != len(labels):
+        raise ValueError("updates_list and labels must align")
     sim = Simulator(cluster)
-    config = (
-        PfsConfig(facts=cluster.config_facts(), backend=cluster.backend)
-        .with_updates(updates)
-        .clipped()
-    )
+    base = PfsConfig(facts=cluster.config_facts(), backend=cluster.backend)
+    configs = [base.with_updates(updates).clipped() for updates in updates_list]
     workload = get_workload(workload_name)
-    runs = sim.run_repetitions(workload, config, n=reps, seed=seed)
-    return Measurement(label=label, times=[run.seconds for run in runs])
+    seeds = [RngStreams.rep_seed(seed, rep) for rep in range(reps)]
+    runs = run_items(sim, grid_items(workload, configs, seeds))
+    return [
+        Measurement(
+            label=label,
+            times=[run.seconds for run in runs[index * reps : (index + 1) * reps]],
+        )
+        for index, label in enumerate(labels)
+    ]
 
 
 def one_session(

@@ -14,9 +14,15 @@ parameter), so the config memoizes two things:
 
 - the evaluation *env* (``{name: float(value)} ∪ facts``) is built once and
   updated in place on ``__setitem__``;
-- resolved ``bounds`` are cached per parameter and invalidated **wholesale**
-  whenever any value or fact changes, because ranges are interdependent
-  (``max_read_ahead_per_file_mb`` depends on ``max_read_ahead_mb``, …).
+- resolved ``bounds`` are cached per parameter.  Parameter writes invalidate
+  **dependency-aware**: the backend precomputes which parameters' range
+  expressions reference each written name
+  (:attr:`~repro.backends.base.PfsBackend.bounds_dependents`), so touching
+  one knob — what coordinate descent and the tuning engine do — keeps every
+  unrelated resolved range cached.  The map stays conservative: ambiguous
+  basenames edge every match and unknown expression references fall back to
+  wholesale invalidation.  *Facts* mutations still invalidate wholesale
+  (env keys may appear or vanish).
 
 All mutation funnels through ``__setitem__`` / ``_set_raw`` and the
 observing ``facts`` dict (:class:`_Facts`), which bump ``_version`` — code
@@ -113,6 +119,7 @@ class PfsConfig:
         )
         self._env_cache: dict[str, float] | None = None
         self._bounds_cache: dict[str, tuple[float, float]] = {}
+        self._cache_key: tuple | None = None
         if values:
             for name, value in values.items():
                 self[name] = value
@@ -150,7 +157,14 @@ class PfsConfig:
     def _set_raw(self, name: str, value: int) -> None:
         """Write a resolved parameter name, keeping caches coherent."""
         self._values[name] = value
-        self._bounds_cache.clear()
+        self._cache_key = None
+        if self._bounds_cache:
+            dependents = self.backend.bounds_dependents.get(name)
+            if dependents is None:
+                self._bounds_cache.clear()
+            else:
+                for dependent in dependents:
+                    self._bounds_cache.pop(dependent, None)
         if self._env_cache is not None:
             self._env_cache[name] = float(value)
 
@@ -158,6 +172,7 @@ class PfsConfig:
         """Drop caches after a facts mutation (env keys may appear/vanish)."""
         self._env_cache = None
         self._bounds_cache.clear()
+        self._cache_key = None
 
     def __contains__(self, name: str) -> bool:
         return name in self.backend
@@ -188,6 +203,7 @@ class PfsConfig:
         self.facts = _Facts(self, state["facts"])
         self._env_cache = None
         self._bounds_cache = {}
+        self._cache_key = None
 
     def as_dict(self) -> dict[str, int]:
         return dict(self._values)
@@ -199,6 +215,7 @@ class PfsConfig:
         new.facts = _Facts(new, self.facts)
         new._env_cache = None
         new._bounds_cache = {}
+        new._cache_key = self._cache_key
         return new
 
     def with_updates(self, updates: Mapping[str, int]) -> "PfsConfig":
@@ -216,12 +233,21 @@ class PfsConfig:
         return out
 
     def cache_key(self) -> tuple:
-        """Hashable identity of (backend, values, facts) — for batch dedup."""
-        return (
-            self.backend.name,
-            tuple(sorted(self._values.items())),
-            tuple(sorted(self.facts.items())),
-        )
+        """Hashable identity of (backend, values, facts) — for batch dedup.
+
+        Memoized: the batch/sweep engines and the run cache key every item,
+        so the sort is paid once per distinct mutation state (the memo drops
+        on ``__setitem__`` and facts mutation like the other caches).
+        """
+        key = self._cache_key
+        if key is None:
+            key = (
+                self.backend.name,
+                tuple(sorted(self._values.items())),
+                tuple(sorted(self.facts.items())),
+            )
+            self._cache_key = key
+        return key
 
     # -- validation --------------------------------------------------------
     def _env(self) -> dict[str, float]:

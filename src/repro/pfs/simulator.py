@@ -21,6 +21,7 @@ from repro.cluster.mpi import MpiJob
 from repro.pfs.config import PfsConfig
 from repro.pfs.model import AnalyticModel, RunState
 from repro.pfs.phases import Phase, PhaseResult
+from repro.sim.cache import RUN_CACHE
 from repro.sim.random import RngStreams
 
 #: Multiplicative lognormal sigma applied per phase and per run.
@@ -71,12 +72,14 @@ class RunResult:
         return "\n".join(lines)
 
 
-def prepare_run_config(cluster: ClusterSpec, config: PfsConfig) -> PfsConfig:
-    """Validated per-run copy of ``config`` bound to ``cluster``'s facts.
+def bind_run_config(cluster: ClusterSpec, config: PfsConfig) -> PfsConfig:
+    """Per-run copy of ``config`` bound to ``cluster``'s facts, not yet
+    validated.
 
-    The single setup path shared by :meth:`Simulator.run` and the batch
-    engine — the two must stay bit-identical (see ``tests/test_batch.py``),
-    so any new injected fact or guard belongs here, not in either caller.
+    The sweep engine validates many bound copies columnar in one pass; every
+    other caller goes through :func:`prepare_run_config`, which validates
+    immediately.  Any new injected fact or backend guard belongs here so the
+    sequential, batch and sweep paths stay bit-identical.
     """
     if config.backend.name != cluster.backend_name:
         raise ValueError(
@@ -86,6 +89,16 @@ def prepare_run_config(cluster: ClusterSpec, config: PfsConfig) -> PfsConfig:
     config = config.copy()
     config.facts.setdefault("n_ost", cluster.n_ost)
     config.facts["system_memory_mb"] = cluster.system_memory_mb
+    return config
+
+
+def prepare_run_config(cluster: ClusterSpec, config: PfsConfig) -> PfsConfig:
+    """Validated per-run copy of ``config`` bound to ``cluster``'s facts.
+
+    The single setup path shared by :meth:`Simulator.run` and the batch
+    engine — the two must stay bit-identical (see ``tests/test_batch.py``).
+    """
+    config = bind_run_config(cluster, config)
     config.validate()
     return config
 
@@ -102,7 +115,17 @@ class Simulator:
         The configuration is validated first; out-of-range values raise, as a
         real ``lctl set_param`` would fail — callers that want real-system
         clipping semantics should pass ``config.clipped()``.
+
+        When the :data:`~repro.sim.cache.RUN_CACHE` is enabled, the
+        (deterministic) result is served from and stored into it; cached
+        results are shared objects and immutable to consumers.
         """
+        cache_key = None
+        if RUN_CACHE.active:
+            cache_key = RUN_CACHE.key(self.cluster, workload, config, seed)
+            cached = RUN_CACHE.get(cache_key)
+            if cached is not None:
+                return cached
         config = prepare_run_config(self.cluster, config)
 
         job = MpiJob.launch(workload.name, workload.n_ranks, self.cluster)
@@ -119,13 +142,16 @@ class Simulator:
             results.append(result)
             total += result.seconds
         total *= rng.lognormal_noise("run", RUN_NOISE_SIGMA)
-        return RunResult(
+        result = RunResult(
             workload=workload.name,
             config=config,
             seconds=total,
             phases=results,
             seed=seed,
         )
+        if cache_key is not None:
+            RUN_CACHE.put(cache_key, result)
+        return result
 
     def run_batch(self, items) -> list[RunResult]:
         """Evaluate many ``(workload, config, seed)`` tuples in one pass.
@@ -139,6 +165,20 @@ class Simulator:
 
         return run_batch(self, items)
 
+    def run_sweep(
+        self, workload: WorkloadLike, configs, seeds
+    ) -> list[RunResult]:
+        """Evaluate aligned ``(config, seed)`` pairs of one workload through
+        the columnar sweep engine.
+
+        Bit-identical to :meth:`run_batch` on ``sweep_items(workload,
+        configs, seeds)`` — the candidate-grid fast path.  See
+        :mod:`repro.sim.sweep`.
+        """
+        from repro.sim.sweep import run_sweep
+
+        return run_sweep(self, workload, configs, seeds)
+
     def run_schedule(
         self, schedule, configs, seed: int = 0
     ) -> list[RunResult]:
@@ -148,13 +188,16 @@ class Simulator:
         iterable of segments/workloads); ``configs`` is one configuration for
         the whole schedule or a per-segment sequence.  Segment ``i`` runs with
         ``RngStreams.rep_seed(seed, i)`` and results come back in schedule
-        order — bit-identical to sequential per-segment :meth:`run` calls,
-        because the whole schedule goes through :meth:`run_batch` (segments
-        sharing a (workload, config) pair are costed once).
+        order — bit-identical to sequential per-segment :meth:`run` calls
+        (guarded per backend by ``tests/test_dynamic.py``).  Segments route
+        through the workload-grouped columnar sweep, so a schedule measuring
+        many distinct per-segment configurations (the drift experiment's
+        oracle arm) shares one structure-of-arrays evaluation per workload.
         """
         from repro.sim.batch import schedule_items
+        from repro.sim.sweep import run_items
 
-        return self.run_batch(schedule_items(schedule, configs, seed=seed))
+        return run_items(self, schedule_items(schedule, configs, seed=seed))
 
     def run_repetitions(
         self, workload: WorkloadLike, config: PfsConfig, n: int, seed: int = 0

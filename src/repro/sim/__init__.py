@@ -4,9 +4,12 @@ A small, fast event-driven core used by the PFS micro-models and to
 cross-validate the phase-analytic performance model: an event heap
 (:class:`Engine`), FIFO service resources (:class:`FifoServer`,
 :class:`BandwidthLink`), reproducible named RNG streams
-(:class:`RngStreams`) and the batch run executor (:func:`run_batch`).
+(:class:`RngStreams`), the batch run executor (:func:`run_batch`), the
+columnar candidate-sweep engine (:func:`run_sweep`) and the bounded
+process-wide run cache (:data:`RUN_CACHE`).
 """
 
+from repro.sim.cache import RUN_CACHE, RunCache
 from repro.sim.engine import Engine, Event
 from repro.sim.random import RngStreams
 from repro.sim.resources import BandwidthLink, FifoServer, TokenPool
@@ -18,17 +21,26 @@ __all__ = [
     "BandwidthLink",
     "TokenPool",
     "RngStreams",
+    "RunCache",
+    "RUN_CACHE",
     "run_batch",
     "repetition_items",
     "sweep_items",
+    "grid_items",
+    "run_sweep",
 ]
 
 
 def __getattr__(name: str):
-    # The batch module sits above the PFS model layers, which themselves use
-    # the RNG streams here — resolve it lazily to keep imports acyclic.
-    if name in ("run_batch", "repetition_items", "sweep_items"):
+    # The batch/sweep modules sit above the PFS model layers, which
+    # themselves use the RNG streams here — resolve lazily to keep imports
+    # acyclic.
+    if name in ("run_batch", "repetition_items", "sweep_items", "grid_items"):
         from repro.sim import batch
 
         return getattr(batch, name)
+    if name == "run_sweep":
+        from repro.sim import sweep
+
+        return sweep.run_sweep
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

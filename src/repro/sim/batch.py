@@ -31,6 +31,7 @@ from repro.cluster.mpi import MpiJob
 from repro.pfs.config import PfsConfig
 from repro.pfs.model import AnalyticModel, RunState
 from repro.pfs.phases import PhaseResult
+from repro.sim.cache import RUN_CACHE
 from repro.sim.random import RngStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with the facade module
@@ -52,20 +53,23 @@ def run_batch(sim: "Simulator", items: Iterable[BatchItem]) -> list["RunResult"]
     )
 
     items = list(items)
+    results, pending, cache_keys = RUN_CACHE.partition(sim.cluster, items)
+
     # -- group runs sharing deterministic phase costs ----------------------
     prepared: dict[tuple, tuple[PfsConfig, list[PhaseResult]]] = {}
-    keys: list[tuple] = []
-    for workload, config, _seed in items:
+    keys: dict[int, tuple] = {}
+    for index in pending:
+        workload, config, _seed = items[index]
         key = (workload.cache_key(), config.cache_key())
-        keys.append(key)
+        keys[index] = key
         if key in prepared:
             continue
         prepared[key] = _evaluate_phases(sim, workload, config)
 
     # -- per-run noise application ----------------------------------------
-    results: list[RunResult] = []
-    for (workload, _config, seed), key in zip(items, keys):
-        shared_config, base = prepared[key]
+    for index in pending:
+        workload, _config, seed = items[index]
+        shared_config, base = prepared[keys[index]]
         rng = RngStreams(seed).spawn(f"run:{workload.name}")
         noises = rng.lognormal_noise_vector(
             [f"phase:{i}" for i in range(len(base))], PHASE_NOISE_SIGMA
@@ -77,15 +81,16 @@ def run_batch(sim: "Simulator", items: Iterable[BatchItem]) -> list["RunResult"]
             phases.append(noisy)
             total += noisy.seconds
         total *= rng.lognormal_noise("run", RUN_NOISE_SIGMA)
-        results.append(
-            RunResult(
-                workload=workload.name,
-                config=shared_config,
-                seconds=total,
-                phases=phases,
-                seed=seed,
-            )
+        run = RunResult(
+            workload=workload.name,
+            config=shared_config,
+            seconds=total,
+            phases=phases,
+            seed=seed,
         )
+        results[index] = run
+        if cache_keys is not None:
+            RUN_CACHE.put(cache_keys[index], run)
     return results
 
 
@@ -124,11 +129,31 @@ def sweep_items(
     configs: Sequence[PfsConfig],
     seeds: Sequence[int],
 ) -> list[BatchItem]:
-    """One run per (config, seed) pair — the candidate-grid shape used by the
-    coordinate-descent baseline."""
+    """One run per aligned (config, seed) pair — the candidate-grid shape
+    used by the coordinate-descent baseline.
+
+    ``configs`` and ``seeds`` pair up elementwise; for "every config under
+    every seed" use :func:`grid_items`, whose cartesian contract is harder
+    to misuse.
+    """
     if len(configs) != len(seeds):
         raise ValueError("configs and seeds must align")
     return [(workload, c, s) for c, s in zip(configs, seeds)]
+
+
+def grid_items(
+    workload: "WorkloadLike",
+    configs: Sequence[PfsConfig],
+    seeds: Sequence[int],
+) -> list[BatchItem]:
+    """The cartesian candidate grid: every config under every seed.
+
+    Config-major order — item ``i * len(seeds) + j`` is config ``i`` under
+    seed ``j`` — so measuring config ``i`` with ``reps`` seeds derived via
+    :meth:`RngStreams.rep_seed` is bit-identical to ``repetition_items`` per
+    config, and callers can slice results per config.
+    """
+    return [(workload, c, s) for c in configs for s in seeds]
 
 
 def schedule_items(

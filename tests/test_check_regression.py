@@ -39,21 +39,39 @@ class TestCheckRegression:
         now = _write(tmp_path, "now.json", {k: 85.0 for k in GOOD})
         assert check_regression.main([base, now]) == 0
 
-    @pytest.mark.parametrize("broken_file", ["baseline", "current"])
-    def test_missing_key_fails_with_message(self, tmp_path, capsys, broken_file):
+    def test_missing_key_in_current_fails_with_message(self, tmp_path, capsys):
         incomplete = dict(GOOD)
         dropped = check_regression.TRACKED[0]
         del incomplete[dropped]
-        base = _write(
-            tmp_path, "base.json", incomplete if broken_file == "baseline" else GOOD
-        )
-        now = _write(
-            tmp_path, "now.json", incomplete if broken_file == "current" else GOOD
-        )
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", incomplete)
         assert check_regression.main([base, now]) == 2
         err = capsys.readouterr().err
         assert dropped in err
         assert "missing tracked key" in err
+
+    def test_newly_tracked_key_missing_from_baseline_warns_and_passes(
+        self, tmp_path, capsys
+    ):
+        """A figure introduced by the current change has no baseline yet —
+        the gate reports it and passes instead of failing the first CI run."""
+        old_baseline = dict(GOOD)
+        new_key = check_regression.TRACKED[-1]
+        del old_baseline[new_key]
+        base = _write(tmp_path, "base.json", old_baseline)
+        now = _write(tmp_path, "now.json", GOOD)
+        assert check_regression.main([base, now]) == 0
+        out = capsys.readouterr().out
+        assert "newly tracked" in out
+        assert new_key in out
+
+    def test_newly_tracked_key_does_not_mask_regressions(self, tmp_path):
+        """Other tracked keys still gate while a new key lacks a baseline."""
+        old_baseline = dict(GOOD)
+        del old_baseline[check_regression.TRACKED[-1]]
+        base = _write(tmp_path, "base.json", old_baseline)
+        now = _write(tmp_path, "now.json", {k: 50.0 for k in GOOD})
+        assert check_regression.main([base, now]) == 1
 
     def test_zero_baseline_is_hard_error(self, tmp_path, capsys):
         """base == 0 used to make ratio inf and silently pass the gate."""

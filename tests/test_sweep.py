@@ -1,0 +1,373 @@
+"""Columnar sweep engine and run cache: bit-identity with ``run_batch`` on
+every registered backend, cache-hit semantics, bounded LRU, dependency-aware
+bounds invalidation, and the bulk-seeded noise path."""
+
+import numpy as np
+import pytest
+
+from repro.backends import list_backends
+from repro.cluster import make_cluster
+from repro.experiments.harness import measure_config, measure_configs
+from repro.pfs.config import PfsConfig
+from repro.pfs.simulator import Simulator
+from repro.sim import batch as batch_module
+from repro.sim import sweep as sweep_module
+from repro.sim.batch import grid_items, repetition_items, sweep_items
+from repro.sim.cache import RUN_CACHE, RunCache
+from repro.sim.fastrng import first_normals
+from repro.sim.random import RngStreams
+from repro.sim.sweep import run_items, run_sweep
+from repro.workloads import get_workload
+
+PARITY_WORKLOADS = ("IOR_64K", "IOR_16M", "MDWorkbench_2K", "IO500", "AMReX")
+
+
+def random_config(base: PfsConfig, rng: np.random.Generator) -> PfsConfig:
+    """A random in-bounds configuration: a handful of writable parameters
+    drawn uniformly inside their (dependently) resolved ranges."""
+    config = base.copy()
+    specs = [s for s in config.backend.writable_specs()]
+    chosen = rng.choice(len(specs), size=min(4, len(specs)), replace=False)
+    for index in chosen:
+        spec = specs[index]
+        if spec.ptype == "bool":
+            config[spec.name] = int(rng.integers(0, 2))
+            continue
+        low, high = config.bounds(spec.name)
+        low = int(max(low, -1)) if low != float("-inf") else 0
+        high = int(min(high, 1 << 34)) if high != float("inf") else 1 << 20
+        if high < low:
+            continue
+        value = int(rng.integers(low, high + 1))
+        if value == 0 and low == -1:
+            # -1 is an "all targets" sentinel; 0 validates but no real admin
+            # tool accepts it (resolve_stripe_count raises in both paths).
+            value = -1
+        config[spec.name] = value
+    return config.clipped()
+
+
+def assert_runs_identical(expected, actual):
+    for exp, act in zip(expected, actual):
+        assert act.seconds == exp.seconds
+        assert act.seed == exp.seed
+        assert act.workload == exp.workload
+        assert act.config == exp.config
+        assert [p.seconds for p in act.phases] == [p.seconds for p in exp.phases]
+        assert [p.bottleneck for p in act.phases] == [
+            p.bottleneck for p in exp.phases
+        ]
+        assert [p.bounds for p in act.phases] == [p.bounds for p in exp.phases]
+        assert [
+            (p.bytes_read, p.bytes_written, p.mds_ops, p.rpcs) for p in act.phases
+        ] == [(p.bytes_read, p.bytes_written, p.mds_ops, p.rpcs) for p in exp.phases]
+
+
+class TestSweepParity:
+    @pytest.mark.parametrize("backend", list_backends())
+    def test_randomized_configs_bit_identical_to_batch(self, backend):
+        """Property-style: random in-bounds candidate grids sweep
+        bit-identically to ``run_batch`` for every registered backend."""
+        cluster = make_cluster(seed=2, backend=backend)
+        sim = Simulator(cluster)
+        base = PfsConfig(facts=cluster.config_facts(), backend=cluster.backend)
+        rng = np.random.default_rng(42)
+        configs = [random_config(base, rng) for _ in range(10)]
+        for name in PARITY_WORKLOADS:
+            workload = get_workload(name)
+            seeds = [int(s) for s in rng.integers(0, 10**9, size=len(configs))]
+            batched = sim.run_batch(sweep_items(workload, configs, seeds))
+            swept = run_sweep(sim, workload, configs, seeds)
+            assert_runs_identical(batched, swept)
+
+    def test_duplicate_configs_and_seeds_dedup_like_batch(self, ):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        base = PfsConfig(facts=cluster.config_facts())
+        tuned = base.with_updates({"osc.max_rpcs_in_flight": 32})
+        workload = get_workload("IOR_64K")
+        configs = [base, tuned, base.copy(), tuned, base]
+        seeds = [1, 2, 3, 2, 1]
+        batched = sim.run_batch(sweep_items(workload, configs, seeds))
+        swept = run_sweep(sim, workload, configs, seeds)
+        assert_runs_identical(batched, swept)
+
+    def test_mixed_workload_items_group_correctly(self):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        base = PfsConfig(facts=cluster.config_facts())
+        tuned = base.with_updates({"lov.stripe_count": -1})
+        items = [
+            (get_workload("IOR_16M"), base, 5),
+            (get_workload("MDWorkbench_2K"), tuned, 6),
+            (get_workload("IOR_16M"), tuned, 7),
+            (get_workload("MDWorkbench_2K"), base, 8),
+        ]
+        assert_runs_identical(sim.run_batch(items), run_items(sim, items))
+
+    def test_heterogeneous_facts_fall_back_to_scalar_validation(self):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        base = PfsConfig(facts=cluster.config_facts())
+        other = base.copy()
+        other.facts["extra_fact"] = 1.0
+        other["osc.max_dirty_mb"] = 128
+        workload = get_workload("IOR_64K")
+        configs = [base, other]
+        seeds = [1, 2]
+        batched = sim.run_batch(sweep_items(workload, configs, seeds))
+        swept = run_sweep(sim, workload, configs, seeds)
+        assert_runs_identical(batched, swept)
+
+    def test_invalid_config_raises_like_batch(self):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        base = PfsConfig(facts=cluster.config_facts())
+        bad = base.copy()
+        bad._set_raw("osc.max_rpcs_in_flight", 100000)
+        workload = get_workload("IOR_64K")
+        with pytest.raises(ValueError, match="invalid configuration") as batch_err:
+            sim.run_batch(sweep_items(workload, [base, bad], [0, 1]))
+        with pytest.raises(ValueError, match="invalid configuration") as sweep_err:
+            run_sweep(sim, workload, [base, bad], [0, 1])
+        assert str(sweep_err.value) == str(batch_err.value)
+
+    def test_run_sweep_requires_alignment(self):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        config = PfsConfig(facts=cluster.config_facts())
+        with pytest.raises(ValueError):
+            run_sweep(sim, get_workload("IOR_64K"), [config], [1, 2])
+
+
+class TestGridItems:
+    def test_cartesian_config_major_shape(self):
+        cluster = make_cluster(seed=0)
+        base = PfsConfig(facts=cluster.config_facts())
+        tuned = base.with_updates({"osc.max_dirty_mb": 256})
+        workload = get_workload("IOR_64K")
+        items = grid_items(workload, [base, tuned], [7, 8, 9])
+        assert len(items) == 6
+        assert [seed for _w, _c, seed in items] == [7, 8, 9, 7, 8, 9]
+        assert [config is base for _w, config, _s in items] == [
+            True, True, True, False, False, False,
+        ]
+
+    def test_grid_slice_matches_repetition_items(self):
+        """Config ``i``'s slice of the grid is that config's repetition
+        protocol — what makes ``measure_configs`` bit-identical to
+        per-config ``measure_config``."""
+        cluster = make_cluster(seed=0)
+        base = PfsConfig(facts=cluster.config_facts())
+        workload = get_workload("IOR_64K")
+        seeds = [RngStreams.rep_seed(3, i) for i in range(4)]
+        items = grid_items(workload, [base], seeds)
+        assert items == repetition_items(workload, base, 4, seed=3)
+
+
+class TestRunCache:
+    def test_cache_hit_returns_equal_result_without_model(self, monkeypatch):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        base = PfsConfig(facts=cluster.config_facts())
+        configs = [
+            base,
+            base.with_updates({"osc.max_rpcs_in_flight": 32}),
+            base.with_updates({"osc.max_dirty_mb": 512}),
+        ]
+        workload = get_workload("IOR_16M")
+        seeds = [11, 12, 13]
+
+        calls = {"columnar": 0, "scalar": 0}
+        real_columnar = sweep_module._evaluate_columnar
+        real_scalar = batch_module._evaluate_phases
+
+        def counting_columnar(*args, **kwargs):
+            calls["columnar"] += 1
+            return real_columnar(*args, **kwargs)
+
+        def counting_scalar(*args, **kwargs):
+            calls["scalar"] += 1
+            return real_scalar(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "_evaluate_columnar", counting_columnar)
+        monkeypatch.setattr(batch_module, "_evaluate_phases", counting_scalar)
+
+        cache = RunCache()
+        monkeypatch.setattr(sweep_module, "RUN_CACHE", cache)
+        with cache.enabled():
+            first = run_sweep(sim, workload, configs, seeds)
+            evaluations = dict(calls)
+            assert evaluations["columnar"] + evaluations["scalar"] > 0
+            second = run_sweep(sim, workload, configs, seeds)
+        # A full hit: no model evaluation ran, results are the shared objects.
+        assert calls == evaluations
+        assert [b is a for a, b in zip(first, second)] == [True] * len(first)
+        assert_runs_identical(first, second)
+        assert cache.hits == len(first)
+
+    def test_cache_serves_simulator_run(self):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        config = PfsConfig(facts=cluster.config_facts())
+        workload = get_workload("IOR_64K")
+        cold = sim.run(workload, config, seed=9)
+        with RUN_CACHE.enabled():
+            primed = sim.run(workload, config, seed=9)
+            served = sim.run(workload, config, seed=9)
+        assert served is primed
+        assert primed.seconds == cold.seconds
+
+    def test_key_leads_with_backend_name(self):
+        cluster = make_cluster(seed=0, backend="beegfs")
+        config = PfsConfig(facts=cluster.config_facts(), backend="beegfs")
+        key = RunCache.key(cluster, get_workload("IOR_64K"), config, 5)
+        assert key[0] == "beegfs"
+        assert key[1][0] == "beegfs"  # cluster key leads with it too
+        assert key[3][0] == "beegfs"  # consistent with PfsConfig.cache_key()
+        assert key[-1] == 5
+
+    def test_lru_bound_and_eviction_order(self):
+        cache = RunCache(maxsize=3)
+        for index in range(5):
+            cache.put(("k", index), index)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert cache.get(("k", 0)) is None
+        assert cache.get(("k", 4)) == 4
+        # Touching an entry protects it from the next eviction.
+        cache.get(("k", 2))
+        cache.put(("k", 9), 9)
+        assert cache.get(("k", 2)) == 2
+        assert cache.get(("k", 3)) is None
+
+    def test_inactive_cache_stores_nothing(self):
+        cluster = make_cluster(seed=0)
+        sim = Simulator(cluster)
+        config = PfsConfig(facts=cluster.config_facts())
+        workload = get_workload("IOR_64K")
+        entries = len(RUN_CACHE)
+        a = sim.run(workload, config, seed=3)
+        b = sim.run(workload, config, seed=3)
+        assert a is not b and a.seconds == b.seconds
+        assert len(RUN_CACHE) == entries
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            RunCache(maxsize=0)
+
+
+class TestMeasureConfigs:
+    def test_matches_measure_config_per_entry(self):
+        cluster = make_cluster(seed=0)
+        updates_list = [{}, {"osc.max_rpcs_in_flight": 32}]
+        together = measure_configs(
+            cluster, "IOR_16M", updates_list, ["a", "b"], reps=3, seed=4
+        )
+        separate = [
+            measure_config(cluster, "IOR_16M", updates, label, reps=3, seed=4)
+            for updates, label in zip(updates_list, ["a", "b"])
+        ]
+        assert [m.times for m in together] == [m.times for m in separate]
+
+    def test_requires_aligned_labels(self):
+        cluster = make_cluster(seed=0)
+        with pytest.raises(ValueError):
+            measure_configs(cluster, "IOR_16M", [{}], ["a", "b"])
+
+
+class TestFastRng:
+    def test_first_normals_matches_default_rng(self):
+        rng = np.random.default_rng(5)
+        seeds = [int(s) for s in rng.integers(0, 2**63, size=64, dtype=np.uint64)]
+        seeds += [0, 1, 7, 2**32 - 1, 2**32, 2**63 - 1]  # small-seed fallback
+        for sigma in (0.02, 0.025):
+            fast = first_normals(seeds, sigma)
+            reference = [
+                np.random.default_rng(seed).normal(0.0, sigma) for seed in seeds
+            ]
+            assert fast.tolist() == reference
+
+    def test_generator_pcg64_equals_default_rng(self):
+        """The sweep's direct construction is the documented equivalent."""
+        for seed in (0, 123, 2**62 + 17):
+            direct = np.random.Generator(np.random.PCG64(seed)).normal(0.0, 0.02)
+            generic = np.random.default_rng(seed).normal(0.0, 0.02)
+            assert direct == generic
+
+
+class TestDependencyAwareInvalidation:
+    def _counting_resolve(self, monkeypatch):
+        from repro.pfs import config as config_module
+
+        calls = []
+        original = config_module._resolve
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(config_module, "_resolve", counting)
+        return calls
+
+    def test_unrelated_write_keeps_cached_bounds(self, monkeypatch):
+        calls = self._counting_resolve(monkeypatch)
+        config = PfsConfig()
+        config.bounds("llite.max_read_ahead_per_file_mb")
+        warm = len(calls)
+        # osc.max_dirty_mb appears in no range expression of the readahead
+        # params — its write must not drop their cached bounds.
+        config["osc.max_dirty_mb"] = 256
+        config.bounds("llite.max_read_ahead_per_file_mb")
+        assert len(calls) == warm
+
+    def test_dependency_write_invalidates_dependents(self, monkeypatch):
+        calls = self._counting_resolve(monkeypatch)
+        config = PfsConfig()
+        config.bounds("llite.max_read_ahead_per_file_mb")
+        config.bounds("mdc.max_mod_rpcs_in_flight")
+        warm = len(calls)
+        config["llite.max_read_ahead_mb"] = 1024
+        assert config.bounds("llite.max_read_ahead_per_file_mb")[1] == 512.0
+        assert len(calls) > warm
+        # ...while the unrelated mdc bounds stayed cached.
+        settled = len(calls)
+        config.bounds("mdc.max_mod_rpcs_in_flight")
+        assert len(calls) == settled
+
+    def test_facts_mutation_still_invalidates_wholesale(self, monkeypatch):
+        calls = self._counting_resolve(monkeypatch)
+        config = PfsConfig()
+        config.bounds("lov.stripe_count")
+        config.bounds("llite.max_read_ahead_mb")
+        warm = len(calls)
+        config.facts["n_ost"] = 12
+        assert config.bounds("lov.stripe_count")[1] == 12.0
+        config.bounds("llite.max_read_ahead_mb")
+        assert len(calls) > warm + 1  # both re-resolved
+
+    @pytest.mark.parametrize("backend", list_backends())
+    def test_dependents_map_is_conservative(self, backend):
+        """Every parameter referenced by another's range expression edges its
+        dependents; the map never misses an edge the expressions declare."""
+        from repro.backends import get_backend
+        from repro.pfs.expressions import referenced_names
+
+        resolved = get_backend(backend)
+        dependents = resolved.bounds_dependents
+        for spec in resolved.specs:
+            for expr in (spec.min_expr, spec.max_expr):
+                if not isinstance(expr, str):
+                    continue
+                for ident in referenced_names(expr):
+                    for other in resolved.specs:
+                        if other.name == ident or other.basename == ident:
+                            assert spec.name in dependents[other.name]
+
+    def test_clipped_still_converges_with_targeted_invalidation(self):
+        config = PfsConfig()
+        config["llite.max_read_ahead_mb"] = 100
+        config["llite.max_read_ahead_per_file_mb"] = 9999
+        clipped = config.clipped()
+        assert clipped["llite.max_read_ahead_per_file_mb"] == 50
+        assert not clipped.violations()

@@ -20,13 +20,15 @@ import sys
 from pathlib import Path
 
 #: The sessions/sec and runs/sec figures the PR-1 perf work established,
-#: plus the PR-4 candidate-sweep and cached-rerun figures.
+#: plus the PR-4 candidate-sweep and cached-rerun figures and the PR-5
+#: fleet-scheduler figure.
 TRACKED = (
     "batched_runs_per_sec",
     "sequential_runs_per_sec",
     "sessions_per_sec",
     "sweep_configs_per_sec",
     "cached_rerun_runs_per_sec",
+    "fleet_sessions_per_sec",
 )
 
 

@@ -1,8 +1,10 @@
-"""Bench: raw harness throughput (sessions/sec, batched and swept runs/sec).
+"""Bench: raw harness throughput (sessions/sec, batched and swept runs/sec,
+fleet sessions/sec).
 
 Unlike the figure benches, this measures the *machinery* rather than a paper
-artifact: how many simulated application runs, candidate-grid configs and
-full tuning sessions the harness sustains per second.  The numbers land in
+artifact: how many simulated application runs, candidate-grid configs, full
+tuning sessions and multi-tenant fleet sessions the harness sustains per
+second.  The numbers land in
 ``BENCH_throughput.json`` at the repo root so future PRs have a perf
 trajectory to regress against.
 
@@ -25,6 +27,7 @@ from conftest import BENCH_REPS
 from repro.experiments.harness import run_sessions, shared_extraction
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
+from repro.service import FleetScheduler, TenantSpec, run_tenant
 from repro.sim.batch import grid_items, repetition_items
 from repro.sim.cache import RUN_CACHE
 from repro.sim.random import RngStreams
@@ -39,6 +42,23 @@ N_SESSIONS = BENCH_REPS
 #: Candidate-grid shape: >= 64 distinct configs of a many-phase workload.
 N_GRID = 128
 GRID_WORKLOAD = "IO500"
+#: Fleet shape: enough tenants (and sessions) that pool start-up amortizes.
+N_FLEET_TENANTS = 16
+FLEET_QUEUE = ("IOR_64K", "IOR_16M", "MDWorkbench_8K", "IO500")
+
+
+def build_fleet(n: int = N_FLEET_TENANTS) -> list[TenantSpec]:
+    """``n`` mixed tenants alternating backends, distinct seeds."""
+    backends = ("lustre", "beegfs")
+    return [
+        TenantSpec(
+            f"bench-{i:02d}",
+            backend=backends[i % len(backends)],
+            workloads=FLEET_QUEUE,
+            seed=900 + i,
+        )
+        for i in range(n)
+    ]
 
 
 def build_grid(cluster, n: int) -> list[PfsConfig]:
@@ -109,6 +129,34 @@ def test_throughput(benchmark, cluster):
     )
     sessions_elapsed = perf_counter() - start
 
+    # -- fleet: many tenants over the scheduler pool vs sequential loops ----
+    # Both arms run with the cache inactive (the standing bench convention:
+    # throughput figures measure real work) so they differ ONLY by the
+    # scheduler's pool.
+    fleet_tenants = build_fleet()
+    scheduler = FleetScheduler(fleet_tenants, seed=0, use_cache=False)
+    # Warm the per-backend shared artifacts so neither arm pays extraction.
+    arms = [
+        (spec, scheduler.cluster_for(spec), scheduler.extraction_for(spec))
+        for spec in fleet_tenants
+    ]
+
+    def run_fleet_sequential():
+        return [
+            run_tenant(spec, cluster_, extraction_, use_cache=False)
+            for spec, cluster_, extraction_ in arms
+        ]
+
+    sequential_fleet_elapsed, sequential_fleet = best_of(
+        run_fleet_sequential, rounds=2
+    )
+    fleet_elapsed, fleet = None, None
+    for _ in range(2):
+        result = scheduler.run()
+        if fleet_elapsed is None or result.elapsed < fleet_elapsed:
+            fleet_elapsed, fleet = result.elapsed, result
+    fleet_sequential_sps = fleet.total_sessions / sequential_fleet_elapsed
+
     # The pytest-benchmark row tracks the sweep path (the tentpole).
     benchmark.pedantic(
         lambda: run_items(sim, items),
@@ -122,6 +170,7 @@ def test_throughput(benchmark, cluster):
     sweep_cps = N_GRID / sweep_elapsed
     cached_rps = N_GRID / cached_elapsed
     sessions_ps = N_SESSIONS / sessions_elapsed
+    fleet_sps = fleet.total_sessions / fleet_elapsed
     payload = {
         "workload": workload.name,
         "cpu_count": os.cpu_count(),
@@ -134,10 +183,15 @@ def test_throughput(benchmark, cluster):
         "sweep_speedup_vs_batch_grid": round(sweep_cps / grid_batch_cps, 2),
         "cached_rerun_runs_per_sec": round(cached_rps, 1),
         "sessions_per_sec": round(sessions_ps, 2),
+        "fleet_sessions_per_sec": round(fleet_sps, 2),
+        "fleet_sequential_sessions_per_sec": round(fleet_sequential_sps, 2),
+        "fleet_workers": fleet.workers,
         "n_batched": N_BATCHED,
         "n_sequential": N_SEQUENTIAL,
         "n_grid_configs": N_GRID,
         "n_sessions": N_SESSIONS,
+        "n_fleet_tenants": N_FLEET_TENANTS,
+        "n_fleet_sessions": fleet.total_sessions,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print("\n" + json.dumps(payload, indent=2))
@@ -156,3 +210,13 @@ def test_throughput(benchmark, cluster):
     assert sweep_cps > grid_batch_cps
     assert cached_rps > sweep_cps
     assert sessions and all(s.best_seconds > 0 for s in sessions)
+    # The fleet produces exactly the sequential loop's sessions (scheduling
+    # changes when work runs, never what it produces), and on multi-core
+    # runners the pool makes it faster than N sequential
+    # tune_and_accumulate chains.  Single-core boxes run the pool inline,
+    # so there is nothing to beat there.
+    assert [
+        [s.best_speedup for s in t.sessions] for t in fleet.tenants
+    ] == [[s.best_speedup for s in t.sessions] for t in sequential_fleet]
+    if fleet.workers > 1:
+        assert fleet_sps > fleet_sequential_sps

@@ -20,8 +20,14 @@ def merge_rules_via_llm(
     existing: list[dict],
     new: list[dict],
     session: str = "rules-merge",
+    agent: str = "tuning",
 ) -> list[dict]:
-    """Ask the model to merge ``new`` rules into the ``existing`` global set."""
+    """Ask the model to merge ``new`` rules into the ``existing`` global set.
+
+    Usage is recorded on the client's ledger under ``agent`` — the engine
+    passes ``rules_merge`` so the merge step shows up as its own line in
+    session accounting instead of vanishing into a throwaway client.
+    """
     if not existing:
         return list(new)
     if not new:
@@ -36,5 +42,5 @@ def merge_rules_via_llm(
         "Drop alternatives whose guidance produced a negative outcome.\n"
         "NEW RULES:\n" + json.dumps(new)
     )
-    content = client.ask(prompt, agent="tuning", session=session)
+    content = client.ask(prompt, agent=agent, session=session)
     return json.loads(content)

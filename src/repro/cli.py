@@ -10,6 +10,8 @@ Examples::
     stellar experiment crossfs         # cross-backend rule transfer
     stellar experiment drift           # workload drift: static vs online
     stellar drift --schedule regime_flip --backend beegfs
+    stellar fleet                      # multi-tenant fleet over both backends
+    stellar fleet --backend lustre --workers 4
     stellar list                       # workloads, experiments, backends
 """
 
@@ -38,6 +40,7 @@ EXPERIMENTS = (
     "autotuner-cost",
     "crossfs",
     "drift",
+    "fleet",
 )
 
 
@@ -81,6 +84,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     drift.add_argument("--segments", type=int, default=DEFAULT_SEGMENTS)
     drift.add_argument("--reps", type=int, default=8)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-tenant fleet: mixed tenants over the scheduler pool",
+    )
+    fleet.add_argument(
+        "--backend", choices=list_backends() + ["all"], default="all"
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (default: REPRO_MAX_WORKERS, then cpu count)",
+    )
     return parser
 
 
@@ -135,6 +152,10 @@ def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
         return drift.run(
             cluster, reps=reps, seed=seed, backends=(cluster.backend_name,)
         ).render()
+    if name == "fleet":
+        from repro.experiments import fleet
+
+        return fleet.run(cluster, seed=seed).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -168,6 +189,27 @@ def main(argv: list[str] | None = None) -> int:
             n_segments=args.segments,
         )
         print(result.render())
+        return 0
+
+    if args.command == "fleet":
+        from repro.experiments import fleet
+
+        if args.workers is not None and args.workers <= 0:
+            # Mirror the drift subcommand's convention: a config typo is a
+            # clean CLI error, not a traceback from deep in the pool sizing.
+            print(
+                f"error: --workers {args.workers}: must be a positive "
+                "worker count",
+                file=sys.stderr,
+            )
+            return 2
+        backends = (
+            fleet.BACKENDS if backend_arg == "all" else (backend_arg,)
+        )
+        report = fleet.run(
+            seed=args.seed, backends=backends, max_workers=args.workers
+        )
+        print(report.render())
         return 0
 
     cluster = make_cluster(seed=args.seed, backend=backend_arg)

@@ -6,7 +6,15 @@ tuning runs.
 """
 
 from repro.core.engine import Stellar
+from repro.core.pipeline import SESSION_PIPELINE, SessionPipeline, SessionState
 from repro.core.runner import ConfigurationRunner
 from repro.core.session import TuningSession
 
-__all__ = ["Stellar", "ConfigurationRunner", "TuningSession"]
+__all__ = [
+    "Stellar",
+    "ConfigurationRunner",
+    "TuningSession",
+    "SessionPipeline",
+    "SessionState",
+    "SESSION_PIPELINE",
+]

@@ -2,15 +2,16 @@
 
 ``Stellar.build`` runs the offline phase once (RAG over the manual,
 producing the filtered tunable-parameter list with accurate descriptions
-and dependent ranges).  ``tune`` executes one complete Tuning Run:
+and dependent ranges).  ``tune`` executes one complete Tuning Run by
+driving the staged session pipeline (:mod:`repro.core.pipeline`):
 
 1. initial instrumented execution of the target application (Darshan log);
 2. the Analysis Agent distills the log into the I/O Report;
 3. the Tuning Agent iterates: optional follow-up analyses, configuration
    proposals executed on the real (simulated) system, feedback, and an
    autonomous end decision — at most ``max_attempts`` configurations;
-4. Reflect & Summarize distills rules, which ``accumulate`` merges into the
-   global rule set used by subsequent runs.
+4. Reflect & Summarize distills rules, which ``accumulate`` appends to the
+   versioned rule journal used by subsequent runs.
 
 The ablation switches mirror §5.4: ``use_descriptions=False`` removes the
 RAG-generated parameter descriptions (keeping ranges), ``use_analysis=False``
@@ -21,19 +22,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.agents.analysis import AnalysisAgent
 from repro.agents.reflection import merge_rules_via_llm
-from repro.agents.transcript import Transcript
-from repro.agents.tuning import TuningAgent
 from repro.cluster.hardware import ClusterSpec
-from repro.core.runner import ConfigurationRunner
+from repro.core.pipeline import SESSION_PIPELINE, SessionState
 from repro.core.session import TuningSession
-from repro.corpus import render_hardware_doc
-from repro.darshan import parse_log
 from repro.llm.client import LLMClient
-from repro.llm.tokens import UsageLedger
+from repro.llm.tokens import TokenUsage, UsageLedger
 from repro.rag.extraction import ExtractionResult, ParameterExtractor
 from repro.rules.model import RuleSet
+from repro.rules.store import RuleJournal
+from repro.sim.random import RngStreams
 from repro.workloads.base import Workload
 
 
@@ -48,7 +46,7 @@ class Stellar:
     analysis_model: str | None = None  # defaults to gpt-4o like the paper
 
     def __post_init__(self):
-        self.rule_set = RuleSet()
+        self.journal = RuleJournal()
         self._run_counter = 0
 
     # ------------------------------------------------------------------
@@ -66,6 +64,19 @@ class Stellar:
             client = LLMClient(extraction_model, seed=seed)
             extraction = ParameterExtractor(cluster, client).run()
         return cls(cluster=cluster, model=model, extraction=extraction, seed=seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def rule_set(self) -> RuleSet:
+        """The merged view of the rule journal (the global rule set)."""
+        return self.journal.current
+
+    @rule_set.setter
+    def rule_set(self, value: RuleSet) -> None:
+        # Adopting a flat rule set replaces the journal with one baseline
+        # entry — the compatibility path for persisted snapshots and the
+        # experiment harness's ``engine.rule_set = ...`` idiom.
+        self.journal = RuleJournal.seeded(value, seed=self.seed)
 
     # ------------------------------------------------------------------
     def tune(
@@ -86,85 +97,54 @@ class Stellar:
         systems where ``/proc`` parameters are off limits.
         """
         self._run_counter += 1
-        run_seed = self.seed * 100 + self._run_counter if seed is None else seed
-        ledger = UsageLedger()
-        tuning_client = LLMClient(self.model, seed=run_seed, ledger=ledger)
-        analysis_client = LLMClient(
-            self.analysis_model or "gpt-4o", seed=run_seed, ledger=ledger
+        run_seed = (
+            RngStreams.rep_seed(self.seed, self._run_counter)
+            if seed is None
+            else seed
         )
-        transcript = Transcript()
-
-        runner = ConfigurationRunner(self.cluster, workload, seed=run_seed)
-        initial_run, darshan_log = runner.initial_execution()
-        transcript.add(
-            "initial_run",
-            f"{workload.name} under defaults: {initial_run.seconds:.2f}s",
-            seconds=initial_run.seconds,
-        )
-
-        report = None
-        analysis_agent = None
-        if use_analysis:
-            parsed = parse_log(darshan_log)
-            analysis_agent = AnalysisAgent(
-                analysis_client,
-                parsed,
-                transcript=transcript,
-                session=f"analysis:{workload.name}:{run_seed}",
-            )
-            report = analysis_agent.initial_report()
-
-        selected = self.extraction.selected
-        if user_accessible_only:
-            registry = self.cluster.backend.registry
-            selected = [
-                p for p in selected if registry[p.name].user_settable
-            ]
-        parameters = [
-            p.to_info(include_description=use_descriptions) for p in selected
-        ]
-        facts = {
-            name: float(value) for name, value in self.cluster.config_facts().items()
-        }
-        facts["n_clients"] = float(self.cluster.n_clients)
-        agent = TuningAgent(
-            client=tuning_client,
-            parameters=parameters,
-            hardware_description=render_hardware_doc(self.cluster),
-            facts=facts,
-            runner=runner,
-            report=report,
-            analysis_agent=analysis_agent,
+        state = SessionState(
+            cluster=self.cluster,
+            workload=workload,
+            model=self.model,
+            analysis_model=self.analysis_model or "gpt-4o",
+            extraction=self.extraction,
+            run_seed=run_seed,
             rules_json=self.rule_set.to_json() if use_rules else [],
             max_attempts=max_attempts,
-            transcript=transcript,
-            session=f"tuning:{workload.name}:{run_seed}",
-            fs_family=self.cluster.backend.fs_family,
+            use_descriptions=use_descriptions,
+            use_analysis=use_analysis,
+            user_accessible_only=user_accessible_only,
         )
-        loop = agent.run_loop()
-        return TuningSession(
-            workload=workload.name,
-            model=self.model,
-            initial_seconds=runner.initial_seconds,
-            attempts=loop.attempts,
-            end_reason=loop.end_reason,
-            rules_json=loop.rules_json,
-            transcript=transcript,
-            executions=runner.execution_count,
-            usage=dict(ledger.per_agent),
-            llm_latency=ledger.wall_latency,
-        )
+        return SESSION_PIPELINE.run(state).session
 
     # ------------------------------------------------------------------
     def accumulate(self, session: TuningSession) -> None:
-        """Merge a run's rules into the global rule set (LLM-mediated)."""
+        """Append a run's rules to the journal (LLM-mediated merge).
+
+        The merge step's token usage lands in ``session.usage`` under the
+        ``rules_merge`` agent, so session accounting covers the whole
+        lifecycle of the run's knowledge, not just its generation.
+        """
         if not session.rules_json:
             return
-        client = LLMClient(self.model, seed=self.seed)
+        ledger = UsageLedger()
+        client = LLMClient(self.model, seed=self.seed, ledger=ledger)
+        basis_version = self.journal.version
         merged = merge_rules_via_llm(
-            client, self.rule_set.to_json(), session.rules_json
+            client,
+            self.rule_set.to_json(),
+            session.rules_json,
+            agent="rules_merge",
         )
-        self.rule_set = RuleSet.from_json(merged)
+        self.journal.append(
+            session.rules_json,
+            seed=self.seed,
+            snapshot=merged,
+            basis_version=basis_version,
+        )
+        for agent, usage in ledger.per_agent.items():
+            session.usage[agent] = session.usage.get(agent, TokenUsage()) + usage
+        session.llm_latency += ledger.wall_latency
 
     def tune_and_accumulate(self, workload: Workload, **kwargs) -> TuningSession:
         session = self.tune(workload, **kwargs)
@@ -174,6 +154,6 @@ class Stellar:
     def fresh_copy(self) -> "Stellar":
         """An engine sharing the offline extraction but with empty rules."""
         clone = replace(self)
-        clone.rule_set = RuleSet()
+        clone.journal = RuleJournal()
         clone._run_counter = 0
         return clone

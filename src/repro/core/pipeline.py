@@ -1,0 +1,260 @@
+"""The staged session pipeline: one Tuning Run as explicit stages.
+
+``Stellar.tune`` used to be one monolithic method; it is now a
+:class:`SessionPipeline` — an ordered list of small stage objects, each
+taking and returning a :class:`SessionState`.  The decomposition is purely
+structural: driving the default stages over a state produces byte-identical
+transcripts and sessions to the former inline body (guarded by
+``tests/test_pipeline.py`` for every registered backend).
+
+Stages, in order:
+
+1. :class:`ClientSetupStage` — usage ledger, model clients, transcript;
+2. :class:`InitialExecutionStage` — runner + instrumented first run with
+   Darshan capture;
+3. :class:`AnalysisStage` — the Analysis Agent's initial I/O Report
+   (skipped under the ``use_analysis=False`` ablation);
+4. :class:`ParameterSelectionStage` — tunable surface and hardware facts;
+5. :class:`AgentLoopStage` — the Tuning Agent's trial-and-error loop;
+6. :class:`SessionAssemblyStage` — the :class:`TuningSession` record.
+
+The contract that keeps stages composable (and the service layer sane):
+stages communicate ONLY through :class:`SessionState` fields, never through
+module globals, and they read cluster configuration only through facts and
+roles (``cluster.config_facts()`` / ``config.role(...)``), never by
+backend-specific parameter name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.agents.analysis import AnalysisAgent
+from repro.agents.transcript import Transcript
+from repro.agents.tuning import TuningAgent, TuningLoopResult
+from repro.cluster.hardware import ClusterSpec
+from repro.core.runner import ConfigurationRunner
+from repro.core.session import TuningSession
+from repro.corpus import render_hardware_doc
+from repro.darshan import DarshanLog, parse_log
+from repro.llm.client import LLMClient
+from repro.llm.promptparse import IOReport, ParameterInfo
+from repro.llm.tokens import UsageLedger
+from repro.pfs.simulator import RunResult
+from repro.rag.extraction import ExtractionResult
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SessionState:
+    """Everything one Tuning Run reads and produces, stage by stage.
+
+    The first block is the request (filled by the engine before the pipeline
+    starts); the rest is populated by the stages in order.  A field is only
+    ever written by one stage, so the dataclass doubles as the pipeline's
+    dependency graph.
+    """
+
+    # -- request (engine-provided) -------------------------------------
+    cluster: ClusterSpec
+    workload: Workload
+    model: str
+    analysis_model: str
+    extraction: ExtractionResult
+    run_seed: int
+    rules_json: list[dict] = field(default_factory=list)
+    max_attempts: int = 5
+    use_descriptions: bool = True
+    use_analysis: bool = True
+    user_accessible_only: bool = False
+
+    # -- ClientSetupStage ----------------------------------------------
+    ledger: UsageLedger | None = None
+    tuning_client: LLMClient | None = None
+    analysis_client: LLMClient | None = None
+    transcript: Transcript | None = None
+
+    # -- InitialExecutionStage -----------------------------------------
+    runner: ConfigurationRunner | None = None
+    initial_run: RunResult | None = None
+    darshan_log: DarshanLog | None = None
+
+    # -- AnalysisStage --------------------------------------------------
+    analysis_agent: AnalysisAgent | None = None
+    report: IOReport | None = None
+
+    # -- ParameterSelectionStage ---------------------------------------
+    parameters: list[ParameterInfo] = field(default_factory=list)
+    facts: dict[str, float] = field(default_factory=dict)
+
+    # -- AgentLoopStage -------------------------------------------------
+    loop: TuningLoopResult | None = None
+
+    # -- SessionAssemblyStage -------------------------------------------
+    session: TuningSession | None = None
+
+
+class SessionStage(Protocol):
+    """One step of a Tuning Run; mutates and returns the state."""
+
+    name: str
+
+    def run(self, state: SessionState) -> SessionState: ...
+
+
+class ClientSetupStage:
+    """Usage ledger, the two model clients and the transcript.
+
+    Both clients share one ledger so the session's usage accounting spans
+    every agent; each client owns an independent RNG stream derived from the
+    run seed, so stage order never perturbs model draws.
+    """
+
+    name = "clients"
+
+    def run(self, state: SessionState) -> SessionState:
+        state.ledger = UsageLedger()
+        state.tuning_client = LLMClient(
+            state.model, seed=state.run_seed, ledger=state.ledger
+        )
+        state.analysis_client = LLMClient(
+            state.analysis_model, seed=state.run_seed, ledger=state.ledger
+        )
+        state.transcript = Transcript()
+        return state
+
+
+class InitialExecutionStage:
+    """Instrumented first execution under defaults, with Darshan capture."""
+
+    name = "initial_execution"
+
+    def run(self, state: SessionState) -> SessionState:
+        state.runner = ConfigurationRunner(
+            state.cluster, state.workload, seed=state.run_seed
+        )
+        state.initial_run, state.darshan_log = state.runner.initial_execution()
+        state.transcript.add(
+            "initial_run",
+            f"{state.workload.name} under defaults: "
+            f"{state.initial_run.seconds:.2f}s",
+            seconds=state.initial_run.seconds,
+        )
+        return state
+
+
+class AnalysisStage:
+    """The Analysis Agent distills the Darshan log into the I/O Report."""
+
+    name = "analysis"
+
+    def run(self, state: SessionState) -> SessionState:
+        if not state.use_analysis:
+            return state
+        parsed = parse_log(state.darshan_log)
+        state.analysis_agent = AnalysisAgent(
+            state.analysis_client,
+            parsed,
+            transcript=state.transcript,
+            session=f"analysis:{state.workload.name}:{state.run_seed}",
+        )
+        state.report = state.analysis_agent.initial_report()
+        return state
+
+
+class ParameterSelectionStage:
+    """The tunable surface and the hardware facts the agent reasons over."""
+
+    name = "parameters"
+
+    def run(self, state: SessionState) -> SessionState:
+        selected = state.extraction.selected
+        if state.user_accessible_only:
+            registry = state.cluster.backend.registry
+            selected = [p for p in selected if registry[p.name].user_settable]
+        state.parameters = [
+            p.to_info(include_description=state.use_descriptions) for p in selected
+        ]
+        facts = {
+            name: float(value)
+            for name, value in state.cluster.config_facts().items()
+        }
+        facts["n_clients"] = float(state.cluster.n_clients)
+        state.facts = facts
+        return state
+
+
+class AgentLoopStage:
+    """The Tuning Agent's loop: analyses, configurations, end decision."""
+
+    name = "agent_loop"
+
+    def run(self, state: SessionState) -> SessionState:
+        agent = TuningAgent(
+            client=state.tuning_client,
+            parameters=state.parameters,
+            hardware_description=render_hardware_doc(state.cluster),
+            facts=state.facts,
+            runner=state.runner,
+            report=state.report,
+            analysis_agent=state.analysis_agent,
+            rules_json=state.rules_json,
+            max_attempts=state.max_attempts,
+            transcript=state.transcript,
+            session=f"tuning:{state.workload.name}:{state.run_seed}",
+            fs_family=state.cluster.backend.fs_family,
+        )
+        state.loop = agent.run_loop()
+        return state
+
+
+class SessionAssemblyStage:
+    """Assemble the :class:`TuningSession` record from the run's artifacts."""
+
+    name = "assemble"
+
+    def run(self, state: SessionState) -> SessionState:
+        state.session = TuningSession(
+            workload=state.workload.name,
+            model=state.model,
+            initial_seconds=state.runner.initial_seconds,
+            attempts=state.loop.attempts,
+            end_reason=state.loop.end_reason,
+            rules_json=state.loop.rules_json,
+            transcript=state.transcript,
+            executions=state.runner.execution_count,
+            usage=dict(state.ledger.per_agent),
+            llm_latency=state.ledger.wall_latency,
+        )
+        return state
+
+
+@dataclass(frozen=True)
+class SessionPipeline:
+    """An ordered, immutable sequence of session stages."""
+
+    stages: tuple[SessionStage, ...]
+
+    def run(self, state: SessionState) -> SessionState:
+        for stage in self.stages:
+            state = stage.run(state)
+        return state
+
+    @classmethod
+    def default(cls) -> "SessionPipeline":
+        return cls(
+            stages=(
+                ClientSetupStage(),
+                InitialExecutionStage(),
+                AnalysisStage(),
+                ParameterSelectionStage(),
+                AgentLoopStage(),
+                SessionAssemblyStage(),
+            )
+        )
+
+
+#: The canonical pipeline ``Stellar.tune`` drives.  Stages are stateless, so
+#: one shared instance serves every engine in the process.
+SESSION_PIPELINE = SessionPipeline.default()

@@ -10,4 +10,15 @@ with observed negative outcomes.
 from repro.rules.model import Rule, RuleSet
 from repro.rules.merge import merge_rule_sets
 
-__all__ = ["Rule", "RuleSet", "merge_rule_sets"]
+__all__ = ["Rule", "RuleSet", "merge_rule_sets", "JournalEntry", "RuleJournal"]
+
+
+def __getattr__(name):
+    # The journal lives in ``rules.store``, which imports the session record
+    # (and through it the LLM layer); resolve lazily so ``repro.rules``
+    # stays importable from the bottom of the dependency graph.
+    if name in ("JournalEntry", "RuleJournal"):
+        from repro.rules import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,19 +1,29 @@
-"""Persistence for rule sets and tuning sessions.
+"""Persistence for rule sets, the rule journal, and tuning sessions.
 
-The global rule set is STELLAR's accumulated platform knowledge; operators
-keep it across engine restarts (`save_rule_set`/`load_rule_set`).  Tuning
-sessions are exported as JSON for offline inspection and for the experiment
-artifacts.
+The global rule set is STELLAR's accumulated platform knowledge.  It used
+to live as one mutable, last-write-wins ``RuleSet`` on the engine; it is now
+derived from a :class:`RuleJournal` — an append-only, versioned store of
+every rule contribution, replay-merged deterministically.  Operators keep
+either form across engine restarts (``save_rule_set``/``load_rule_set`` for
+a flat snapshot, :meth:`RuleJournal.save`/:meth:`RuleJournal.load` for the
+full history).  Tuning sessions are exported as JSON for offline inspection
+and for the experiment artifacts.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.core.session import TuningSession
 from repro.llm.promptparse import AttemptRecord
+from repro.rules.merge import merge_rule_sets
 from repro.rules.model import RuleSet
+
+if TYPE_CHECKING:  # pragma: no cover - the engine imports us at runtime
+    from repro.core.session import TuningSession
 
 
 def save_rule_set(rule_set: RuleSet, path: str | Path) -> None:
@@ -22,6 +32,239 @@ def save_rule_set(rule_set: RuleSet, path: str | Path) -> None:
 
 def load_rule_set(path: str | Path) -> RuleSet:
     return RuleSet.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# The versioned rule journal.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One appended rule contribution.
+
+    ``version`` is the 1-based arrival position in its journal; ``origin``
+    is the deterministic replay key ``(engine_seed, sequence)`` — replay
+    sorts by it, so contributions from concurrently running tenants land in
+    seed order no matter which finished first.  ``rules`` is the
+    contribution itself (the session's distilled rules as JSON dicts),
+    treated as immutable once appended.
+    """
+
+    version: int
+    origin: tuple[int, int]
+    rules: tuple[dict, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "origin": list(self.origin),
+            "rules": [dict(rule) for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JournalEntry":
+        return cls(
+            version=int(raw["version"]),
+            origin=tuple(int(part) for part in raw["origin"]),
+            rules=tuple(dict(rule) for rule in raw["rules"]),
+        )
+
+
+#: Sequence number reserved for baseline (adopted) rule sets; appended
+#: contributions start at 1, so a baseline always replays first for its seed.
+BASELINE_SEQUENCE = 0
+
+
+class RuleJournal:
+    """Append-only, versioned, concurrency-safe store of tuning rules.
+
+    Contract:
+
+    - **Append-only versions.**  Every contribution becomes an immutable
+      :class:`JournalEntry`; nothing is ever rewritten in place, so the
+      journal is a complete audit trail of where the platform knowledge
+      came from.
+    - **Deterministic replay-merge.**  The merged view folds entries in
+      ``origin`` order (engine seed, then sequence) through
+      :func:`repro.rules.merge.merge_rule_sets` — the exact semantics the
+      LLM-mediated merge implements — so replaying a journal, or merging
+      the journals of tenants that ran concurrently, always lands in seed
+      order regardless of completion order.
+    - **Concurrency-safe.**  Appends and view computation hold an internal
+      lock, so threads sharing one journal never observe a torn view; the
+      lock is dropped on pickle (each process re-creates its own).
+    - **Persisted/reloadable.**  :meth:`save`/:meth:`load` round-trip the
+      full entry history, not just the merged snapshot.
+
+    An engine may install a *snapshot view* alongside an append (the result
+    of its LLM-mediated merge); :meth:`replay` always reconstructs the view
+    from the entries alone, and the two agree for the deterministic mock
+    (asserted in ``tests/test_fleet.py``).
+    """
+
+    def __init__(self, entries: Iterable[JournalEntry] = ()):
+        self._entries: list[JournalEntry] = list(entries)
+        self._lock = threading.RLock()
+        self._view: RuleSet | None = None
+        self._sequence = max(
+            (entry.origin[1] for entry in self._entries), default=0
+        )
+
+    # -- pickling (the lock is process-local) ---------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"entries": list(self._entries)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["entries"])
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def entries(self) -> tuple[JournalEntry, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    @property
+    def version(self) -> int:
+        """The journal's head version (number of appended entries)."""
+        with self._lock:
+            return len(self._entries)
+
+    def __len__(self) -> int:
+        return self.version
+
+    # -- writing ---------------------------------------------------------
+    def append(
+        self,
+        rules: Sequence[dict],
+        seed: int = 0,
+        snapshot: Sequence[dict] | None = None,
+        basis_version: int | None = None,
+    ) -> JournalEntry:
+        """Append one contribution; returns the new immutable entry.
+
+        ``snapshot`` (optional) installs the contributor's own merged view
+        of the journal after this entry — the engine passes its
+        LLM-mediated merge result here so the serving view is exactly what
+        the model produced.  ``basis_version`` names the head version the
+        snapshot was computed against: if another contributor appended in
+        the meantime the snapshot is stale, so it is discarded and the view
+        lazily rebuilt by :meth:`replay` (which includes every entry).
+        Without a snapshot the view is always rebuilt lazily.
+        """
+        with self._lock:
+            stale = (
+                basis_version is not None and basis_version != len(self._entries)
+            )
+            self._sequence += 1
+            entry = JournalEntry(
+                version=len(self._entries) + 1,
+                origin=(seed, self._sequence),
+                rules=tuple(dict(rule) for rule in rules),
+            )
+            self._entries.append(entry)
+            self._view = (
+                RuleSet.from_json(list(snapshot))
+                if snapshot is not None and not stale
+                else None
+            )
+            return entry
+
+    @classmethod
+    def seeded(cls, rule_set: RuleSet, seed: int = 0) -> "RuleJournal":
+        """A journal adopting ``rule_set`` verbatim as its baseline."""
+        journal = cls()
+        if len(rule_set):
+            entry = JournalEntry(
+                version=1,
+                origin=(seed, BASELINE_SEQUENCE),
+                rules=tuple(rule_set.to_json()),
+            )
+            journal._entries.append(entry)
+        return journal
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def current(self) -> RuleSet:
+        """The merged view at the journal's head version."""
+        with self._lock:
+            if self._view is None:
+                self._view = self.replay()
+            return self._view
+
+    def replay(self, up_to_version: int | None = None) -> RuleSet:
+        """Deterministically rebuild the merged view from the entries.
+
+        Entries fold in ``(origin, version)`` order — seed order first, so
+        two journals holding the same entries merge identically no matter
+        the order the entries arrived in.  ``up_to_version`` replays a
+        historical prefix (by arrival version), which is what makes every
+        past state of the knowledge reconstructible.
+        """
+        with self._lock:
+            entries = self._entries
+            if up_to_version is not None:
+                entries = [e for e in entries if e.version <= up_to_version]
+            ordered = sorted(entries, key=lambda e: (e.origin, e.version))
+        merged = RuleSet()
+        for entry in ordered:
+            merged = _fold(merged, entry.rules)
+        return merged
+
+    # -- persistence -----------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "format": 1,
+            "version": self.version,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "RuleJournal":
+        return cls(JournalEntry.from_dict(entry) for entry in raw["entries"])
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RuleJournal":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+    # -- cross-journal merge ---------------------------------------------
+    @classmethod
+    def merged(cls, journals: Sequence["RuleJournal"]) -> "RuleJournal":
+        """One journal holding every entry of ``journals``, renumbered.
+
+        Entries are ordered by ``(origin, source position)`` and assigned
+        fresh arrival versions, so merging the per-tenant journals of a
+        fleet run yields the same combined journal for any completion
+        order or worker count.
+        """
+        tagged = [
+            (entry.origin, index, entry.version, entry)
+            for index, journal in enumerate(journals)
+            for entry in journal.entries
+        ]
+        tagged.sort(key=lambda item: item[:3])
+        return cls(
+            JournalEntry(version=i + 1, origin=entry.origin, rules=entry.rules)
+            for i, (_, _, _, entry) in enumerate(tagged)
+        )
+
+
+def _fold(current: RuleSet, rules: Sequence[dict]) -> RuleSet:
+    """Fold one contribution into the merged view.
+
+    Mirrors :func:`repro.agents.reflection.merge_rules_via_llm` exactly —
+    including its empty-side short-circuits — so a journal replay is
+    byte-for-byte the rule set the engine's chained LLM merges produced.
+    """
+    if not rules:
+        return current
+    if not len(current):
+        return RuleSet.from_json(list(rules))
+    return merge_rule_sets(current, RuleSet.from_json(list(rules)))
 
 
 def session_to_dict(session: TuningSession) -> dict:

@@ -1,0 +1,28 @@
+"""The service layer: STELLAR as a multi-tenant fleet.
+
+Where :mod:`repro.core` tunes one workload for one operator, this package
+schedules *many tenants* — each a backend × cluster × workload-or-schedule
+× engine cell — concurrently over the deterministic process pool, sharing
+the immutable offline artifacts and the opt-in run cache, and merging every
+tenant's rule contributions into one versioned, replay-deterministic
+journal.
+
+Import-graph rules (guarded by ``tests/test_fleet.py``):
+
+- ``service/`` never imports the legacy Lustre parameter shim — tenants
+  are backend-agnostic, everything resolves through the cluster's backend;
+- the scheduler owns no tuning logic: a tenant's queue runs through the
+  ordinary :meth:`Stellar.tune_and_accumulate`, so the service layer can
+  never drift from the single-operator path.
+"""
+
+from repro.service.scheduler import FleetResult, FleetScheduler, run_tenant
+from repro.service.tenant import TenantResult, TenantSpec
+
+__all__ = [
+    "FleetScheduler",
+    "FleetResult",
+    "TenantSpec",
+    "TenantResult",
+    "run_tenant",
+]

@@ -1,0 +1,185 @@
+"""The fleet scheduler: many tenants over one deterministic process pool.
+
+:class:`FleetScheduler` turns the engine's per-workload tuning loop into a
+schedulable service: each :class:`~repro.service.tenant.TenantSpec` is an
+independent unit whose session queue runs in order on a worker, while the
+tenants themselves fan over :func:`repro.experiments.parallel.pmap` — the
+same deterministic pool the figure experiments use, so results arrive in
+tenant submission order regardless of worker count or completion order.
+
+What tenants share, and how:
+
+- **Immutable offline artifacts.**  The RAG extraction is computed once per
+  (backend, seed) in the parent (:func:`shared_extraction`) and shipped to
+  workers with the job — tenants never redo the offline phase.  Manuals and
+  the RAG index live behind the extraction and the backend registry, both
+  immutable at serving time.
+- **The opt-in run cache.**  Every tenant job runs inside
+  ``RUN_CACHE.enabled()`` (unless the scheduler is built with
+  ``use_cache=False``), so tenants co-located on a worker share
+  deterministic simulation results.  The cache can only ever short-circuit
+  identical (backend, cluster, workload, config, seed) runs, so sharing
+  never changes results — worker-count independence is asserted by
+  ``tests/test_fleet.py``.
+- **Rule knowledge, after the fact.**  Each tenant accumulates into its own
+  :class:`~repro.rules.store.RuleJournal`; the scheduler replay-merges them
+  (:meth:`RuleJournal.merged`) so concurrent tenants' contributions land in
+  seed order — the fleet-wide journal is identical for any execution
+  interleaving.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Sequence
+
+from repro.cluster.hardware import ClusterSpec, make_cluster
+from repro.core.engine import Stellar
+from repro.experiments.harness import shared_extraction
+from repro.experiments.parallel import effective_workers, pmap
+from repro.rag.extraction import ExtractionResult
+from repro.rules.store import RuleJournal
+from repro.service.tenant import TenantResult, TenantSpec
+from repro.sim.cache import RUN_CACHE
+
+
+def run_tenant(
+    spec: TenantSpec,
+    cluster: ClusterSpec,
+    extraction: ExtractionResult,
+    use_cache: bool = True,
+) -> TenantResult:
+    """One tenant's whole session queue — THE per-tenant body.
+
+    Module-level and dependent only on its arguments, so the inline and
+    pooled paths cannot drift; the throughput bench also calls it directly
+    to build its sequential comparison arm.  The cache scope is
+    (re-)entered here because worker processes do not inherit the parent's
+    enablement depth under every start method.
+    """
+    engine = Stellar(
+        cluster=cluster,
+        model=spec.model,
+        extraction=extraction,
+        seed=spec.seed,
+    )
+    scope = RUN_CACHE.enabled() if use_cache else nullcontext()
+    with scope:
+        sessions = [
+            engine.tune_and_accumulate(workload, max_attempts=spec.max_attempts)
+            for workload in spec.session_queue()
+        ]
+    return TenantResult(spec=spec, sessions=sessions, journal=engine.journal)
+
+
+def _tenant_job(args: tuple) -> TenantResult:
+    """Picklable adapter: one jobs-tuple -> :func:`run_tenant`."""
+    return run_tenant(*args)
+
+
+@dataclass
+class FleetResult:
+    """Per-tenant results (submission order) plus the fleet-wide journal."""
+
+    tenants: list[TenantResult] = field(default_factory=list)
+    journal: RuleJournal = field(default_factory=RuleJournal)
+    elapsed: float = 0.0
+    workers: int = 1
+
+    @property
+    def total_sessions(self) -> int:
+        return sum(len(t.sessions) for t in self.tenants)
+
+    @property
+    def sessions_per_sec(self) -> float:
+        return self.total_sessions / self.elapsed if self.elapsed > 0 else 0.0
+
+    def get(self, tenant_id: str) -> TenantResult:
+        found = next(
+            (t for t in self.tenants if t.tenant_id == tenant_id), None
+        )
+        if found is None:
+            raise KeyError(tenant_id)
+        return found
+
+    def render(self) -> str:
+        """Per-tenant rows are deterministic; the aggregate line (wall time,
+        throughput, worker count) is machine-dependent and stays last so
+        smoke checks can diff everything above it."""
+        lines = [
+            "Fleet: per-tenant tuning sessions over shared offline artifacts"
+        ]
+        lines.extend(tenant.render_row() for tenant in self.tenants)
+        lines.append(
+            f"  fleet journal: {len(self.journal)} rule version(s), "
+            f"{len(self.journal.current)} merged rule(s)"
+        )
+        lines.append(
+            f"  aggregate: {self.total_sessions} sessions in "
+            f"{self.elapsed:.2f}s ({self.sessions_per_sec:.2f} sessions/sec, "
+            f"{self.workers} worker(s))"
+        )
+        return "\n".join(lines)
+
+
+class FleetScheduler:
+    """Runs many tenants concurrently with deterministic results.
+
+    ``seed`` roots the shared offline artifacts (and any tenant that does
+    not pin its own ``cluster_seed``); ``max_workers`` resolves through
+    :func:`repro.experiments.parallel.effective_workers` (explicit arg >
+    ``REPRO_MAX_WORKERS`` > cpu count).
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        seed: int = 0,
+        max_workers: int | None = None,
+        use_cache: bool = True,
+    ):
+        ids = [spec.tenant_id for spec in tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tenant ids in {ids}")
+        self.tenants = list(tenants)
+        self.seed = seed
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+        self._clusters: dict[tuple[str, int], ClusterSpec] = {}
+
+    # ------------------------------------------------------------------
+    def cluster_for(self, spec: TenantSpec) -> ClusterSpec:
+        """The tenant's testbed; one instance per (backend, cluster seed)."""
+        key = (spec.backend, spec.cluster_seed if spec.cluster_seed is not None else self.seed)
+        if key not in self._clusters:
+            self._clusters[key] = make_cluster(seed=key[1], backend=key[0])
+        return self._clusters[key]
+
+    def extraction_for(self, spec: TenantSpec) -> ExtractionResult:
+        """The shared offline artifact for the tenant's backend.
+
+        Memoized process-wide by :func:`shared_extraction` under
+        (backend, seed) — every scheduler and experiment in the process
+        shares one copy per cell.
+        """
+        return shared_extraction(self.cluster_for(spec), seed=self.seed)
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Run every tenant's queue; results in tenant submission order."""
+        jobs = [
+            (spec, self.cluster_for(spec), self.extraction_for(spec), self.use_cache)
+            for spec in self.tenants
+        ]
+        workers = effective_workers(self.max_workers, len(jobs))
+        start = perf_counter()
+        results = pmap(_tenant_job, jobs, max_workers=workers)
+        elapsed = perf_counter() - start
+        return FleetResult(
+            tenants=results,
+            journal=RuleJournal.merged([r.journal for r in results]),
+            elapsed=elapsed,
+            workers=workers,
+        )

@@ -1,0 +1,110 @@
+"""Tenant cells for the fleet scheduler.
+
+A *tenant* is one schedulable unit of the multi-tenant service: a backend ×
+cluster × workload-or-schedule × engine cell.  Its session queue is the
+ordered list of tuning runs the tenant wants; rules accumulate across the
+queue through the tenant's own :class:`~repro.rules.store.RuleJournal`, so
+session order within a tenant matters (and is preserved) while tenants are
+independent of each other (and run concurrently).
+
+Import-graph rule: like every experiment-layer module, this package never
+imports the legacy Lustre parameter shim — everything backend-specific
+resolves through the cluster's backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.session import TuningSession
+from repro.llm.tokens import TokenUsage
+from repro.rules.store import RuleJournal
+from repro.workloads import build_schedule, get_workload
+from repro.workloads.base import Workload
+from repro.workloads.dynamic import DEFAULT_SEGMENTS
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's cell: what to tune, on what, with which engine.
+
+    Exactly one of ``workloads`` (an ordered queue of registered workload
+    names) or ``schedule`` (a seeded dynamic-schedule kind; the queue is
+    the schedule's distinct segment workloads in first-appearance order)
+    describes the work.  ``seed`` doubles as the tenant's replay-order key:
+    when a fleet merges journals, this tenant's rule contributions land at
+    its seed's position regardless of completion order.
+    """
+
+    tenant_id: str
+    backend: str = "lustre"
+    workloads: tuple[str, ...] = ()
+    schedule: str | None = None
+    n_segments: int = DEFAULT_SEGMENTS
+    model: str = "claude-3.7-sonnet"
+    seed: int = 0
+    cluster_seed: int | None = None
+    max_attempts: int = 5
+
+    def __post_init__(self):
+        if bool(self.workloads) == bool(self.schedule):
+            raise ValueError(
+                f"tenant {self.tenant_id!r} must set exactly one of "
+                "workloads or schedule"
+            )
+
+    def session_queue(self) -> list[Workload]:
+        """The ordered tuning runs this tenant wants."""
+        if self.workloads:
+            return [get_workload(name) for name in self.workloads]
+        schedule = build_schedule(
+            self.schedule, seed=self.seed, n_segments=self.n_segments
+        )
+        queue: list[Workload] = []
+        seen: set[tuple] = set()
+        for segment in schedule:
+            key = segment.workload.cache_key()
+            if key not in seen:
+                seen.add(key)
+                queue.append(segment.workload)
+        return queue
+
+
+@dataclass
+class TenantResult:
+    """Everything one tenant's queue produced, in queue order."""
+
+    spec: TenantSpec
+    sessions: list[TuningSession] = field(default_factory=list)
+    journal: RuleJournal = field(default_factory=RuleJournal)
+
+    @property
+    def tenant_id(self) -> str:
+        return self.spec.tenant_id
+
+    @property
+    def mean_speedup(self) -> float:
+        if not self.sessions:
+            return 1.0
+        return sum(s.best_speedup for s in self.sessions) / len(self.sessions)
+
+    @property
+    def executions(self) -> int:
+        return sum(s.executions for s in self.sessions)
+
+    def total_usage(self) -> TokenUsage:
+        total = TokenUsage()
+        for session in self.sessions:
+            for usage in session.usage.values():
+                total = total + usage
+        return total
+
+    def render_row(self) -> str:
+        queue = self.spec.schedule or "+".join(self.spec.workloads)
+        usage = self.total_usage()
+        return (
+            f"  {self.tenant_id:12s} {self.spec.backend:8s} {queue:30s} "
+            f"{len(self.sessions)} session(s) | mean speedup "
+            f"{self.mean_speedup:.2f}x | {len(self.journal)} rule version(s) "
+            f"| {self.executions} runs | {usage.input_tokens} tok in"
+        )

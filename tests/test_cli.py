@@ -87,6 +87,25 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
 
+    def test_fleet_single_backend(self, capsys):
+        assert main(["fleet", "--backend", "lustre", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lustre-data" in out and "lustre-drift" in out
+        assert "beegfs" not in out
+        assert "aggregate:" in out
+        assert "tenants improve" in out
+
+    def test_fleet_nonpositive_workers_clean_error(self, capsys):
+        assert main(["fleet", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers 0" in err and "positive" in err
+
+    def test_experiment_fleet_honors_backend(self, capsys):
+        assert main(["experiment", "fleet", "--backend", "beegfs"]) == 0
+        out = capsys.readouterr().out
+        assert "beegfs-meta" in out
+        assert "lustre" not in out
+
     def test_seed_flag(self, capsys):
         assert main(["--seed", "7", "tune", "IOR_16M"]) == 0
         out_a = capsys.readouterr().out

@@ -25,6 +25,7 @@ from time import perf_counter
 from conftest import BENCH_REPS
 
 from repro.experiments.harness import run_sessions, shared_extraction
+from repro.faults import FaultPlan
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
 from repro.service import FleetScheduler, TenantSpec, run_tenant
@@ -157,6 +158,19 @@ def test_throughput(benchmark, cluster):
             fleet_elapsed, fleet = result.elapsed, result
     fleet_sequential_sps = fleet.total_sessions / sequential_fleet_elapsed
 
+    # -- degraded fleet: the same pool absorbing a 10% fault plan -----------
+    # Measures resilience overhead: retries, backoff accounting and (rarely)
+    # quarantine handling, with the cache off like the other fleet arms.
+    degraded_scheduler = FleetScheduler(
+        fleet_tenants, seed=0, use_cache=False, faults=FaultPlan.uniform(0.1, seed=0)
+    )
+    degraded_elapsed, degraded = None, None
+    for _ in range(2):
+        result = degraded_scheduler.run()
+        if degraded_elapsed is None or result.elapsed < degraded_elapsed:
+            degraded_elapsed, degraded = result.elapsed, result
+    degraded_sps = degraded.total_sessions / degraded_elapsed
+
     # The pytest-benchmark row tracks the sweep path (the tentpole).
     benchmark.pedantic(
         lambda: run_items(sim, items),
@@ -185,6 +199,8 @@ def test_throughput(benchmark, cluster):
         "sessions_per_sec": round(sessions_ps, 2),
         "fleet_sessions_per_sec": round(fleet_sps, 2),
         "fleet_sequential_sessions_per_sec": round(fleet_sequential_sps, 2),
+        "degraded_sessions_per_sec": round(degraded_sps, 2),
+        "degraded_quarantined_tenants": len(degraded.failures),
         "fleet_workers": fleet.workers,
         "n_batched": N_BATCHED,
         "n_sequential": N_SEQUENTIAL,
@@ -220,3 +236,14 @@ def test_throughput(benchmark, cluster):
     ] == [[s.best_speedup for s in t.sessions] for t in sequential_fleet]
     if fleet.workers > 1:
         assert fleet_sps > fleet_sequential_sps
+    # The degraded fleet never aborts: every tenant either completed or was
+    # quarantined with a report, and the plan really injected faults.
+    assert len(degraded.outcomes) == N_FLEET_TENANTS
+    assert len(degraded.tenants) + len(degraded.failures) == N_FLEET_TENANTS
+    absorbed = sum(
+        count
+        for tenant in degraded.tenants
+        for session in tenant.sessions
+        for count in session.fault_recovery.values()
+    )
+    assert absorbed > 0

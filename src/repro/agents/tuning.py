@@ -22,6 +22,7 @@ from typing import Protocol
 
 from repro.agents.analysis import AnalysisAgent
 from repro.agents.transcript import Transcript
+from repro.faults.retry import FaultBudgetExhausted
 from repro.llm import promptparse as pp
 from repro.llm.api import ChatMessage, ToolSpec
 from repro.llm.client import LLMClient
@@ -81,12 +82,18 @@ class ConfigurationRunnerLike(Protocol):
 
 @dataclass
 class TuningLoopResult:
-    """Raw outcome of the agent loop."""
+    """Raw outcome of the agent loop.
+
+    ``degradations`` records graceful fallbacks under injected faults —
+    a probe whose retry budget ran dry abandons that attempt (the agent
+    keeps its last-good configuration) instead of killing the session.
+    """
 
     attempts: list[pp.AttemptRecord] = field(default_factory=list)
     end_reason: str = ""
     rules_json: list[dict] = field(default_factory=list)
     followups: dict[str, str] = field(default_factory=dict)
+    degradations: list[str] = field(default_factory=list)
 
 
 class TuningAgent:
@@ -154,6 +161,10 @@ class TuningAgent:
                 break
             else:
                 raise RuntimeError(f"model called unknown tool {call.name!r}")
+        if not result.end_reason and result.degradations:
+            result.end_reason = (
+                "tuning degraded: probe failures consumed the turn budget"
+            )
         result.rules_json = self._reflect(result)
         return result
 
@@ -177,7 +188,21 @@ class TuningAgent:
             for name, value in dict(arguments.get("changes", {})).items()
         }
         rationale = str(arguments.get("rationale", ""))
-        seconds, applied = self.runner.measure(requested)
+        try:
+            seconds, applied = self.runner.measure(requested)
+        except FaultBudgetExhausted as exc:
+            # Graceful degradation: abandon this attempt, keep the
+            # last-good configuration, and let the loop continue.
+            self.transcript.add(
+                "probe_failed",
+                f"probe failed after {exc.attempts} attempt(s) ({exc.site}); "
+                "keeping last-good configuration",
+                changes=requested,
+            )
+            result.degradations.append(
+                f"probe.run: attempt with {sorted(requested)} abandoned"
+            )
+            return
         speedup = self.runner.initial_seconds / seconds if seconds > 0 else 0.0
         attempt = pp.AttemptRecord(
             index=len(result.attempts) + 1,

@@ -12,6 +12,8 @@ Examples::
     stellar drift --schedule regime_flip --backend beegfs
     stellar fleet                      # multi-tenant fleet over both backends
     stellar fleet --backend lustre --workers 4
+    stellar chaos                      # fleet under injected faults
+    stellar chaos --backend beegfs --rates 0,0.1
     stellar list                       # workloads, experiments, backends
 """
 
@@ -41,6 +43,7 @@ EXPERIMENTS = (
     "crossfs",
     "drift",
     "fleet",
+    "resilience",
 )
 
 
@@ -93,6 +96,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", choices=list_backends() + ["all"], default="all"
     )
     fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (default: REPRO_MAX_WORKERS, then cpu count)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: fleet completion and quality under faults",
+    )
+    chaos.add_argument(
+        "--backend", choices=list_backends() + ["all"], default="all"
+    )
+    chaos.add_argument(
+        "--rates",
+        default="0,0.05,0.1,0.2",
+        help="comma-separated fault rates in [0, 1] (0 is the oracle cell)",
+    )
+    chaos.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -156,6 +178,10 @@ def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
         from repro.experiments import fleet
 
         return fleet.run(cluster, seed=seed).render()
+    if name == "resilience":
+        from repro.experiments import resilience
+
+        return resilience.run(cluster, seed=seed).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -208,6 +234,45 @@ def main(argv: list[str] | None = None) -> int:
         )
         report = fleet.run(
             seed=args.seed, backends=backends, max_workers=args.workers
+        )
+        print(report.render())
+        return 0
+
+    if args.command == "chaos":
+        from repro.experiments import resilience
+
+        if args.workers is not None and args.workers <= 0:
+            print(
+                f"error: --workers {args.workers}: must be a positive "
+                "worker count",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            rates = tuple(
+                float(token) for token in args.rates.split(",") if token.strip()
+            )
+        except ValueError:
+            print(
+                f"error: --rates {args.rates!r}: not a comma-separated "
+                "list of numbers",
+                file=sys.stderr,
+            )
+            return 2
+        if not rates or any(not 0.0 <= rate <= 1.0 for rate in rates):
+            print(
+                f"error: --rates {args.rates!r}: rates must lie in [0, 1]",
+                file=sys.stderr,
+            )
+            return 2
+        backends = (
+            resilience.BACKENDS if backend_arg == "all" else (backend_arg,)
+        )
+        report = resilience.run(
+            seed=args.seed,
+            backends=backends,
+            rates=rates,
+            max_workers=args.workers,
         )
         print(report.render())
         return 0

@@ -20,12 +20,15 @@ removes the Analysis Agent entirely; ``use_rules`` gates the global rule set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.agents.reflection import merge_rules_via_llm
 from repro.cluster.hardware import ClusterSpec
 from repro.core.pipeline import SESSION_PIPELINE, SessionState
 from repro.core.session import TuningSession
+from repro.faults.llm import ResilientLLMClient
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.llm.client import LLMClient
 from repro.llm.tokens import TokenUsage, UsageLedger
 from repro.rag.extraction import ExtractionResult, ParameterExtractor
@@ -44,6 +47,8 @@ class Stellar:
     extraction: ExtractionResult
     seed: int = 0
     analysis_model: str | None = None  # defaults to gpt-4o like the paper
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self):
         self.journal = RuleJournal()
@@ -58,12 +63,21 @@ class Stellar:
         seed: int = 0,
         extraction_model: str = "gpt-4o",
         extraction: ExtractionResult | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> "Stellar":
         """Run (or reuse) the offline phase and assemble the engine."""
         if extraction is None:
             client = LLMClient(extraction_model, seed=seed)
             extraction = ParameterExtractor(cluster, client).run()
-        return cls(cluster=cluster, model=model, extraction=extraction, seed=seed)
+        return cls(
+            cluster=cluster,
+            model=model,
+            extraction=extraction,
+            seed=seed,
+            faults=faults,
+            retry=retry if retry is not None else RetryPolicy(),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -114,6 +128,8 @@ class Stellar:
             use_descriptions=use_descriptions,
             use_analysis=use_analysis,
             user_accessible_only=user_accessible_only,
+            faults=self.faults,
+            retry=self.retry,
         )
         return SESSION_PIPELINE.run(state).session
 
@@ -128,12 +144,26 @@ class Stellar:
         if not session.rules_json:
             return
         ledger = UsageLedger()
-        client = LLMClient(self.model, seed=self.seed, ledger=ledger)
         basis_version = self.journal.version
+        if self.faults is not None:
+            client = ResilientLLMClient(
+                self.model,
+                seed=self.seed,
+                ledger=ledger,
+                faults=self.faults,
+                retry=self.retry,
+            )
+            # The merge's fault-draw key must differ per merge and per
+            # engine, or every merge in the fleet would fail in lockstep.
+            merge_session = f"rules-merge:{self.seed}:{basis_version}"
+        else:
+            client = LLMClient(self.model, seed=self.seed, ledger=ledger)
+            merge_session = "rules-merge"
         merged = merge_rules_via_llm(
             client,
             self.rule_set.to_json(),
             session.rules_json,
+            session=merge_session,
             agent="rules_merge",
         )
         self.journal.append(
@@ -145,6 +175,10 @@ class Stellar:
         for agent, usage in ledger.per_agent.items():
             session.usage[agent] = session.usage.get(agent, TokenUsage()) + usage
         session.llm_latency += ledger.wall_latency
+        for site, count in getattr(client, "fault_counts", {}).items():
+            session.fault_recovery[site] = (
+                session.fault_recovery.get(site, 0) + count
+            )
 
     def tune_and_accumulate(self, workload: Workload, **kwargs) -> TuningSession:
         session = self.tune(workload, **kwargs)

@@ -38,6 +38,9 @@ from repro.core.runner import ConfigurationRunner
 from repro.core.session import TuningSession
 from repro.corpus import render_hardware_doc
 from repro.darshan import DarshanLog, parse_log
+from repro.faults.llm import ResilientLLMClient
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.llm.client import LLMClient
 from repro.llm.promptparse import IOReport, ParameterInfo
 from repro.llm.tokens import UsageLedger
@@ -68,6 +71,8 @@ class SessionState:
     use_descriptions: bool = True
     use_analysis: bool = True
     user_accessible_only: bool = False
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     # -- ClientSetupStage ----------------------------------------------
     ledger: UsageLedger | None = None
@@ -90,6 +95,9 @@ class SessionState:
 
     # -- AgentLoopStage -------------------------------------------------
     loop: TuningLoopResult | None = None
+
+    # -- any stage (graceful fallbacks under injected faults) -----------
+    degradations: list[str] = field(default_factory=list)
 
     # -- SessionAssemblyStage -------------------------------------------
     session: TuningSession | None = None
@@ -115,12 +123,31 @@ class ClientSetupStage:
 
     def run(self, state: SessionState) -> SessionState:
         state.ledger = UsageLedger()
-        state.tuning_client = LLMClient(
-            state.model, seed=state.run_seed, ledger=state.ledger
-        )
-        state.analysis_client = LLMClient(
-            state.analysis_model, seed=state.run_seed, ledger=state.ledger
-        )
+        if state.faults is not None:
+            # Any plan — even the inert one — routes through the resilient
+            # client, so the zero-fault parity suite exercises the exact
+            # code path faulted runs use.
+            state.tuning_client = ResilientLLMClient(
+                state.model,
+                seed=state.run_seed,
+                ledger=state.ledger,
+                faults=state.faults,
+                retry=state.retry,
+            )
+            state.analysis_client = ResilientLLMClient(
+                state.analysis_model,
+                seed=state.run_seed,
+                ledger=state.ledger,
+                faults=state.faults,
+                retry=state.retry,
+            )
+        else:
+            state.tuning_client = LLMClient(
+                state.model, seed=state.run_seed, ledger=state.ledger
+            )
+            state.analysis_client = LLMClient(
+                state.analysis_model, seed=state.run_seed, ledger=state.ledger
+            )
         state.transcript = Transcript()
         return state
 
@@ -132,7 +159,11 @@ class InitialExecutionStage:
 
     def run(self, state: SessionState) -> SessionState:
         state.runner = ConfigurationRunner(
-            state.cluster, state.workload, seed=state.run_seed
+            state.cluster,
+            state.workload,
+            seed=state.run_seed,
+            faults=state.faults,
+            retry=state.retry,
         )
         state.initial_run, state.darshan_log = state.runner.initial_execution()
         state.transcript.add(
@@ -141,6 +172,18 @@ class InitialExecutionStage:
             f"{state.initial_run.seconds:.2f}s",
             seconds=state.initial_run.seconds,
         )
+        if state.darshan_log.lost_ranks:
+            kept = state.darshan_log.nprocs - state.darshan_log.lost_ranks
+            state.transcript.add(
+                "darshan_coverage",
+                f"darshan capture truncated: {kept}/{state.darshan_log.nprocs} "
+                f"rank(s) survive ({state.darshan_log.coverage:.0%} coverage); "
+                "analysis proceeds over surviving ranks",
+                coverage=state.darshan_log.coverage,
+            )
+            state.degradations.append(
+                f"darshan.truncate: {kept}/{state.darshan_log.nprocs} ranks"
+            )
         return state
 
 
@@ -215,6 +258,10 @@ class SessionAssemblyStage:
     name = "assemble"
 
     def run(self, state: SessionState) -> SessionState:
+        fault_recovery: dict[str, int] = {}
+        for source in (state.tuning_client, state.analysis_client, state.runner):
+            for site, count in getattr(source, "fault_counts", {}).items():
+                fault_recovery[site] = fault_recovery.get(site, 0) + count
         state.session = TuningSession(
             workload=state.workload.name,
             model=state.model,
@@ -226,6 +273,8 @@ class SessionAssemblyStage:
             executions=state.runner.execution_count,
             usage=dict(state.ledger.per_agent),
             llm_latency=state.ledger.wall_latency,
+            degradations=[*state.degradations, *state.loop.degradations],
+            fault_recovery=dict(sorted(fault_recovery.items())),
         )
         return state
 

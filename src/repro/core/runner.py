@@ -14,7 +14,9 @@ from dataclasses import dataclass, field
 
 from repro.cluster.hardware import ClusterSpec
 from repro.core.hygiene import HygieneLog
-from repro.darshan import DarshanLog, trace_run
+from repro.darshan import DarshanLog, trace_run, truncate_log
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, TransientFault
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import RunResult, Simulator
 from repro.workloads.base import Workload
@@ -38,6 +40,8 @@ class ConfigurationRunner:
         workload: Workload,
         seed: int = 0,
         base_config: PfsConfig | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.cluster = cluster
         self.workload = workload
@@ -51,17 +55,30 @@ class ConfigurationRunner:
         self.executions: list[Execution] = []
         self.initial_seconds: float = 0.0
         self.initial_run: RunResult | None = None
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Absorbed probe faults (feeds the session's recovery record).
+        self.fault_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def initial_execution(self) -> tuple[RunResult, DarshanLog]:
         """The instrumented first run under the current defaults."""
         self.hygiene.run("before initial execution")
-        sim = Simulator(self.cluster)
-        run = sim.run(self.workload, self.base_config, seed=self._next_seed())
+        run = self._run_once()
         self.initial_seconds = run.seconds
         self.initial_run = run
         self.executions.append(Execution(changes={}, seconds=run.seconds, run=run))
         log = trace_run(run, n_ranks=self.workload.n_ranks)
+        if self.faults is not None:
+            key = f"darshan:{self.seed}:{self.workload.name}"
+            if self.faults.should_fire("darshan.truncate", key):
+                # Lose between half and ~all of the tail ranks; rank 0 and
+                # the shared reduction records always survive.
+                keep = self.faults.fraction("darshan.truncate", f"{key}:keep")
+                log = truncate_log(log, keep_ranks=int(log.nprocs * 0.5 * keep) + 1)
+                self.fault_counts["darshan.truncate"] = (
+                    self.fault_counts.get("darshan.truncate", 0) + 1
+                )
         return run, log
 
     def measure(self, changes: dict[str, int]) -> tuple[float, dict[str, int]]:
@@ -75,10 +92,35 @@ class ConfigurationRunner:
             for name in changes
             if name in config
         }
-        sim = Simulator(self.cluster)
-        run = sim.run(self.workload, config, seed=self._next_seed())
+        run = self._run_once(config)
         self.executions.append(Execution(changes=applied, seconds=run.seconds, run=run))
         return run.seconds, applied
+
+    def _run_once(self, config: PfsConfig | None = None) -> RunResult:
+        """One probe run, retried through the fault plane when armed.
+
+        The run seed is fixed before any attempt, so retries re-measure
+        the *same* experiment, and an abandoned probe consumes no
+        execution slot — later attempts draw the seeds they would have
+        drawn in an unfaulted run.
+        """
+        config = config if config is not None else self.base_config
+        run_seed = self._next_seed()
+        if self.faults is None or not self.faults.active:
+            return Simulator(self.cluster).run(self.workload, config, seed=run_seed)
+        key = f"probe:{self.seed}:{len(self.executions)}"
+
+        def attempt(n: int) -> RunResult:
+            if self.faults.should_fire("probe.run", f"{key}:a{n}"):
+                raise TransientFault("probe.run", key=f"{key}:a{n}")
+            return Simulator(self.cluster).run(self.workload, config, seed=run_seed)
+
+        def record(fault: TransientFault, n: int, delay: float) -> None:
+            self.fault_counts["probe.run"] = self.fault_counts.get("probe.run", 0) + 1
+
+        return self.retry.execute(
+            attempt, site="probe.run", key=key, plan=self.faults, record=record
+        )
 
     def _next_seed(self) -> int:
         return self.seed * 1000 + len(self.executions)

@@ -11,7 +11,14 @@ from repro.llm.tokens import TokenUsage
 
 @dataclass
 class TuningSession:
-    """Everything one STELLAR Tuning Run produced."""
+    """Everything one STELLAR Tuning Run produced.
+
+    ``degradations`` lists the graceful fallbacks the run took under
+    injected faults (truncated Darshan coverage, abandoned probe
+    attempts); ``fault_recovery`` counts the faults absorbed per site.
+    Both stay empty on a fault-free run, so unfaulted sessions serialize
+    byte-identically to the pre-fault format.
+    """
 
     workload: str
     model: str
@@ -23,6 +30,13 @@ class TuningSession:
     executions: int = 0
     usage: dict[str, TokenUsage] = field(default_factory=dict)
     llm_latency: float = 0.0
+    degradations: list[str] = field(default_factory=list)
+    fault_recovery: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run fell back anywhere instead of failing."""
+        return bool(self.degradations)
 
     @property
     def best_attempt(self) -> AttemptRecord | None:
@@ -66,4 +80,6 @@ class TuningSession:
         lines.append(f"best speedup: {self.best_speedup:.2f}x")
         lines.append(f"end reason: {self.end_reason}")
         lines.append(f"application executions: {self.executions}")
+        if self.degraded:
+            lines.append(f"degradations: {'; '.join(self.degradations)}")
         return "\n".join(lines)

@@ -15,6 +15,13 @@ This package provides the pieces that pipeline needs:
 
 from repro.darshan.log import DarshanLog, DarshanRecord
 from repro.darshan.parser import ParsedLog, parse_log
-from repro.darshan.tracer import trace_run
+from repro.darshan.tracer import trace_run, truncate_log
 
-__all__ = ["DarshanLog", "DarshanRecord", "trace_run", "parse_log", "ParsedLog"]
+__all__ = [
+    "DarshanLog",
+    "DarshanRecord",
+    "trace_run",
+    "truncate_log",
+    "parse_log",
+    "ParsedLog",
+]

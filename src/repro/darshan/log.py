@@ -27,7 +27,14 @@ class DarshanRecord:
 
 @dataclass
 class DarshanLog:
-    """A complete log for one application execution."""
+    """A complete log for one application execution.
+
+    ``lost_ranks`` is nonzero when the capture was truncated (e.g. by an
+    injected ``darshan.truncate`` fault): the tail ranks' records are
+    missing, the shared ``rank=-1`` reduction records and a prefix of
+    per-rank records survive, and ``coverage`` says how much of the job
+    the surviving records describe.
+    """
 
     exe: str
     nprocs: int
@@ -35,6 +42,14 @@ class DarshanLog:
     jobid: int = 0
     start_time: float = 0.0
     records: list[DarshanRecord] = field(default_factory=list)
+    lost_ranks: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of ranks whose records survive in this log."""
+        if self.nprocs <= 0:
+            return 1.0
+        return (self.nprocs - self.lost_ranks) / self.nprocs
 
     def module_records(self, module: str) -> list[DarshanRecord]:
         return [r for r in self.records if r.module == module]
@@ -60,6 +75,10 @@ class DarshanLog:
             f"# start_time: {self.start_time}",
             f"# run time: {self.run_time}",
         ]
+        if self.lost_ranks:
+            # Only truncated captures carry the marker, so untruncated
+            # logs serialize byte-identically to the pre-fault format.
+            lines.append(f"# lost ranks: {self.lost_ranks}")
         for record in self.records:
             for counter, value in record.counters.items():
                 lines.append(
@@ -100,11 +119,18 @@ class DarshanLog:
             jobid=int(header.get("jobid", "0")),
             start_time=float(header.get("start_time", "0")),
             records=list(records.values()),
+            lost_ranks=int(header.get("lost ranks", "0")),
         )
 
     def header_text(self) -> str:
         """The header string handed to the Analysis Agent."""
-        return (
+        text = (
             f"exe: {self.exe}; nprocs: {self.nprocs}; "
             f"run time: {self.run_time:.3f} s; modules: {', '.join(self.modules)}"
         )
+        if self.lost_ranks:
+            text += (
+                f"; TRUNCATED capture: {self.lost_ranks} rank(s) lost "
+                f"({self.coverage:.0%} coverage)"
+            )
+        return text

@@ -96,6 +96,23 @@ def trace_run(result: RunResult, n_ranks: int | None = None) -> DarshanLog:
     return log
 
 
+def truncate_log(log: DarshanLog, keep_ranks: int) -> DarshanLog:
+    """Drop the records of every rank ``>= keep_ranks`` (in place).
+
+    Models a torn Darshan capture: the shared ``rank=-1`` reduction
+    records and a prefix of per-rank records survive, the tail is lost,
+    and ``lost_ranks`` flags the hole so analysis can report coverage
+    instead of crashing on the partial log.  At least rank 0 always
+    survives.
+    """
+    keep_ranks = max(1, min(keep_ranks, log.nprocs))
+    if keep_ranks >= log.nprocs:
+        return log
+    log.records = [r for r in log.records if r.rank < keep_ranks]
+    log.lost_ranks = log.nprocs - keep_ranks
+    return log
+
+
 def _trace_data_phase(phase, seconds, nprocs, posix_record, mpiio_record, bump):
     fs = phase.fileset
     ops = phase.ops_per_rank

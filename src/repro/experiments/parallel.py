@@ -80,6 +80,27 @@ def pmap(
         return list(pool.map(fn, items))
 
 
+def imap(
+    fn: Callable[[T], R], items: Iterable[T], max_workers: int | None = None
+) -> Iterable[R]:
+    """Like :func:`pmap`, but yields each result as it becomes *next*.
+
+    Results still arrive strictly in submission order (so consumers stay
+    deterministic); the difference is that the caller observes them one by
+    one instead of after the whole batch — which is what lets the fleet
+    scheduler checkpoint after every completed tenant instead of only at
+    the end.
+    """
+    items = list(items)
+    workers = effective_workers(max_workers, len(items))
+    if workers <= 1 or len(items) <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        yield from pool.map(fn, items)
+
+
 # ---------------------------------------------------------------------------
 # Parallel tuning sessions (the harness's ``run_sessions`` fanned over reps).
 # ---------------------------------------------------------------------------

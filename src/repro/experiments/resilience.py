@@ -1,0 +1,175 @@
+"""Chaos sweep: the fleet under injected faults, rate by rate.
+
+For every backend the sweep runs the standard mixed-tenant matrix
+(:func:`repro.experiments.fleet.default_tenants`) under a uniform
+:class:`~repro.faults.plan.FaultPlan` at each requested rate and reports,
+per cell: completion (completed vs quarantined tenants), the faults the
+retry machinery absorbed, and tuning quality relative to the fault-free
+oracle (the same matrix at rate 0).  Rate 0 *is* the oracle cell — and its
+tenant rows are byte-identical to the plain ``stellar fleet`` path, which
+the CI chaos smoke asserts.
+
+The rendered report contains no wall-clock lines, so it is byte-identical
+across worker counts — the whole report is a determinism fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends import list_backends
+from repro.cluster.hardware import ClusterSpec
+from repro.experiments.fleet import default_tenants
+from repro.faults.plan import FaultPlan
+from repro.service import FleetResult, FleetScheduler
+
+#: The full sweep covers every registered backend.
+BACKENDS = tuple(list_backends())
+
+#: Default fault rates: the oracle plus a gentle-to-rough gradient.
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+@dataclass
+class ChaosCell:
+    """One (backend, fault rate) fleet run."""
+
+    backend: str
+    rate: float
+    result: FleetResult
+
+    @property
+    def total_tenants(self) -> int:
+        return len(self.result.outcomes)
+
+    @property
+    def completed_tenants(self) -> int:
+        return len(self.result.tenants)
+
+    @property
+    def quarantined_tenants(self) -> int:
+        return len(self.result.failures)
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.total_tenants:
+            return 1.0
+        return self.completed_tenants / self.total_tenants
+
+    @property
+    def absorbed_faults(self) -> int:
+        """Faults the retry machinery survived, fleet-wide."""
+        absorbed = sum(
+            count
+            for tenant in self.result.tenants
+            for session in tenant.sessions
+            for count in session.fault_recovery.values()
+        )
+        absorbed += sum(
+            count
+            for failure in self.result.failures
+            for count in failure.fault_recovery.values()
+        )
+        return absorbed
+
+    @property
+    def mean_speedup(self) -> float:
+        """Mean best speedup over completed sessions (1.0 if none)."""
+        speedups = [
+            session.best_speedup
+            for tenant in self.result.tenants
+            for session in tenant.sessions
+        ]
+        if not speedups:
+            return 1.0
+        return sum(speedups) / len(speedups)
+
+    def render(self) -> str:
+        lines = [f"-- backend={self.backend} rate={self.rate:.2f} --"]
+        lines.extend(outcome.render_row() for outcome in self.result.outcomes)
+        lines.append(
+            f"  cell: {self.completed_tenants}/{self.total_tenants} tenant(s) "
+            f"completed | {self.absorbed_faults} fault(s) absorbed | "
+            f"mean speedup {self.mean_speedup:.2f}x"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class ChaosReport:
+    """Every cell of the sweep plus quality-vs-oracle accounting."""
+
+    cells: list[ChaosCell] = field(default_factory=list)
+    seed: int = 0
+
+    def oracle(self, backend: str) -> ChaosCell | None:
+        """The fault-free cell for ``backend`` (rate exactly 0)."""
+        return next(
+            (c for c in self.cells if c.backend == backend and c.rate == 0.0),
+            None,
+        )
+
+    def quality(self, cell: ChaosCell) -> float:
+        """Tuning quality relative to the fault-free oracle cell."""
+        oracle = self.oracle(cell.backend)
+        if oracle is None or oracle.mean_speedup <= 0:
+            return 1.0
+        return cell.mean_speedup / oracle.mean_speedup
+
+    def render(self) -> str:
+        lines = [
+            "Chaos sweep: deterministic fault injection over the fleet "
+            f"(seed {self.seed})"
+        ]
+        for cell in self.cells:
+            lines.append(cell.render())
+        lines.append(
+            "  rate table: backend rate completed quarantined absorbed "
+            "mean_speedup quality_vs_oracle"
+        )
+        for cell in self.cells:
+            lines.append(
+                f"    {cell.backend:8s} {cell.rate:.2f} "
+                f"{cell.completed_tenants:9d} {cell.quarantined_tenants:11d} "
+                f"{cell.absorbed_faults:8d} {cell.mean_speedup:11.2f}x "
+                f"{self.quality(cell):16.2f}x"
+            )
+        lines.append(
+            "  contract: every tenant completed or was quarantined with a "
+            "report; no fleet-wide abort path"
+        )
+        return "\n".join(lines)
+
+
+def run(
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    backends: tuple[str, ...] = BACKENDS,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    max_workers: int | None = None,
+) -> ChaosReport:
+    """Run the chaos sweep.
+
+    ``cluster`` is accepted for signature parity with the figure
+    experiments (its backend selects a single-backend sweep).  Each
+    backend uses its own single-backend tenant matrix, so the rate-0
+    cell's tenant rows match ``stellar fleet --backend <name>`` byte for
+    byte.
+    """
+    if cluster is not None:
+        backends = (cluster.backend_name,)
+    cells = []
+    for backend in backends:
+        tenants = default_tenants((backend,), seed=seed)
+        for rate in rates:
+            plan = FaultPlan.uniform(rate, seed=seed)
+            scheduler = FleetScheduler(
+                tenants,
+                seed=seed,
+                max_workers=max_workers,
+                faults=plan,
+            )
+            cells.append(
+                ChaosCell(backend=backend, rate=rate, result=scheduler.run())
+            )
+    return ChaosReport(cells=cells, seed=seed)

@@ -1,0 +1,30 @@
+"""The deterministic fault-injection plane.
+
+One seeded :class:`FaultPlan` decides — statelessly, by hashing (plan
+stream, site, context key) — where the system fails; one
+:class:`RetryPolicy` decides how hard the system fights back.  The
+determinism contract everything else in the repo enforces extends here
+unchanged: the same ``(seed, fault plan)`` produces byte-identical
+sessions, transcripts and quarantine reports at any worker count, and the
+zero-fault plan is byte-identical to running without the plane at all.
+"""
+
+from repro.faults.llm import ResilientLLMClient
+from repro.faults.plan import FAULT_SITES, LLM_SITES, FaultPlan
+from repro.faults.retry import (
+    FaultBudgetExhausted,
+    FaultError,
+    RetryPolicy,
+    TransientFault,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "LLM_SITES",
+    "FaultPlan",
+    "FaultError",
+    "TransientFault",
+    "FaultBudgetExhausted",
+    "RetryPolicy",
+    "ResilientLLMClient",
+]

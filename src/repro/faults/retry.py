@@ -1,0 +1,109 @@
+"""Bounded, deterministic retries around injectable fault sites.
+
+:class:`RetryPolicy` is the one retry loop the whole system uses — around
+LLM requests, probe runs and journal/checkpoint writes.  Backoff is
+exponential with *seeded* jitter: the jitter is drawn from the fault plan's
+hash space, so a retried operation backs off identically in every worker
+and on every replay.  All delays are simulated time — they are charged to
+latency accounting, never slept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.faults.plan import FaultPlan
+
+T = TypeVar("T")
+
+
+class FaultError(RuntimeError):
+    """Base class for injected-fault errors."""
+
+
+class TransientFault(FaultError):
+    """One injected failure of a single operation attempt (retryable)."""
+
+    def __init__(self, site: str, key: str = ""):
+        super().__init__(f"injected {site} fault at {key or '<unkeyed>'}")
+        self.site = site
+        self.key = key
+
+
+class FaultBudgetExhausted(FaultError):
+    """Every allowed attempt of an operation failed.
+
+    Carries the structured context quarantine reports are built from:
+    the failing site, the operation key, how many attempts were spent and
+    how much simulated backoff accrued before giving up.
+    """
+
+    def __init__(self, site: str, key: str, attempts: int, backoff_spent: float = 0.0):
+        super().__init__(
+            f"fault site {site} exhausted its retry budget after "
+            f"{attempts} attempt(s) at {key or '<unkeyed>'} "
+            f"({backoff_spent:.1f}s backoff spent)"
+        )
+        self.site = site
+        self.key = key
+        self.attempts = attempts
+        self.backoff_spent = backoff_spent
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``max_retries`` bounds retries *after* the first try (so an operation
+    gets ``max_retries + 1`` attempts); ``timeout_budget`` bounds the total
+    simulated backoff an operation may accrue — whichever limit trips
+    first raises :class:`FaultBudgetExhausted`.  ``request_timeout`` is the
+    simulated wall cost charged for one timed-out request.
+    """
+
+    max_retries: int = 4
+    base_backoff: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    request_timeout: float = 30.0
+    timeout_budget: float = 120.0
+
+    def backoff(self, plan: FaultPlan, key: str, attempt: int) -> float:
+        """Simulated delay before retrying ``attempt`` (0-based)."""
+        spread = 2.0 * plan.fraction("backoff", f"{key}:jitter:{attempt}") - 1.0
+        return self.base_backoff * self.backoff_factor**attempt * (
+            1.0 + self.jitter * spread
+        )
+
+    def execute(
+        self,
+        fn: Callable[[int], T],
+        site: str,
+        key: str,
+        plan: FaultPlan,
+        record: Callable[[TransientFault, int, float], None] | None = None,
+    ) -> T:
+        """Run ``fn(attempt)`` until it succeeds or the budget is spent.
+
+        ``record`` observes every failed attempt (for retry/latency
+        accounting) *before* the exhaustion decision, so quarantine reports
+        and ledgers see each attempt exactly once.
+        """
+        spent = 0.0
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(attempt)
+            except TransientFault as fault:
+                delay = self.backoff(plan, key, attempt)
+                spent += delay
+                if record is not None:
+                    record(fault, attempt, delay)
+                if attempt == self.max_retries or spent > self.timeout_budget:
+                    raise FaultBudgetExhausted(
+                        site=fault.site,
+                        key=key,
+                        attempts=attempt + 1,
+                        backoff_spent=spent,
+                    ) from fault
+        raise AssertionError("unreachable")  # pragma: no cover

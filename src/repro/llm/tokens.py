@@ -79,18 +79,37 @@ def _common_prefix_len(a: str, b: str) -> int:
     return low
 
 
+#: Ledger key under which retried/timed-out request waste accumulates.
+RETRY_AGENT = "llm_retries"
+
+
 @dataclass
 class UsageLedger:
-    """Aggregates usage per logical agent (tuning, analysis, extraction)."""
+    """Aggregates usage per logical agent (tuning, analysis, extraction).
+
+    Failed request attempts (injected transients, timeouts, malformed
+    responses) are counted apart from successful traffic: their wasted
+    tokens accumulate under the :data:`RETRY_AGENT` key and ``retries``
+    counts the attempts, so a degraded session's overhead is visible in
+    cost accounting without polluting any real agent's numbers.
+    """
 
     per_agent: dict[str, TokenUsage] = field(default_factory=dict)
     requests: int = 0
     wall_latency: float = 0.0
+    retries: int = 0
 
     def record(self, agent: str, usage: TokenUsage, latency: float = 0.0) -> None:
         current = self.per_agent.setdefault(agent, TokenUsage())
         self.per_agent[agent] = current + usage
         self.requests += 1
+        self.wall_latency += latency
+
+    def record_retry(self, usage: TokenUsage, latency: float = 0.0) -> None:
+        """One failed/abandoned request attempt: wasted tokens + wall time."""
+        current = self.per_agent.setdefault(RETRY_AGENT, TokenUsage())
+        self.per_agent[RETRY_AGENT] = current + usage
+        self.retries += 1
         self.wall_latency += latency
 
     def total(self) -> TokenUsage:
@@ -114,4 +133,10 @@ class UsageLedger:
             f"total: {total.input_tokens} in / {total.output_tokens} out "
             f"across {self.requests} requests, {self.wall_latency:.1f}s LLM latency"
         )
+        if self.retries:
+            wasted = self.agent(RETRY_AGENT)
+            lines.append(
+                f"retries: {self.retries} failed attempt(s) wasted "
+                f"{wasted.input_tokens} in / {wasted.output_tokens} out"
+            )
         return "\n".join(lines)

@@ -13,12 +13,14 @@ and for the experiment artifacts.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.llm.promptparse import AttemptRecord
+from repro.llm.tokens import TokenUsage
 from repro.rules.merge import merge_rule_sets
 from repro.rules.model import RuleSet
 
@@ -26,8 +28,31 @@ if TYPE_CHECKING:  # pragma: no cover - the engine imports us at runtime
     from repro.core.session import TuningSession
 
 
+class JournalCorruptError(RuntimeError):
+    """A persisted journal/checkpoint could not be decoded.
+
+    Raised with a description of *what* is wrong with the file (truncated
+    JSON, wrong structure) instead of surfacing a raw decoding traceback —
+    a torn write or a garbage file is an operational condition the service
+    layer reports, not a bug.
+    """
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    Readers either see the previous complete file or the new complete
+    file, never a torn intermediate — the property journal and fleet
+    checkpoint persistence rely on.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
 def save_rule_set(rule_set: RuleSet, path: str | Path) -> None:
-    Path(path).write_text(rule_set.dumps())
+    atomic_write_text(path, rule_set.dumps())
 
 
 def load_rule_set(path: str | Path) -> RuleSet:
@@ -225,11 +250,25 @@ class RuleJournal:
         return cls(JournalEntry.from_dict(entry) for entry in raw["entries"])
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_json(), indent=1))
+        atomic_write_text(path, json.dumps(self.to_json(), indent=1))
 
     @classmethod
     def load(cls, path: str | Path) -> "RuleJournal":
-        return cls.from_json(json.loads(Path(path).read_text()))
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise JournalCorruptError(
+                f"rule journal at {path} is not valid JSON ({exc}); "
+                "the file is truncated or corrupt"
+            ) from exc
+        try:
+            return cls.from_json(raw)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise JournalCorruptError(
+                f"rule journal at {path} does not have journal structure "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
 
     # -- cross-journal merge ---------------------------------------------
     @classmethod
@@ -269,7 +308,7 @@ def _fold(current: RuleSet, rules: Sequence[dict]) -> RuleSet:
 
 def session_to_dict(session: TuningSession) -> dict:
     """JSON-serializable view of a tuning session."""
-    return {
+    out = {
         "workload": session.workload,
         "model": session.model,
         "initial_seconds": session.initial_seconds,
@@ -300,10 +339,65 @@ def session_to_dict(session: TuningSession) -> dict:
             {"kind": e.kind, "detail": e.detail} for e in session.transcript.events
         ],
     }
+    # Fault-plane fields appear only when a run actually degraded, so
+    # unfaulted sessions serialize byte-identically to the pre-fault format.
+    if session.degradations or session.fault_recovery:
+        out["degradations"] = list(session.degradations)
+        out["fault_recovery"] = dict(session.fault_recovery)
+    return out
+
+
+def session_from_dict(raw: dict) -> TuningSession:
+    """Rebuild a :class:`TuningSession` from :func:`session_to_dict` output.
+
+    The round trip preserves everything the dict format carries —
+    ``session_to_dict(session_from_dict(d)) == d`` — which is what lets a
+    fleet checkpoint restore completed tenants without re-running them.
+    (Rendered transcripts survive; per-event payloads, which the dict
+    format never carried, do not.)
+    """
+    from repro.agents.transcript import Transcript
+    from repro.core.session import TuningSession
+
+    transcript = Transcript()
+    for event in raw.get("transcript", []):
+        transcript.add(event["kind"], event["detail"])
+    return TuningSession(
+        workload=raw["workload"],
+        model=raw["model"],
+        initial_seconds=raw["initial_seconds"],
+        attempts=[
+            AttemptRecord(
+                index=a["index"],
+                changes={k: int(v) for k, v in a["changes"].items()},
+                seconds=a["seconds"],
+                speedup=a["speedup"],
+                rationale=a.get("rationale", ""),
+            )
+            for a in raw.get("attempts", [])
+        ],
+        end_reason=raw.get("end_reason", ""),
+        rules_json=[dict(rule) for rule in raw.get("rules", [])],
+        transcript=transcript,
+        executions=int(raw.get("executions", 0)),
+        usage={
+            agent: TokenUsage(
+                input_tokens=int(u.get("input_tokens", 0)),
+                output_tokens=int(u.get("output_tokens", 0)),
+                cached_input_tokens=int(u.get("cached_input_tokens", 0)),
+            )
+            for agent, u in raw.get("usage", {}).items()
+        },
+        degradations=list(raw.get("degradations", [])),
+        fault_recovery={
+            site: int(count)
+            for site, count in raw.get("fault_recovery", {}).items()
+        },
+    )
 
 
 def save_session(session: TuningSession, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(session_to_dict(session), indent=1))
+    atomic_write_text(path, json.dumps(session_to_dict(session), indent=1))
 
 
 def load_session_summary(path: str | Path) -> dict:

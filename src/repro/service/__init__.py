@@ -14,15 +14,23 @@ Import-graph rules (guarded by ``tests/test_fleet.py``):
 - the scheduler owns no tuning logic: a tenant's queue runs through the
   ordinary :meth:`Stellar.tune_and_accumulate`, so the service layer can
   never drift from the single-operator path.
+
+Fault domains: each tenant is its own blast radius.  Under an armed
+:class:`~repro.faults.plan.FaultPlan`, a tenant that exhausts its retry
+budget is quarantined with a structured
+:class:`~repro.service.tenant.TenantFailure` report while every other
+tenant completes, and fleet state checkpoints through the journal store so
+a killed fleet resumes without re-running completed tenants.
 """
 
 from repro.service.scheduler import FleetResult, FleetScheduler, run_tenant
-from repro.service.tenant import TenantResult, TenantSpec
+from repro.service.tenant import TenantFailure, TenantResult, TenantSpec
 
 __all__ = [
     "FleetScheduler",
     "FleetResult",
     "TenantSpec",
     "TenantResult",
+    "TenantFailure",
     "run_tenant",
 ]

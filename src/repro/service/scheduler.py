@@ -3,7 +3,7 @@
 :class:`FleetScheduler` turns the engine's per-workload tuning loop into a
 schedulable service: each :class:`~repro.service.tenant.TenantSpec` is an
 independent unit whose session queue runs in order on a worker, while the
-tenants themselves fan over :func:`repro.experiments.parallel.pmap` — the
+tenants themselves fan over :func:`repro.experiments.parallel.imap` — the
 same deterministic pool the figure experiments use, so results arrive in
 tenant submission order regardless of worker count or completion order.
 
@@ -26,23 +26,54 @@ What tenants share, and how:
   (:meth:`RuleJournal.merged`) so concurrent tenants' contributions land in
   seed order — the fleet-wide journal is identical for any execution
   interleaving.
+
+Fault domains: each tenant is its own blast radius.  A tenant whose queue
+exhausts a retry budget (or raises outright) becomes a structured
+:class:`~repro.service.tenant.TenantFailure` — quarantined, excluded from
+the merged journal — while every other tenant completes; there is no
+fleet-wide abort path.  With a ``checkpoint`` path the scheduler persists
+fleet state (atomically, through the journal store's writer) after every
+tenant arrival, so a killed fleet resumes without re-running completed
+tenants.
 """
 
 from __future__ import annotations
 
+import json
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 from typing import Sequence
 
 from repro.cluster.hardware import ClusterSpec, make_cluster
 from repro.core.engine import Stellar
+from repro.core.session import TuningSession
 from repro.experiments.harness import shared_extraction
-from repro.experiments.parallel import effective_workers, pmap
+from repro.experiments.parallel import effective_workers, imap
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import FaultBudgetExhausted, RetryPolicy, TransientFault
 from repro.rag.extraction import ExtractionResult
-from repro.rules.store import RuleJournal
-from repro.service.tenant import TenantResult, TenantSpec
+from repro.rules.store import (
+    JournalCorruptError,
+    RuleJournal,
+    atomic_write_text,
+    session_from_dict,
+    session_to_dict,
+)
+from repro.service.tenant import TenantFailure, TenantResult, TenantSpec
 from repro.sim.cache import RUN_CACHE
+
+#: Version tag of the fleet checkpoint file format.
+CHECKPOINT_FORMAT = 1
+
+
+def _merge_recovery(sessions: Sequence[TuningSession]) -> dict[str, int]:
+    merged: dict[str, int] = {}
+    for session in sessions:
+        for site, count in session.fault_recovery.items():
+            merged[site] = merged.get(site, 0) + count
+    return merged
 
 
 def run_tenant(
@@ -50,7 +81,9 @@ def run_tenant(
     cluster: ClusterSpec,
     extraction: ExtractionResult,
     use_cache: bool = True,
-) -> TenantResult:
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+) -> TenantResult | TenantFailure:
     """One tenant's whole session queue — THE per-tenant body.
 
     Module-level and dependent only on its arguments, so the inline and
@@ -58,35 +91,83 @@ def run_tenant(
     to build its sequential comparison arm.  The cache scope is
     (re-)entered here because worker processes do not inherit the parent's
     enablement depth under every start method.
+
+    This function is the tenant's fault boundary: anything the resilience
+    machinery could not absorb surfaces here and becomes a
+    :class:`TenantFailure` instead of propagating into the pool — a raising
+    tenant can never abort the fleet.
     """
     engine = Stellar(
         cluster=cluster,
         model=spec.model,
         extraction=extraction,
         seed=spec.seed,
+        faults=faults,
+        retry=retry if retry is not None else RetryPolicy(),
     )
     scope = RUN_CACHE.enabled() if use_cache else nullcontext()
-    with scope:
-        sessions = [
-            engine.tune_and_accumulate(workload, max_attempts=spec.max_attempts)
-            for workload in spec.session_queue()
-        ]
+    sessions: list[TuningSession] = []
+    current = ""
+    try:
+        with scope:
+            for workload in spec.session_queue():
+                current = workload.name
+                sessions.append(
+                    engine.tune_and_accumulate(
+                        workload, max_attempts=spec.max_attempts
+                    )
+                )
+    except FaultBudgetExhausted as exc:
+        return TenantFailure(
+            spec=spec,
+            site=exc.site,
+            error=str(exc),
+            failed_workload=current,
+            attempts=exc.attempts,
+            completed_sessions=len(sessions),
+            fault_recovery=_merge_recovery(sessions),
+        )
+    except Exception as exc:  # noqa: BLE001 - the quarantine boundary
+        return TenantFailure(
+            spec=spec,
+            site="exception",
+            error=f"{type(exc).__name__}: {exc}",
+            failed_workload=current,
+            completed_sessions=len(sessions),
+            fault_recovery=_merge_recovery(sessions),
+        )
     return TenantResult(spec=spec, sessions=sessions, journal=engine.journal)
 
 
-def _tenant_job(args: tuple) -> TenantResult:
+def _tenant_job(args: tuple) -> TenantResult | TenantFailure:
     """Picklable adapter: one jobs-tuple -> :func:`run_tenant`."""
     return run_tenant(*args)
 
 
 @dataclass
 class FleetResult:
-    """Per-tenant results (submission order) plus the fleet-wide journal."""
+    """Per-tenant outcomes (submission order) plus the fleet-wide journal.
 
-    tenants: list[TenantResult] = field(default_factory=list)
+    ``outcomes`` interleaves completed :class:`TenantResult`\\ s and
+    quarantined :class:`TenantFailure`\\ s in tenant submission order;
+    ``tenants``/``failures`` are the filtered views.  The merged journal
+    is built from completed tenants only — a quarantined tenant's partial
+    knowledge never contaminates the fleet.
+    """
+
+    outcomes: list = field(default_factory=list)
     journal: RuleJournal = field(default_factory=RuleJournal)
     elapsed: float = 0.0
     workers: int = 1
+    checkpoint_write_failures: int = 0
+
+    @property
+    def tenants(self) -> list[TenantResult]:
+        return [o for o in self.outcomes if isinstance(o, TenantResult)]
+
+    @property
+    def failures(self) -> list[TenantFailure]:
+        return [o for o in self.outcomes if isinstance(o, TenantFailure)]
 
     @property
     def total_sessions(self) -> int:
@@ -104,6 +185,14 @@ class FleetResult:
             raise KeyError(tenant_id)
         return found
 
+    def failure(self, tenant_id: str) -> TenantFailure:
+        found = next(
+            (f for f in self.failures if f.tenant_id == tenant_id), None
+        )
+        if found is None:
+            raise KeyError(tenant_id)
+        return found
+
     def render(self) -> str:
         """Per-tenant rows are deterministic; the aggregate line (wall time,
         throughput, worker count) is machine-dependent and stays last so
@@ -111,11 +200,16 @@ class FleetResult:
         lines = [
             "Fleet: per-tenant tuning sessions over shared offline artifacts"
         ]
-        lines.extend(tenant.render_row() for tenant in self.tenants)
+        lines.extend(outcome.render_row() for outcome in self.outcomes)
         lines.append(
             f"  fleet journal: {len(self.journal)} rule version(s), "
             f"{len(self.journal.current)} merged rule(s)"
         )
+        if self.failures:
+            lines.append(
+                f"  quarantined: {len(self.failures)}/{len(self.outcomes)} "
+                "tenant(s) (reports above); other tenants unaffected"
+            )
         lines.append(
             f"  aggregate: {self.total_sessions} sessions in "
             f"{self.elapsed:.2f}s ({self.sessions_per_sec:.2f} sessions/sec, "
@@ -124,13 +218,43 @@ class FleetResult:
         return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# Fleet checkpoint serialization (resume without re-running tenants).
+# ---------------------------------------------------------------------------
+
+
+def _outcome_to_json(outcome: TenantResult | TenantFailure) -> dict:
+    if isinstance(outcome, TenantFailure):
+        return {"kind": "failure", "report": outcome.to_dict()}
+    return {
+        "kind": "result",
+        "tenant_id": outcome.tenant_id,
+        "sessions": [session_to_dict(s) for s in outcome.sessions],
+        "journal": outcome.journal.to_json(),
+    }
+
+
+def _outcome_from_json(raw: dict, spec: TenantSpec) -> TenantResult | TenantFailure:
+    if raw["kind"] == "failure":
+        return TenantFailure.from_dict(raw["report"], spec)
+    return TenantResult(
+        spec=spec,
+        sessions=[session_from_dict(s) for s in raw["sessions"]],
+        journal=RuleJournal.from_json(raw["journal"]),
+    )
+
+
 class FleetScheduler:
     """Runs many tenants concurrently with deterministic results.
 
     ``seed`` roots the shared offline artifacts (and any tenant that does
     not pin its own ``cluster_seed``); ``max_workers`` resolves through
     :func:`repro.experiments.parallel.effective_workers` (explicit arg >
-    ``REPRO_MAX_WORKERS`` > cpu count).
+    ``REPRO_MAX_WORKERS`` > cpu count).  ``faults`` arms the fault plan
+    for every tenant (``None`` keeps the plane out of the code path
+    entirely); ``checkpoint`` names a JSON file that persists completed
+    outcomes after each arrival and is consulted on the next run, so a
+    killed fleet resumes where it stopped.
     """
 
     def __init__(
@@ -139,6 +263,9 @@ class FleetScheduler:
         seed: int = 0,
         max_workers: int | None = None,
         use_cache: bool = True,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint: str | Path | None = None,
     ):
         ids = [spec.tenant_id for spec in tenants]
         if len(set(ids)) != len(ids):
@@ -147,6 +274,9 @@ class FleetScheduler:
         self.seed = seed
         self.max_workers = max_workers
         self.use_cache = use_cache
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self._clusters: dict[tuple[str, int], ClusterSpec] = {}
 
     # ------------------------------------------------------------------
@@ -169,17 +299,109 @@ class FleetScheduler:
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
         """Run every tenant's queue; results in tenant submission order."""
-        jobs = [
-            (spec, self.cluster_for(spec), self.extraction_for(spec), self.use_cache)
-            for spec in self.tenants
+        restored = self._load_checkpoint()
+        pending = [
+            spec for spec in self.tenants if spec.tenant_id not in restored
         ]
-        workers = effective_workers(self.max_workers, len(jobs))
+        jobs = [
+            (
+                spec,
+                self.cluster_for(spec),
+                self.extraction_for(spec),
+                self.use_cache,
+                self.faults,
+                self.retry,
+            )
+            for spec in pending
+        ]
+        workers = effective_workers(self.max_workers, max(len(jobs), 1))
         start = perf_counter()
-        results = pmap(_tenant_job, jobs, max_workers=workers)
+        outcomes_by_id = dict(restored)
+        write_failures = 0
+        for spec, outcome in zip(
+            pending, imap(_tenant_job, jobs, max_workers=workers)
+        ):
+            outcomes_by_id[spec.tenant_id] = outcome
+            if self.checkpoint is not None:
+                write_failures += self._save_checkpoint(
+                    outcomes_by_id, key=spec.tenant_id
+                )
         elapsed = perf_counter() - start
+        outcomes = [outcomes_by_id[spec.tenant_id] for spec in self.tenants]
+        journal = RuleJournal.merged(
+            [o.journal for o in outcomes if isinstance(o, TenantResult)]
+        )
         return FleetResult(
-            tenants=results,
-            journal=RuleJournal.merged([r.journal for r in results]),
+            outcomes=outcomes,
+            journal=journal,
             elapsed=elapsed,
             workers=workers,
+            checkpoint_write_failures=write_failures,
         )
+
+    # ------------------------------------------------------------------
+    def _load_checkpoint(self) -> dict[str, TenantResult | TenantFailure]:
+        """Outcomes persisted by a previous (killed) run of this fleet."""
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return {}
+        try:
+            raw = json.loads(self.checkpoint.read_text())
+        except json.JSONDecodeError as exc:
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.checkpoint} is not valid JSON "
+                f"({exc}); the file is truncated or corrupt"
+            ) from exc
+        if raw.get("format") != CHECKPOINT_FORMAT:
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.checkpoint} has format "
+                f"{raw.get('format')!r}, expected {CHECKPOINT_FORMAT}"
+            )
+        specs = {spec.tenant_id: spec for spec in self.tenants}
+        restored = {}
+        for tenant_id, outcome_raw in raw.get("outcomes", {}).items():
+            spec = specs.get(tenant_id)
+            if spec is None:  # a tenant no longer in this fleet
+                continue
+            try:
+                restored[tenant_id] = _outcome_from_json(outcome_raw, spec)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise JournalCorruptError(
+                    f"fleet checkpoint entry for tenant {tenant_id!r} is "
+                    f"malformed ({type(exc).__name__}: {exc})"
+                ) from exc
+        return restored
+
+    def _save_checkpoint(
+        self, outcomes_by_id: dict[str, TenantResult | TenantFailure], key: str
+    ) -> int:
+        """Persist fleet state; returns 1 if the write budget ran dry.
+
+        Writes go through the armed ``journal.write`` fault site with the
+        shared retry policy.  An exhausted write budget leaves the previous
+        (complete, atomic) checkpoint on disk and never fails the fleet —
+        the resume just re-runs one more tenant.
+        """
+        payload = json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "outcomes": {
+                    tenant_id: _outcome_to_json(outcome)
+                    for tenant_id, outcome in outcomes_by_id.items()
+                },
+            },
+            indent=1,
+        )
+        plan = self.faults if self.faults is not None else FaultPlan.none()
+
+        def attempt(n: int) -> int:
+            if plan.should_fire("journal.write", f"checkpoint:{key}:a{n}"):
+                raise TransientFault("journal.write", key=f"checkpoint:{key}:a{n}")
+            atomic_write_text(self.checkpoint, payload)
+            return 0
+
+        try:
+            return self.retry.execute(
+                attempt, site="journal.write", key=f"checkpoint:{key}", plan=plan
+            )
+        except FaultBudgetExhausted:
+            return 1

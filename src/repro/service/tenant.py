@@ -108,3 +108,62 @@ class TenantResult:
             f"{self.mean_speedup:.2f}x | {len(self.journal)} rule version(s) "
             f"| {self.executions} runs | {usage.input_tokens} tok in"
         )
+
+
+@dataclass
+class TenantFailure:
+    """Structured quarantine report for a tenant that could not finish.
+
+    Produced when a tenant's session queue exhausts a fault site's retry
+    budget (or raises outright): the tenant is *quarantined* — removed
+    from the fleet's merged journal, reported here — while every other
+    tenant completes.  Reports are deterministic for a fixed
+    ``(seed, fault plan)``: same site, same key, same attempt counts, at
+    any worker count.
+    """
+
+    spec: TenantSpec
+    site: str  # the exhausted fault site, or "exception" for raw errors
+    error: str  # human-readable cause
+    failed_workload: str = ""  # queue entry that was running at failure
+    attempts: int = 0  # attempts spent at the failing site
+    completed_sessions: int = 0  # sessions finished before the failure
+    fault_recovery: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def tenant_id(self) -> str:
+        return self.spec.tenant_id
+
+    def render_row(self) -> str:
+        return (
+            f"  QUARANTINED {self.tenant_id:12s} {self.spec.backend:8s} "
+            f"site={self.site} workload={self.failed_workload or '<none>'} "
+            f"after {self.attempts} attempt(s) "
+            f"[{self.completed_sessions} session(s) completed]: {self.error}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant_id": self.tenant_id,
+            "site": self.site,
+            "error": self.error,
+            "failed_workload": self.failed_workload,
+            "attempts": self.attempts,
+            "completed_sessions": self.completed_sessions,
+            "fault_recovery": dict(self.fault_recovery),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict, spec: TenantSpec) -> "TenantFailure":
+        return cls(
+            spec=spec,
+            site=raw["site"],
+            error=raw["error"],
+            failed_workload=raw.get("failed_workload", ""),
+            attempts=int(raw.get("attempts", 0)),
+            completed_sessions=int(raw.get("completed_sessions", 0)),
+            fault_recovery={
+                site: int(count)
+                for site, count in raw.get("fault_recovery", {}).items()
+            },
+        )

@@ -106,6 +106,32 @@ class TestCli:
         assert "beegfs-meta" in out
         assert "lustre" not in out
 
+    def test_chaos_single_backend(self, capsys):
+        assert main(
+            ["chaos", "--backend", "lustre", "--rates", "0,0.3", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "rate=0.00" in out and "rate=0.30" in out
+        assert "rate table:" in out
+        assert "no fleet-wide abort path" in out
+        assert "beegfs" not in out
+
+    def test_chaos_bad_rates_clean_error(self, capsys):
+        assert main(["chaos", "--rates", "0,potato"]) == 2
+        err = capsys.readouterr().err
+        assert "--rates" in err and "comma-separated" in err
+
+    def test_chaos_out_of_range_rates_clean_error(self, capsys):
+        assert main(["chaos", "--rates", "0,1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--rates" in err and "[0, 1]" in err
+
+    def test_chaos_nonpositive_workers_clean_error(self, capsys):
+        assert main(["chaos", "--workers", "-2"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers -2" in err and "positive" in err
+
     def test_seed_flag(self, capsys):
         assert main(["--seed", "7", "tune", "IOR_16M"]) == 0
         out_a = capsys.readouterr().out

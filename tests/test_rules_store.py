@@ -5,10 +5,13 @@ import pytest
 from repro import Stellar, get_workload, make_cluster
 from repro.rules import Rule, RuleSet
 from repro.rules.store import (
+    JournalCorruptError,
+    RuleJournal,
     load_rule_set,
     load_session_summary,
     save_rule_set,
     save_session,
+    session_from_dict,
     session_to_dict,
 )
 
@@ -70,3 +73,71 @@ class TestSessionStore:
         assert loaded["workload"] == session.workload
         assert len(loaded["attempts"]) == len(session.attempts)
         assert loaded["attempts"][0].changes == session.attempts[0].changes
+
+    def test_session_dict_round_trip(self, session):
+        raw = session_to_dict(session)
+        assert session_to_dict(session_from_dict(raw)) == raw
+
+
+def _populated_journal() -> RuleJournal:
+    journal = RuleJournal()
+    journal.append(
+        [
+            {
+                "parameter": "osc.max_pages_per_rpc",
+                "rule_description": "use maximum RPC size for streaming",
+                "tuning_context": "large sequential shared-file writes",
+                "context_tags": ["shared_seq_large"],
+                "recommended_value": 1024,
+                "observed_speedup": 2.0,
+            }
+        ],
+        seed=1,
+    )
+    return journal
+
+
+class TestAtomicJournalStore:
+    """Satellite: torn writes can't corrupt persisted state, and corrupt
+    files fail loudly with a descriptive error instead of a traceback
+    from deep inside the JSON layer."""
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = _populated_journal()
+        journal.save(path)
+        assert RuleJournal.load(path).to_json() == journal.to_json()
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "journal.json"
+        _populated_journal().save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["journal.json"]
+
+    def test_save_replaces_atomically_over_existing(self, tmp_path):
+        path = tmp_path / "journal.json"
+        first = _populated_journal()
+        first.save(path)
+        second = _populated_journal()
+        second.append([], seed=2)
+        second.save(path)
+        assert RuleJournal.load(path).to_json() == second.to_json()
+
+    def test_torn_write_is_descriptive(self, tmp_path):
+        path = tmp_path / "journal.json"
+        _populated_journal().save(path)
+        # Simulate a crash mid-write: a truncated prefix of valid JSON.
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(JournalCorruptError, match="truncated or corrupt"):
+            RuleJournal.load(path)
+
+    def test_garbage_json_is_descriptive(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text("%PDF-1.4 definitely not a journal")
+        with pytest.raises(JournalCorruptError, match="not valid JSON"):
+            RuleJournal.load(path)
+
+    def test_wrong_structure_is_descriptive(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text('{"some": "other", "file": ["entirely"]}')
+        with pytest.raises(JournalCorruptError, match="journal structure"):
+            RuleJournal.load(path)

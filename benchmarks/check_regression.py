@@ -21,7 +21,8 @@ from pathlib import Path
 
 #: The sessions/sec and runs/sec figures the PR-1 perf work established,
 #: plus the PR-4 candidate-sweep and cached-rerun figures, the PR-5
-#: fleet-scheduler figure and the PR-6 degraded-fleet (fault plan) figure.
+#: fleet-scheduler figure, the PR-6 degraded-fleet (fault plan) figure and
+#: the PR-7 cross-tenant batched-fleet figure.
 TRACKED = (
     "batched_runs_per_sec",
     "sequential_runs_per_sec",
@@ -29,6 +30,7 @@ TRACKED = (
     "sweep_configs_per_sec",
     "cached_rerun_runs_per_sec",
     "fleet_sessions_per_sec",
+    "fleet_batched_sessions_per_sec",
     "degraded_sessions_per_sec",
 )
 

@@ -135,8 +135,8 @@ def test_throughput(benchmark, cluster):
     # throughput figures measure real work) so they differ ONLY by the
     # scheduler's pool.
     fleet_tenants = build_fleet()
-    scheduler = FleetScheduler(fleet_tenants, seed=0, use_cache=False)
-    # Warm the per-backend shared artifacts so neither arm pays extraction.
+    scheduler = FleetScheduler(fleet_tenants, seed=0, use_cache=False, batching=False)
+    # Warm the per-backend shared artifacts so no arm pays extraction.
     arms = [
         (spec, scheduler.cluster_for(spec), scheduler.extraction_for(spec))
         for spec in fleet_tenants
@@ -157,6 +157,20 @@ def test_throughput(benchmark, cluster):
         if fleet_elapsed is None or result.elapsed < fleet_elapsed:
             fleet_elapsed, fleet = result.elapsed, result
     fleet_sequential_sps = fleet.total_sessions / sequential_fleet_elapsed
+
+    # -- batched fleet: the default cross-tenant broker path ----------------
+    # Same tenants through `batching=True` (the scheduler default): tenants
+    # co-located on a worker park their candidate evaluations at the
+    # `FleetEvalBroker` rendezvous and one columnar pass serves each
+    # (workload, cluster) group.  Results are bit-identical to the pooled
+    # arm; only where the simulator work runs differs.
+    batched_scheduler = FleetScheduler(fleet_tenants, seed=0, use_cache=False)
+    batched_fleet_elapsed, batched_fleet = None, None
+    for _ in range(2):
+        result = batched_scheduler.run()
+        if batched_fleet_elapsed is None or result.elapsed < batched_fleet_elapsed:
+            batched_fleet_elapsed, batched_fleet = result.elapsed, result
+    fleet_batched_sps = batched_fleet.total_sessions / batched_fleet_elapsed
 
     # -- degraded fleet: the same pool absorbing a 10% fault plan -----------
     # Measures resilience overhead: retries, backoff accounting and (rarely)
@@ -198,6 +212,7 @@ def test_throughput(benchmark, cluster):
         "cached_rerun_runs_per_sec": round(cached_rps, 1),
         "sessions_per_sec": round(sessions_ps, 2),
         "fleet_sessions_per_sec": round(fleet_sps, 2),
+        "fleet_batched_sessions_per_sec": round(fleet_batched_sps, 2),
         "fleet_sequential_sessions_per_sec": round(fleet_sequential_sps, 2),
         "degraded_sessions_per_sec": round(degraded_sps, 2),
         "degraded_quarantined_tenants": len(degraded.failures),
@@ -234,6 +249,11 @@ def test_throughput(benchmark, cluster):
     assert [
         [s.best_speedup for s in t.sessions] for t in fleet.tenants
     ] == [[s.best_speedup for s in t.sessions] for t in sequential_fleet]
+    # The broker is invisible in results: the batched arm reproduces the
+    # pooled arm session for session.
+    assert [
+        [s.best_speedup for s in t.sessions] for t in batched_fleet.tenants
+    ] == [[s.best_speedup for s in t.sessions] for t in fleet.tenants]
     if fleet.workers > 1:
         assert fleet_sps > fleet_sequential_sps
     # The degraded fleet never aborts: every tenant either completed or was

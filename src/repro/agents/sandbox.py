@@ -5,15 +5,23 @@ with a captured stdout and a restricted import surface (numpy, math,
 statistics only).  Dangerous builtins are removed; errors are surfaced as
 :class:`SandboxError` so the agent can report execution failures back to the
 model.
+
+Output capture binds a buffer-backed ``print`` into the sandbox builtins
+rather than redirecting ``sys.stdout``: redirection swaps a *process-global*
+and the fleet's batched tenant groups execute analysis code from concurrent
+threads — a global redirect would interleave captures across tenants (and
+can strand ``sys.stdout`` on a dead buffer when scopes unwind out of
+order).  The sandbox blocks ``sys`` imports, so the injected ``print`` is
+the only way generated code can emit output.
 """
 
 from __future__ import annotations
 
 import builtins
+import functools
 import io
 import math
 import statistics
-from contextlib import redirect_stdout
 from functools import lru_cache
 
 import numpy
@@ -72,13 +80,14 @@ def _compile_analysis(code: str):
 
 def run_in_sandbox(code: str, namespace: dict | None = None, max_output: int = 20_000) -> str:
     """Execute ``code``; returns captured stdout (truncated to ``max_output``)."""
-    scope: dict = {"__builtins__": _safe_builtins()}
+    safe = _safe_builtins()
+    buffer = io.StringIO()
+    safe["print"] = functools.partial(print, file=buffer)
+    scope: dict = {"__builtins__": safe}
     if namespace:
         scope.update(namespace)
-    buffer = io.StringIO()
     try:
-        with redirect_stdout(buffer):
-            exec(_compile_analysis(code), scope)  # noqa: S102
+        exec(_compile_analysis(code), scope)  # noqa: S102
     except SandboxError:
         raise
     except Exception as exc:  # surface model-code bugs to the agent

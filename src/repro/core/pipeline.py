@@ -34,7 +34,7 @@ from repro.agents.analysis import AnalysisAgent
 from repro.agents.transcript import Transcript
 from repro.agents.tuning import TuningAgent, TuningLoopResult
 from repro.cluster.hardware import ClusterSpec
-from repro.core.runner import ConfigurationRunner
+from repro.core.runner import ConfigurationRunner, EvaluationBroker
 from repro.core.session import TuningSession
 from repro.corpus import render_hardware_doc
 from repro.darshan import DarshanLog, parse_log
@@ -73,6 +73,9 @@ class SessionState:
     user_accessible_only: bool = False
     faults: FaultPlan | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Batching seam for probe evaluations (the fleet broker); ``None``
+    #: keeps the runner on the direct ``Simulator.run`` path.
+    broker: EvaluationBroker | None = None
 
     # -- ClientSetupStage ----------------------------------------------
     ledger: UsageLedger | None = None
@@ -164,6 +167,7 @@ class InitialExecutionStage:
             seed=state.run_seed,
             faults=state.faults,
             retry=state.retry,
+            broker=state.broker,
         )
         state.initial_run, state.darshan_log = state.runner.initial_execution()
         state.transcript.add(

@@ -11,6 +11,7 @@ history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.cluster.hardware import ClusterSpec
 from repro.core.hygiene import HygieneLog
@@ -20,6 +21,26 @@ from repro.faults.retry import RetryPolicy, TransientFault
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import RunResult, Simulator
 from repro.workloads.base import Workload
+
+
+class EvaluationBroker(Protocol):
+    """A batching seam for simulated probe runs.
+
+    ``evaluate`` must return exactly what
+    ``Simulator(cluster).run(workload, config, seed=seed)`` would — the
+    fleet broker satisfies this bit-for-bit by routing through the columnar
+    sweep engine.  The runner only ever submits through this seam when one
+    is provided; everything else (seeding, hygiene, fault arming) is
+    identical between the direct and brokered paths.
+    """
+
+    def evaluate(
+        self,
+        cluster: ClusterSpec,
+        workload: Workload,
+        config: PfsConfig,
+        seed: int,
+    ) -> RunResult: ...
 
 
 @dataclass
@@ -42,6 +63,7 @@ class ConfigurationRunner:
         base_config: PfsConfig | None = None,
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        broker: EvaluationBroker | None = None,
     ):
         self.cluster = cluster
         self.workload = workload
@@ -57,6 +79,7 @@ class ConfigurationRunner:
         self.initial_run: RunResult | None = None
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        self.broker = broker
         #: Absorbed probe faults (feeds the session's recovery record).
         self.fault_counts: dict[str, int] = {}
 
@@ -107,13 +130,13 @@ class ConfigurationRunner:
         config = config if config is not None else self.base_config
         run_seed = self._next_seed()
         if self.faults is None or not self.faults.active:
-            return Simulator(self.cluster).run(self.workload, config, seed=run_seed)
+            return self._evaluate(config, run_seed)
         key = f"probe:{self.seed}:{len(self.executions)}"
 
         def attempt(n: int) -> RunResult:
             if self.faults.should_fire("probe.run", f"{key}:a{n}"):
                 raise TransientFault("probe.run", key=f"{key}:a{n}")
-            return Simulator(self.cluster).run(self.workload, config, seed=run_seed)
+            return self._evaluate(config, run_seed)
 
         def record(fault: TransientFault, n: int, delay: float) -> None:
             self.fault_counts["probe.run"] = self.fault_counts.get("probe.run", 0) + 1
@@ -121,6 +144,12 @@ class ConfigurationRunner:
         return self.retry.execute(
             attempt, site="probe.run", key=key, plan=self.faults, record=record
         )
+
+    def _evaluate(self, config: PfsConfig, run_seed: int) -> RunResult:
+        """One simulated run — direct, or through the batching seam."""
+        if self.broker is not None:
+            return self.broker.evaluate(self.cluster, self.workload, config, run_seed)
+        return Simulator(self.cluster).run(self.workload, config, seed=run_seed)
 
     def _next_seed(self) -> int:
         return self.seed * 1000 + len(self.executions)

@@ -9,15 +9,26 @@ from __future__ import annotations
 
 from repro.cluster.hardware import ClusterSpec
 
+#: Rendered documents, memoized per (backend, hardware key, fsname) — the
+#: doc is a pure function of the cluster spec, and the agent loop renders
+#: it once per session, which used to re-derive identical text thousands of
+#: times per fleet.  Plain dict: assignment is atomic under the GIL and a
+#: racy double render is byte-identical.
+_DOC_CACHE: dict[tuple, str] = {}
+
 
 def render_hardware_doc(cluster: ClusterSpec, fsname: str = "testfs") -> str:
-    return (
-        f"Hardware specification for the {fsname} evaluation cluster\n\n"
-        + cluster.describe()
-        + "\n\n"
-        + "Facts for dependent parameter ranges:\n"
-        + f"system_memory_mb = {cluster.system_memory_mb}\n"
-        + f"n_ost = {cluster.n_ost}\n"
-        + f"n_clients = {cluster.n_clients}\n"
-        + f"mds_service_threads = {cluster.mds_service_threads}\n"
-    )
+    key = (cluster.backend_name, cluster.cache_key(), fsname)
+    doc = _DOC_CACHE.get(key)
+    if doc is None:
+        doc = _DOC_CACHE[key] = (
+            f"Hardware specification for the {fsname} evaluation cluster\n\n"
+            + cluster.describe()
+            + "\n\n"
+            + "Facts for dependent parameter ranges:\n"
+            + f"system_memory_mb = {cluster.system_memory_mb}\n"
+            + f"n_ost = {cluster.n_ost}\n"
+            + f"n_clients = {cluster.n_clients}\n"
+            + f"mds_service_threads = {cluster.mds_service_threads}\n"
+        )
+    return doc

@@ -81,11 +81,16 @@ def trace_run(result: RunResult, n_ranks: int | None = None) -> DarshanLog:
             if rank != 0:
                 continue
             for other in range(1, nprocs):
+                # Replicas share rank 0's counter dict: counters are never
+                # mutated after tracing (fault paths only drop whole
+                # records), and the shared object lets the log parser
+                # recognize identical-behaviour ranks without comparing
+                # every counter.
                 store[(fileset_name, other)] = DarshanRecord(
                     module=record.module,
                     file=record.file,
                     rank=other,
-                    counters=dict(record.counters),
+                    counters=record.counters,
                     record_type=record.record_type,
                 )
 

@@ -12,12 +12,27 @@ Worker-count resolution: an explicit ``max_workers`` wins; otherwise the
 Whenever the effective count (clamped to the number of units) is 1 the pool
 is skipped entirely and the work runs inline — single-core machines and CI
 boxes pay zero pickling or fork overhead.
+
+The pool is *warm*: the first ``pmap``/``imap`` call that needs ``n``
+workers creates one lazily and every later call with the same effective
+count reuses it, so consecutive fleet waves, chaos sweeps and drift cells
+stop paying fork + re-import per call.  Workers install the published
+shared-memory artifact refs (:mod:`repro.service.artifacts`) in their
+initializer, once per process instead of once per job.  A request for a
+different worker count (or a broken pool) retires the old executor and
+builds a fresh one; :func:`shutdown_pool` retires it explicitly, and an
+``atexit`` hook covers interpreter exit.  Correctness never depends on
+pool reuse — jobs are pure functions of their arguments, and per-job state
+like ``RUN_CACHE`` enablement is entered and exited inside the job body,
+so nothing leaks between waves (guarded by ``tests/test_fleet_batch.py``).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.cluster.hardware import ClusterSpec
@@ -63,6 +78,65 @@ def effective_workers(max_workers: int | None = None, n_items: int | None = None
     return max(1, max_workers)
 
 
+# ---------------------------------------------------------------------------
+# The warm persistent pool.
+# ---------------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+
+
+def _init_worker(refs: list) -> None:
+    """Worker initializer: install shared artifacts once per process."""
+    if refs:
+        from repro.service import artifacts
+
+        artifacts.install(refs)
+
+
+def _published_refs() -> list:
+    # Imported lazily: the service layer imports this module at its own
+    # import time, so a top-level import here would cycle.
+    try:
+        from repro.service import artifacts
+    except ImportError:  # pragma: no cover - partial-init edge
+        return []
+    return artifacts.published_refs()
+
+
+def warm_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor with ``workers`` workers, created lazily.
+
+    Reused across calls with the same count; a different count retires the
+    old pool first (two live pools would double resident workers).  New
+    workers resolve the artifact refs published so far in their
+    initializer; refs published later still resolve per job.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(_published_refs(),),
+        )
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Retire the warm pool (no-op when none is live)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def pmap(
     fn: Callable[[T], R], items: Iterable[T], max_workers: int | None = None
 ) -> list[R]:
@@ -76,8 +150,13 @@ def pmap(
     workers = effective_workers(max_workers, len(items))
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    try:
+        return list(warm_pool(workers).map(fn, items))
+    except BrokenProcessPool:
+        # A worker died (OOM kill, hard crash): retire the poisoned pool so
+        # the next call starts clean, then surface the failure.
+        shutdown_pool()
+        raise
 
 
 def imap(
@@ -97,8 +176,11 @@ def imap(
         for item in items:
             yield fn(item)
         return
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        yield from pool.map(fn, items)
+    try:
+        yield from warm_pool(workers).map(fn, items)
+    except BrokenProcessPool:
+        shutdown_pool()
+        raise
 
 
 # ---------------------------------------------------------------------------

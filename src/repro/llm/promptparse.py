@@ -17,6 +17,9 @@ from typing import Any
 
 SECTION_RE = re.compile(r"^## ([A-Z0-9 _:?]+)$", re.MULTILINE)
 
+#: The exact character class of ``SECTION_RE``'s name group.
+_NAME_CHARS = frozenset("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _:?")
+
 S_HARDWARE = "HARDWARE"
 S_PARAMETERS = "PFS TUNABLE PARAMETERS"
 S_IO_REPORT = "IO REPORT"
@@ -26,14 +29,31 @@ S_TASK = "TASK"
 
 
 def split_sections(text: str) -> dict[str, str]:
-    """Map section name -> body for every ``## NAME`` block in ``text``."""
+    """Map section name -> body for every ``## NAME`` block in ``text``.
+
+    Candidate headers are located with ``str.find`` (the backend re-splits
+    the full prompt on every completion, so this runs over the whole
+    context each turn) and validated against ``SECTION_RE``'s exact name
+    charset — the accepted language is identical to running the regex.
+    """
+    find = text.find
+    positions = [0] if text.startswith("## ") else []
+    pos = find("\n## ")
+    while pos != -1:
+        positions.append(pos + 1)
+        pos = find("\n## ", pos + 1)
+    headers: list[tuple[int, str, int]] = []
+    for start in positions:
+        eol = find("\n", start)
+        if eol == -1:
+            eol = len(text)
+        name = text[start + 3 : eol]
+        if name and all(c in _NAME_CHARS for c in name):
+            headers.append((start, name.strip(), eol))
     sections: dict[str, str] = {}
-    matches = list(SECTION_RE.finditer(text))
-    for i, match in enumerate(matches):
-        name = match.group(1).strip()
-        start = match.end()
-        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
-        sections[name] = text[start:end].strip()
+    for i, (start, name, body_start) in enumerate(headers):
+        end = headers[i + 1][0] if i + 1 < len(headers) else len(text)
+        sections[name] = text[body_start:end].strip()
     return sections
 
 
@@ -47,11 +67,19 @@ def build_hardware_section(description: str, facts: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
-def parse_hardware_facts(body: str) -> dict[str, float]:
+@lru_cache(maxsize=256)
+def _parse_hardware_facts_cached(body: str) -> dict[str, float]:
     facts: dict[str, float] = {}
     for match in re.finditer(r"^fact (\w+) = ([-\d.eE+]+)$", body, re.MULTILINE):
         facts[match.group(1)] = float(match.group(2))
     return facts
+
+
+def parse_hardware_facts(body: str) -> dict[str, float]:
+    # The hardware section is identical on every turn of a session (and
+    # across co-tenant sessions on the same cluster), so the regex walk is
+    # memoized; callers get a fresh dict they are free to mutate.
+    return dict(_parse_hardware_facts_cached(body))
 
 
 # ---------------------------------------------------------------------------
@@ -146,7 +174,8 @@ def build_io_report_section(report: IOReport) -> str:
     return "\n".join(lines)
 
 
-def parse_io_report(body: str) -> IOReport:
+@lru_cache(maxsize=256)
+def _parse_io_report_cached(body: str) -> IOReport:
     report = IOReport()
     for raw in body.splitlines():
         line = raw.strip()
@@ -163,18 +192,65 @@ def parse_io_report(body: str) -> IOReport:
     return report
 
 
+def parse_io_report(body: str) -> IOReport:
+    # The IO report body repeats verbatim on every tuning turn after the
+    # analysis stage produces it.  The cached parse is shared; the returned
+    # report is a shallow copy because the tuning loop appends follow-up
+    # answers to ``report.followups`` in place.
+    cached = _parse_io_report_cached(body)
+    return IOReport(
+        summary=cached.summary,
+        metrics=dict(cached.metrics),
+        followups=dict(cached.followups),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Rule set (strict JSON structure, §4.4.1)
 # ---------------------------------------------------------------------------
+def _freeze(obj: Any):
+    """A hashable deep-frozen view of a JSON-shaped value (cache keys)."""
+    if isinstance(obj, dict):
+        return tuple((k, _freeze(v)) for k, v in obj.items())
+    if isinstance(obj, list):
+        return tuple(_freeze(v) for v in obj)
+    return obj
+
+
+#: ``indent=1`` renders keyed by the frozen payload — rule sets repeat
+#: verbatim across turns and co-tenant sessions, and pretty-printed JSON is
+#: one of the costlier string builds in the loop.
+_DUMPS_CACHE: dict[tuple, str] = {}
+
+
+def dumps_indented(payload: Any) -> str:
+    """``json.dumps(payload, indent=1)``, memoized on content."""
+    key = _freeze(payload)
+    text = _DUMPS_CACHE.get(key)
+    if text is None:
+        text = _DUMPS_CACHE[key] = json.dumps(payload, indent=1)
+    return text
+
+
 def build_rules_section(rules_json: list[dict[str, Any]]) -> str:
-    return f"## {S_RULES}\n" + json.dumps(rules_json, indent=1)
+    return f"## {S_RULES}\n" + dumps_indented(rules_json)
+
+
+@lru_cache(maxsize=256)
+def _parse_rules_cached(body: str) -> list[dict[str, Any]]:
+    return json.loads(body)
 
 
 def parse_rules_section(body: str) -> list[dict[str, Any]]:
     body = body.strip()
     if not body or body == "(empty)":
         return []
-    return json.loads(body)
+    # json.loads of the (identical, per-turn) rule block is memoized; the
+    # copy keeps callers free to extend rule dicts or their tag lists.
+    return [
+        {k: (list(v) if isinstance(v, list) else v) for k, v in rule.items()}
+        for rule in _parse_rules_cached(body)
+    ]
 
 
 # ---------------------------------------------------------------------------

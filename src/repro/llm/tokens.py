@@ -68,6 +68,14 @@ class PromptCache:
 
 
 def _common_prefix_len(a: str, b: str) -> int:
+    # Agent conversations are append-only, so the previous prompt is almost
+    # always a literal prefix of the next one — one startswith beats the
+    # binary search on that fast path.
+    if len(a) <= len(b):
+        if b.startswith(a):
+            return len(a)
+    elif a.startswith(b):
+        return len(b)
     limit = min(len(a), len(b))
     low, high = 0, limit
     while low < high:

@@ -48,6 +48,13 @@ class Violation:
     reason: str
 
 
+#: Resolved bounds shared across config *copies*, keyed by
+#: ``(cache_key(), parameter)`` — content identity, so a mutated copy can
+#: never be served a stale range.  Insert-capped instead of evicting.
+_SHARED_BOUNDS: dict[tuple, tuple[float, float]] = {}
+_SHARED_BOUNDS_MAX = 1 << 15
+
+
 class _Facts(dict):
     """A facts dict that invalidates its owning config's caches on mutation."""
 
@@ -264,11 +271,22 @@ class PfsConfig:
         cached = self._bounds_cache.get(spec.name)
         if cached is not None:
             return cached
-        env = self._env()
-        low = _resolve(spec.min_expr, env, default=float("-inf"))
-        high = _resolve(spec.max_expr, env, default=float("inf"))
-        self._bounds_cache[spec.name] = (low, high)
-        return low, high
+        # Every run copies its config (``bind_run_config``), so the
+        # per-instance memo alone re-resolves identical (values, facts)
+        # envs hundreds of times per session; the module-level map keyed by
+        # the config's content identity carries bounds across copies.
+        # Errors are never cached — a broken expression raises every time.
+        key = (self.cache_key(), spec.name)
+        cached = _SHARED_BOUNDS.get(key)
+        if cached is None:
+            env = self._env()
+            low = _resolve(spec.min_expr, env, default=float("-inf"))
+            high = _resolve(spec.max_expr, env, default=float("inf"))
+            cached = (low, high)
+            if len(_SHARED_BOUNDS) < _SHARED_BOUNDS_MAX:
+                _SHARED_BOUNDS[key] = cached
+        self._bounds_cache[spec.name] = cached
+        return cached
 
     def violations(self) -> list[Violation]:
         """All out-of-range settings in dependency-stable order."""

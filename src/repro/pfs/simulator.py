@@ -28,6 +28,42 @@ from repro.sim.random import RngStreams
 PHASE_NOISE_SIGMA = 0.02
 RUN_NOISE_SIGMA = 0.025
 
+#: Memoized noise factors keyed by ``(seed, workload name, n_phases)``.
+#: A run's noise is a pure function of that key — the streams are named
+#: ``phase:i``/``run`` under ``spawn:run:<workload>`` and never depend on the
+#: configuration — so one cache serves the scalar, batch and sweep engines
+#: (the sweep bulk-seeds misses and stores them here).  Reads and writes are
+#: single dict ops, safe under the GIL for the fleet broker's threads; the
+#: size cap stops inserts rather than evicting, keeping behavior
+#: deterministic.
+_NOISE_CACHE: dict[tuple[int, str, int], tuple[tuple[float, ...], float]] = {}
+_NOISE_CACHE_MAX = 1 << 15
+
+
+def run_noise(
+    seed: int, workload_name: str, n_phases: int
+) -> tuple[tuple[float, ...], float]:
+    """``([phase factors...], run factor)`` for one simulated run.
+
+    Bit-identical to drawing ``lognormal_noise("phase:i")`` per phase and
+    ``lognormal_noise("run")`` from ``RngStreams(seed).spawn(f"run:{name}")``
+    — which is exactly how cache misses are computed.
+    """
+    key = (seed, workload_name, n_phases)
+    noise = _NOISE_CACHE.get(key)
+    if noise is None:
+        rng = RngStreams(seed).spawn(f"run:{workload_name}")
+        noise = (
+            tuple(
+                rng.lognormal_noise(f"phase:{index}", PHASE_NOISE_SIGMA)
+                for index in range(n_phases)
+            ),
+            rng.lognormal_noise("run", RUN_NOISE_SIGMA),
+        )
+        if len(_NOISE_CACHE) < _NOISE_CACHE_MAX:
+            _NOISE_CACHE[key] = noise
+    return noise
+
 
 class WorkloadLike(Protocol):
     """What the simulator needs from a workload object."""
@@ -131,17 +167,17 @@ class Simulator:
         job = MpiJob.launch(workload.name, workload.n_ranks, self.cluster)
         model = AnalyticModel(self.cluster, config)
         state = RunState()
-        rng = RngStreams(seed).spawn(f"run:{workload.name}")
+        phases = workload.compile(self.cluster)
+        phase_noise, run_factor = run_noise(seed, workload.name, len(phases))
 
         results: list[PhaseResult] = []
         total = 0.0
-        for index, phase in enumerate(workload.compile(self.cluster)):
+        for phase, noise in zip(phases, phase_noise):
             result = model.evaluate(phase, job, state)
-            noise = rng.lognormal_noise(f"phase:{index}", PHASE_NOISE_SIGMA)
             result.seconds *= noise
             results.append(result)
             total += result.seconds
-        total *= rng.lognormal_noise("run", RUN_NOISE_SIGMA)
+        total *= run_factor
         result = RunResult(
             workload=workload.name,
             config=config,

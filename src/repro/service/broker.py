@@ -1,0 +1,179 @@
+"""Cross-tenant evaluation batching: the fleet's columnar agent loop.
+
+Tenants co-located on a worker run their session queues as threads sharing
+one :class:`FleetEvalBroker`.  Every simulated probe a tenant's
+:class:`~repro.core.runner.ConfigurationRunner` would execute directly is
+submitted to the broker instead, which *parks* the submitting thread until
+every live tenant is parked on a pending evaluation of its own — at which
+point the last arrival flushes the whole round through
+:func:`repro.sim.sweep.run_fleet_items`: one columnar sweep per
+(workload, cluster) group spanning all co-batched tenants.
+
+Why this is deterministic: a flushed item's result depends only on its own
+(cluster, workload, config, seed) — the columnar engine is bit-identical to
+``Simulator.run`` per item (``tests/test_sweep.py``), so thread scheduling
+can change *grouping* (how many items share a flush) but never values.
+All simulation happens inside the flush while every other tenant thread is
+parked, so the run cache and the model's memoized state are touched by one
+thread at a time.
+
+The rendezvous counts only threads *blocked on an uncomputed result*
+(``_blocked``), not threads that merely have not collected a finished one —
+otherwise a fast tenant re-submitting could trigger premature single-item
+flushes and the batching would quietly degenerate to the scalar path.
+
+:class:`TenantPort` is the per-tenant handle the group runner hands to
+``run_tenant``: it forwards to the shared broker and fires a one-shot
+callback at the tenant's first broker contact, which is how
+:func:`repro.service.scheduler.run_tenant_group` passes the entry baton to
+the next tenant — tenants *enter* ``run_tenant`` in submission order (so
+checkpoint and monkeypatching semantics match the sequential path) while
+still evaluating concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.pfs.simulator import Simulator
+from repro.sim.sweep import run_fleet_items
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cluster.hardware import ClusterSpec
+    from repro.pfs.config import PfsConfig
+    from repro.pfs.simulator import RunResult, WorkloadLike
+
+
+class FleetEvalBroker:
+    """Collects pending evaluations across tenant threads, flushes columnar.
+
+    Lifecycle: the group runner calls :meth:`register` once per tenant
+    *before* any tenant thread starts (so the first rendezvous already
+    counts everyone), each tenant thread calls :meth:`evaluate` any number
+    of times, and :meth:`retire` exactly once when its queue is done —
+    retiring shrinks the rendezvous so stragglers keep batching among
+    themselves.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._live = 0
+        self._blocked = 0
+        self._next_token = 0
+        self._pending: list[tuple[int, Simulator, "WorkloadLike", "PfsConfig", int]] = []
+        self._results: dict[int, "RunResult"] = {}
+        self._errors: dict[int, BaseException] = {}
+        self._sims: dict[tuple, Simulator] = {}
+        #: Flush rounds performed (observability + tests).
+        self.flushes = 0
+        #: Items evaluated through flushes (observability + tests).
+        self.batched_items = 0
+
+    # ------------------------------------------------------------------
+    def register(self) -> None:
+        """Count one tenant into the rendezvous (call before its thread runs)."""
+        with self._cond:
+            self._live += 1
+
+    def retire(self) -> None:
+        """A tenant's queue is done; it no longer gates the rendezvous."""
+        with self._cond:
+            self._live -= 1
+            self._maybe_flush_locked()
+
+    def evaluate(
+        self,
+        cluster: "ClusterSpec",
+        workload: "WorkloadLike",
+        config: "PfsConfig",
+        seed: int,
+    ) -> "RunResult":
+        """Submit one probe; parks until a flush computes its result."""
+        sim = self._sim_for(cluster)
+        with self._cond:
+            token = self._next_token
+            self._next_token += 1
+            self._pending.append((token, sim, workload, config, seed))
+            self._blocked += 1
+            self._maybe_flush_locked()
+            while token not in self._results and token not in self._errors:
+                self._cond.wait()
+            if token in self._errors:
+                raise self._errors.pop(token)
+            return self._results.pop(token)
+
+    # ------------------------------------------------------------------
+    def _sim_for(self, cluster: "ClusterSpec") -> Simulator:
+        key = (cluster.backend_name, cluster.cache_key())
+        sim = self._sims.get(key)
+        if sim is None:
+            sim = self._sims[key] = Simulator(cluster)
+        return sim
+
+    def _maybe_flush_locked(self) -> None:
+        if self._pending and self._blocked >= self._live:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        pending, self._pending = self._pending, []
+        self.flushes += 1
+        self.batched_items += len(pending)
+        try:
+            flushed = run_fleet_items(
+                [(sim, workload, config, seed) for _, sim, workload, config, seed in pending]
+            )
+        except Exception:
+            # Keep the blast radius per item: re-evaluate each through the
+            # scalar path so one poisoned request cannot take down the
+            # tenants that merely shared its flush.
+            for token, sim, workload, config, seed in pending:
+                try:
+                    self._results[token] = sim.run(workload, config, seed=seed)
+                except BaseException as exc:  # noqa: BLE001 - routed to owner
+                    self._errors[token] = exc
+        else:
+            for (token, *_), result in zip(pending, flushed):
+                self._results[token] = result
+        # Every flushed thread now has a result waiting; none of them gates
+        # the next rendezvous round anymore.
+        self._blocked -= len(pending)
+        self._cond.notify_all()
+
+
+class TenantPort:
+    """One tenant's handle on the shared broker.
+
+    Structurally satisfies :class:`repro.core.runner.EvaluationBroker`.
+    ``on_first_contact`` fires exactly once, at the first evaluation or at
+    retirement (whichever happens first) — the group runner's entry baton.
+    """
+
+    def __init__(
+        self,
+        broker: FleetEvalBroker,
+        on_first_contact: Callable[[], None] | None = None,
+    ) -> None:
+        self._broker = broker
+        self._callback = on_first_contact
+        self._touched = False
+
+    def _touch(self) -> None:
+        if not self._touched:
+            self._touched = True
+            if self._callback is not None:
+                self._callback()
+
+    def evaluate(
+        self,
+        cluster: "ClusterSpec",
+        workload: "WorkloadLike",
+        config: "PfsConfig",
+        seed: int,
+    ) -> "RunResult":
+        self._touch()
+        return self._broker.evaluate(cluster, workload, config, seed)
+
+    def retire(self) -> None:
+        self._touch()
+        self._broker.retire()

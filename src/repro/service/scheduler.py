@@ -40,6 +40,7 @@ tenants.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,7 +49,9 @@ from typing import Sequence
 
 from repro.cluster.hardware import ClusterSpec, make_cluster
 from repro.core.engine import Stellar
+from repro.core.runner import EvaluationBroker
 from repro.core.session import TuningSession
+from repro.corpus import render_hardware_doc, render_manual
 from repro.experiments.harness import shared_extraction
 from repro.experiments.parallel import effective_workers, imap
 from repro.faults.plan import FaultPlan
@@ -61,6 +64,9 @@ from repro.rules.store import (
     session_from_dict,
     session_to_dict,
 )
+from repro.service import artifacts
+from repro.service.artifacts import ArtifactRef, OfflineArtifacts
+from repro.service.broker import FleetEvalBroker, TenantPort
 from repro.service.tenant import TenantFailure, TenantResult, TenantSpec
 from repro.sim.cache import RUN_CACHE
 
@@ -83,6 +89,7 @@ def run_tenant(
     use_cache: bool = True,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    broker: EvaluationBroker | None = None,
 ) -> TenantResult | TenantFailure:
     """One tenant's whole session queue — THE per-tenant body.
 
@@ -104,6 +111,7 @@ def run_tenant(
         seed=spec.seed,
         faults=faults,
         retry=retry if retry is not None else RetryPolicy(),
+        broker=broker,
     )
     scope = RUN_CACHE.enabled() if use_cache else nullcontext()
     sessions: list[TuningSession] = []
@@ -139,9 +147,90 @@ def run_tenant(
     return TenantResult(spec=spec, sessions=sessions, journal=engine.journal)
 
 
+def _resolve_payload(payload: "ArtifactRef | OfflineArtifacts") -> OfflineArtifacts:
+    """The tenant's offline bundle — shared-memory ref or inline fallback."""
+    if isinstance(payload, ArtifactRef):
+        return artifacts.resolve(payload)
+    return payload
+
+
 def _tenant_job(args: tuple) -> TenantResult | TenantFailure:
     """Picklable adapter: one jobs-tuple -> :func:`run_tenant`."""
-    return run_tenant(*args)
+    spec, payload, use_cache, faults, retry = args
+    bundle = _resolve_payload(payload)
+    return run_tenant(spec, bundle.cluster, bundle.extraction, use_cache, faults, retry)
+
+
+def run_tenant_group(
+    jobs: Sequence[tuple],
+) -> list[TenantResult | TenantFailure]:
+    """Run co-located tenants concurrently over one shared eval broker.
+
+    ``jobs`` are :func:`run_tenant` argument tuples.  Each tenant runs on
+    its own thread; every simulated probe routes through the group's
+    :class:`~repro.service.broker.FleetEvalBroker`, which batches pending
+    evaluations across tenants into columnar sweeps.  Results are
+    bit-identical to running each tenant alone (the broker contract), and
+    tenants *enter* ``run_tenant`` strictly in submission order — each
+    thread holds the entry baton until its first broker contact — so
+    observable call order matches the sequential path.
+
+    Per-tenant state (engines, transcripts, journals, RNG streams) is
+    thread-confined by construction; the shared pieces (run cache, compiled
+    workload/expression memos) are only ever touched inside the broker's
+    flush, while every other tenant thread is parked.
+    """
+    if len(jobs) == 1:
+        return [run_tenant(*jobs[0])]
+    broker = FleetEvalBroker()
+    for _ in jobs:
+        broker.register()
+    turns = [threading.Event() for _ in jobs]
+    turns[0].set()
+    outcomes: list[TenantResult | TenantFailure | None] = [None] * len(jobs)
+
+    def body(index: int, args: tuple, port: TenantPort) -> None:
+        turns[index].wait()
+        try:
+            outcomes[index] = run_tenant(*args, broker=port)
+        finally:
+            port.retire()
+
+    threads = []
+    for index, args in enumerate(jobs):
+        advance = (
+            turns[index + 1].set if index + 1 < len(jobs) else (lambda: None)
+        )
+        port = TenantPort(broker, on_first_contact=advance)
+        threads.append(
+            threading.Thread(
+                target=body,
+                args=(index, args, port),
+                name=f"tenant-{args[0].tenant_id}",
+            )
+        )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for index, outcome in enumerate(outcomes):
+        if outcome is None:  # pragma: no cover - thread died pre-boundary
+            raise RuntimeError(
+                f"tenant thread {jobs[index][0].tenant_id} exited without "
+                "an outcome"
+            )
+    return outcomes
+
+
+def _tenant_group_job(jobs: tuple) -> list[TenantResult | TenantFailure]:
+    """Picklable adapter: resolve artifact refs, run the co-located group."""
+    resolved = []
+    for spec, payload, use_cache, faults, retry in jobs:
+        bundle = _resolve_payload(payload)
+        resolved.append(
+            (spec, bundle.cluster, bundle.extraction, use_cache, faults, retry)
+        )
+    return run_tenant_group(resolved)
 
 
 @dataclass
@@ -160,6 +249,9 @@ class FleetResult:
     elapsed: float = 0.0
     workers: int = 1
     checkpoint_write_failures: int = 0
+    #: Lazy id -> outcome map; built once, outcomes are append-complete by
+    #: the time anyone looks tenants up.
+    _by_id: dict | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def tenants(self) -> list[TenantResult]:
@@ -177,19 +269,20 @@ class FleetResult:
     def sessions_per_sec(self) -> float:
         return self.total_sessions / self.elapsed if self.elapsed > 0 else 0.0
 
+    def _index(self) -> dict:
+        if self._by_id is None or len(self._by_id) != len(self.outcomes):
+            self._by_id = {o.tenant_id: o for o in self.outcomes}
+        return self._by_id
+
     def get(self, tenant_id: str) -> TenantResult:
-        found = next(
-            (t for t in self.tenants if t.tenant_id == tenant_id), None
-        )
-        if found is None:
+        found = self._index().get(tenant_id)
+        if not isinstance(found, TenantResult):
             raise KeyError(tenant_id)
         return found
 
     def failure(self, tenant_id: str) -> TenantFailure:
-        found = next(
-            (f for f in self.failures if f.tenant_id == tenant_id), None
-        )
-        if found is None:
+        found = self._index().get(tenant_id)
+        if not isinstance(found, TenantFailure):
             raise KeyError(tenant_id)
         return found
 
@@ -266,6 +359,7 @@ class FleetScheduler:
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         checkpoint: str | Path | None = None,
+        batching: bool = True,
     ):
         ids = [spec.tenant_id for spec in tenants]
         if len(set(ids)) != len(ids):
@@ -277,6 +371,7 @@ class FleetScheduler:
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.batching = batching
         self._clusters: dict[tuple[str, int], ClusterSpec] = {}
 
     # ------------------------------------------------------------------
@@ -296,6 +391,35 @@ class FleetScheduler:
         """
         return shared_extraction(self.cluster_for(spec), seed=self.seed)
 
+    def _bundle_key(self, spec: TenantSpec) -> tuple:
+        cluster_seed = (
+            spec.cluster_seed if spec.cluster_seed is not None else self.seed
+        )
+        return ("offline", spec.backend, cluster_seed, self.seed)
+
+    def _artifact_payload(self, spec: TenantSpec) -> "ArtifactRef | OfflineArtifacts":
+        """The tenant's offline bundle, published once per (backend, seed).
+
+        Returns the shared-memory ref when one exists; when the platform
+        could not provide a segment the bundle itself ships inline (the
+        fork-started default still dedups it through the publisher's
+        process-local store).
+        """
+        key = self._bundle_key(spec)
+        ref = artifacts.ref_for(key)
+        if ref is None:
+            cluster = self.cluster_for(spec)
+            bundle = OfflineArtifacts(
+                cluster=cluster,
+                extraction=self.extraction_for(spec),
+                manual=render_manual(backend=cluster.backend),
+                hardware_doc=render_hardware_doc(cluster),
+            )
+            ref = artifacts.publish(key, bundle)
+        if ref.shm_name is not None:
+            return ref
+        return artifacts.resolve(ref)
+
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
         """Run every tenant's queue; results in tenant submission order."""
@@ -306,8 +430,7 @@ class FleetScheduler:
         jobs = [
             (
                 spec,
-                self.cluster_for(spec),
-                self.extraction_for(spec),
+                self._artifact_payload(spec),
                 self.use_cache,
                 self.faults,
                 self.retry,
@@ -317,15 +440,51 @@ class FleetScheduler:
         workers = effective_workers(self.max_workers, max(len(jobs), 1))
         start = perf_counter()
         outcomes_by_id = dict(restored)
+        # Checkpoint fragments: each outcome is JSON-encoded exactly once
+        # (restored ones at load, fresh ones on arrival); every save joins
+        # the precomputed fragments instead of re-serializing the fleet.
+        fragments: dict[str, str] = (
+            {
+                tenant_id: json.dumps(_outcome_to_json(outcome))
+                for tenant_id, outcome in restored.items()
+            }
+            if self.checkpoint is not None
+            else {}
+        )
         write_failures = 0
-        for spec, outcome in zip(
-            pending, imap(_tenant_job, jobs, max_workers=workers)
-        ):
+
+        def arrive(spec: TenantSpec, outcome) -> None:
+            nonlocal write_failures
             outcomes_by_id[spec.tenant_id] = outcome
             if self.checkpoint is not None:
+                fragments[spec.tenant_id] = json.dumps(_outcome_to_json(outcome))
                 write_failures += self._save_checkpoint(
-                    outcomes_by_id, key=spec.tenant_id
+                    fragments, key=spec.tenant_id
                 )
+
+        if self.batching and len(jobs) > 1:
+            # Tenants co-locate round-robin: worker g gets jobs g, g+W,
+            # g+2W, ... so heterogeneous queues spread evenly.  Each group
+            # job runs its tenants as threads over one shared eval broker.
+            group_jobs = [jobs[g::workers] for g in range(workers)]
+            spec_groups = [pending[g::workers] for g in range(workers)]
+            group_jobs = [group for group in group_jobs if group]
+            spec_groups = [group for group in spec_groups if group]
+            for specs, outcomes in zip(
+                spec_groups,
+                imap(
+                    _tenant_group_job,
+                    group_jobs,
+                    max_workers=max(len(group_jobs), 1),
+                ),
+            ):
+                for spec, outcome in zip(specs, outcomes):
+                    arrive(spec, outcome)
+        else:
+            for spec, outcome in zip(
+                pending, imap(_tenant_job, jobs, max_workers=workers)
+            ):
+                arrive(spec, outcome)
         elapsed = perf_counter() - start
         outcomes = [outcomes_by_id[spec.tenant_id] for spec in self.tenants]
         journal = RuleJournal.merged(
@@ -371,25 +530,26 @@ class FleetScheduler:
                 ) from exc
         return restored
 
-    def _save_checkpoint(
-        self, outcomes_by_id: dict[str, TenantResult | TenantFailure], key: str
-    ) -> int:
+    def _save_checkpoint(self, fragments: dict[str, str], key: str) -> int:
         """Persist fleet state; returns 1 if the write budget ran dry.
+
+        ``fragments`` maps tenant id to its already-encoded outcome JSON —
+        each outcome is serialized once when it arrives, so a fleet of T
+        tenants encodes T outcomes total instead of re-encoding every prior
+        outcome on each arrival (the old O(T²) write amplification).  The
+        assembled payload is plain JSON, unchanged on the read side.
 
         Writes go through the armed ``journal.write`` fault site with the
         shared retry policy.  An exhausted write budget leaves the previous
         (complete, atomic) checkpoint on disk and never fails the fleet —
         the resume just re-runs one more tenant.
         """
-        payload = json.dumps(
-            {
-                "format": CHECKPOINT_FORMAT,
-                "outcomes": {
-                    tenant_id: _outcome_to_json(outcome)
-                    for tenant_id, outcome in outcomes_by_id.items()
-                },
-            },
-            indent=1,
+        body = ", ".join(
+            f"{json.dumps(tenant_id)}: {fragment}"
+            for tenant_id, fragment in fragments.items()
+        )
+        payload = (
+            f'{{"format": {CHECKPOINT_FORMAT}, "outcomes": {{{body}}}}}'
         )
         plan = self.faults if self.faults is not None else FaultPlan.none()
 

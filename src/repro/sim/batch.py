@@ -7,9 +7,9 @@ seeded lognormal noise differs run to run.  ``run_batch`` exploits that:
 1. runs are grouped by ``(workload.cache_key(), config.cache_key())`` and the
    phase list is costed **once** per group (phase compilation itself is
    memoized per cluster, see :mod:`repro.workloads.base`);
-2. each run then applies its own per-phase and per-run noise, drawn through
-   :meth:`~repro.sim.random.RngStreams.lognormal_noise_vector` from the same
-   named streams the sequential path uses.
+2. each run then applies its own per-phase and per-run noise, served from
+   the shared :func:`~repro.pfs.simulator.run_noise` memo — the same named
+   streams the sequential path uses, derived once per (seed, workload).
 
 The results are **bit-identical** to calling :meth:`Simulator.run` once per
 tuple with the same seeds — asserted by ``tests/test_batch.py`` — so callers
@@ -46,11 +46,7 @@ def run_batch(sim: "Simulator", items: Iterable[BatchItem]) -> list["RunResult"]
     Identical (workload, config) pairs are deduplicated: the model runs once
     and only the (cheap) noise application repeats per seed.
     """
-    from repro.pfs.simulator import (
-        PHASE_NOISE_SIGMA,
-        RUN_NOISE_SIGMA,
-        RunResult,
-    )
+    from repro.pfs.simulator import RunResult, run_noise
 
     items = list(items)
     results, pending, cache_keys = RUN_CACHE.partition(sim.cluster, items)
@@ -70,17 +66,14 @@ def run_batch(sim: "Simulator", items: Iterable[BatchItem]) -> list["RunResult"]
     for index in pending:
         workload, _config, seed = items[index]
         shared_config, base = prepared[keys[index]]
-        rng = RngStreams(seed).spawn(f"run:{workload.name}")
-        noises = rng.lognormal_noise_vector(
-            [f"phase:{i}" for i in range(len(base))], PHASE_NOISE_SIGMA
-        )
+        phase_noise, run_factor = run_noise(seed, workload.name, len(base))
         phases: list[PhaseResult] = []
         total = 0.0
-        for result, noise in zip(base, noises):
-            noisy = replace(result, seconds=result.seconds * float(noise))
+        for result, noise in zip(base, phase_noise):
+            noisy = replace(result, seconds=result.seconds * noise)
             phases.append(noisy)
             total += noisy.seconds
-        total *= rng.lognormal_noise("run", RUN_NOISE_SIGMA)
+        total *= run_factor
         run = RunResult(
             workload=workload.name,
             config=shared_config,

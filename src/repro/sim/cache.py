@@ -31,6 +31,7 @@ Contract:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import TYPE_CHECKING
@@ -53,6 +54,12 @@ class RunCache:
         self.maxsize = maxsize
         self._store: OrderedDict[tuple, "RunResult"] = OrderedDict()
         self._depth = 0
+        # Concurrent tenant threads (the fleet's batched groups) each enter
+        # their own ``enabled()`` scope; the depth update is a
+        # read-modify-write, so it needs a lock to stay exact.  Store access
+        # itself stays single-threaded: with batching, every simulation runs
+        # inside the broker's flush while other tenant threads are parked.
+        self._depth_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -66,11 +73,13 @@ class RunCache:
     @contextmanager
     def enabled(self):
         """Serve the cache inside this scope (scopes nest)."""
-        self._depth += 1
+        with self._depth_lock:
+            self._depth += 1
         try:
             yield self
         finally:
-            self._depth -= 1
+            with self._depth_lock:
+                self._depth -= 1
 
     # -- keying ------------------------------------------------------------
     @staticmethod

@@ -24,11 +24,13 @@ exposed — so the result is **bit-identical** to
 2**32 entropy-pool differently (one entropy word instead of two) and are
 rare for SHA-derived stream seeds; they fall back to ``default_rng``.
 
-The shared generator makes this module single-threaded by design, matching
-the simulator (parallelism happens across processes, never threads).
+The shared generator is guarded by a lock so broker flush threads and the
+scalar simulator can both seed noise here; sequential callers never contend.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -52,7 +54,11 @@ _PCG_MULT = (2549297995355413924 << 64) + 4865540595714422341
 _PCG_MULT_HI = np.uint64(_PCG_MULT >> 64)
 _PCG_MULT_LO = np.uint64(_PCG_MULT & ((1 << 64) - 1))
 
-#: The reused bit generator + generator pair (single-threaded by design).
+#: The reused bit generator + generator pair.  Guarded by a lock: the fleet
+#: broker's flush runs on whichever tenant thread arrived last, and the
+#: scalar simulator also seeds its noise here, so two threads may reach the
+#: shared generator; the lock is uncontended in every sequential path.
+_GEN_LOCK = threading.Lock()
 _PCG = np.random.PCG64(0)
 _GEN = np.random.Generator(_PCG)
 _STATE_TEMPLATE = {
@@ -168,15 +174,16 @@ def first_normals(seeds, sigma: float) -> np.ndarray:
         indices = range(count)
     template = dict(_STATE_TEMPLATE)
     pcg, gen = _PCG, _GEN
-    normal = gen.normal
     set_state = type(pcg).state.__set__
-    for state_h, state_l, inc_h, inc_l, index in zip(
-        state_hi.tolist(), state_lo.tolist(), inc_hi.tolist(), inc_lo.tolist(), indices
-    ):
-        template["state"] = {
-            "state": (state_h << 64) | state_l,
-            "inc": (inc_h << 64) | inc_l,
-        }
-        set_state(pcg, template)
-        out[index] = normal(0.0, sigma)
+    with _GEN_LOCK:
+        normal = gen.normal
+        for state_h, state_l, inc_h, inc_l, index in zip(
+            state_hi.tolist(), state_lo.tolist(), inc_hi.tolist(), inc_lo.tolist(), indices
+        ):
+            template["state"] = {
+                "state": (state_h << 64) | state_l,
+                "inc": (inc_h << 64) | inc_l,
+            }
+            set_state(pcg, template)
+            out[index] = normal(0.0, sigma)
     return out

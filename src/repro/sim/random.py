@@ -8,12 +8,19 @@ the standard trick for reproducible parallel-discrete-event experiments.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 import numpy as np
 
 
+@lru_cache(maxsize=1 << 15)
 def _derive_seed(root_seed: int, name: str) -> int:
-    """Derive a 63-bit child seed from a root seed and a stream name."""
+    """Derive a 63-bit child seed from a root seed and a stream name.
+
+    Memoized: every simulator run re-derives the same handful of stream
+    names under the same rep seeds, and the sha256 shows up in fleet
+    profiles.  The map is pure, so caching cannot change any draw.
+    """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "little") & (2**63 - 1)
 

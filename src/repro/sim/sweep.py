@@ -111,6 +111,35 @@ def run_items(sim: "Simulator", items: Iterable["BatchItem"]) -> list["RunResult
     return results
 
 
+def run_fleet_items(
+    items: Sequence[tuple["Simulator", "WorkloadLike", PfsConfig, int]],
+) -> list["RunResult"]:
+    """Grouped *multi-tenant* batch: items may span clusters.
+
+    The fleet broker's flush path.  Each item names the simulator (hence the
+    cluster) it belongs to; items are regrouped per cluster key and every
+    cluster group runs through :func:`run_items` — one columnar pass per
+    (workload, cluster) group across all co-batched tenants.  Because each
+    item's result depends only on its own (cluster, workload, config, seed)
+    and the columnar engine is bit-identical to the scalar path, the output
+    never depends on *which* tenants happened to be batched together.
+    Results come back in item order.
+    """
+    results: list["RunResult | None"] = [None] * len(items)
+    groups: dict[tuple, tuple["Simulator", list[int]]] = {}
+    for index, (sim, _, _, _) in enumerate(items):
+        key = (sim.cluster.backend_name, sim.cluster.cache_key())
+        entry = groups.get(key)
+        if entry is None:
+            entry = groups[key] = (sim, [])
+        entry[1].append(index)
+    for sim, indices in groups.values():
+        batch = [items[i][1:] for i in indices]
+        for index, result in zip(indices, run_items(sim, batch)):
+            results[index] = result
+    return results
+
+
 # ---------------------------------------------------------------------------
 # Group evaluation
 # ---------------------------------------------------------------------------
@@ -139,40 +168,57 @@ def _sweep_group(
     else:
         evaluated = _evaluate_columnar(sim, workload, unique_configs)
 
-    # -- per-item noise, streams bulk-seeded across the whole group --------
+    # -- per-item noise: dedup by seed, bulk-seed only the cache misses ----
+    # Noise depends on (seed, workload, n_phases) alone — never the config —
+    # so a config×seed grid computes each seed's factors once, and the
+    # shared memo in the simulator module carries them across groups, broker
+    # flushes and engines (the scalar path fills and reads the same dict).
+    from repro.pfs.simulator import _NOISE_CACHE, _NOISE_CACHE_MAX
+
     name = workload.name
-    n_items = len(group_items)
     n_phases = len(evaluated[0][1])
-    roots = [
-        _derive_seed(seed, f"spawn:run:{name}") for _w, _c, seed in group_items
-    ]
-    phase_names = [f"phase:{i}" for i in range(n_phases)]
-    if PHASE_NOISE_SIGMA > 0:
-        phase_noises = np.exp(
-            first_normals(
-                [_derive_seed(root, pn) for root in roots for pn in phase_names],
-                PHASE_NOISE_SIGMA,
+    noise_by_seed: dict[int, tuple[tuple[float, ...], float]] = {}
+    for _workload, _config, seed in group_items:
+        if seed not in noise_by_seed:
+            noise_by_seed[seed] = _NOISE_CACHE.get((seed, name, n_phases))
+    missing = [seed for seed, noise in noise_by_seed.items() if noise is None]
+    if missing:
+        roots = [_derive_seed(seed, f"spawn:run:{name}") for seed in missing]
+        phase_names = [f"phase:{i}" for i in range(n_phases)]
+        if PHASE_NOISE_SIGMA > 0:
+            phase_noises = np.exp(
+                first_normals(
+                    [_derive_seed(root, pn) for root in roots for pn in phase_names],
+                    PHASE_NOISE_SIGMA,
+                )
+            ).reshape(len(missing), n_phases)
+        else:
+            phase_noises = np.ones((len(missing), n_phases))
+        if RUN_NOISE_SIGMA > 0:
+            run_noises = np.exp(
+                first_normals(
+                    [_derive_seed(root, "run") for root in roots], RUN_NOISE_SIGMA
+                )
             )
-        ).reshape(n_items, n_phases)
-    else:
-        phase_noises = np.ones((n_items, n_phases))
-    if RUN_NOISE_SIGMA > 0:
-        run_noises = np.exp(
-            first_normals([_derive_seed(root, "run") for root in roots], RUN_NOISE_SIGMA)
-        )
-    else:
-        run_noises = np.ones(n_items)
+        else:
+            run_noises = np.ones(len(missing))
+        for index, seed in enumerate(missing):
+            noise = (
+                tuple(phase_noises[index].tolist()),
+                float(run_noises[index]),
+            )
+            noise_by_seed[seed] = noise
+            if len(_NOISE_CACHE) < _NOISE_CACHE_MAX:
+                _NOISE_CACHE[(seed, name, n_phases)] = noise
 
     results: list["RunResult"] = []
-    for index, ((_workload, _config, seed), slot) in enumerate(
-        zip(group_items, members)
-    ):
+    for (_workload, _config, seed), slot in zip(group_items, members):
         shared_config, base = evaluated[slot]
-        noise_row = phase_noises[index]
+        noise_row, run_factor = noise_by_seed[seed]
         phases: list[PhaseResult] = []
         total = 0.0
         for result, noise in zip(base, noise_row):
-            seconds = result.seconds * float(noise)
+            seconds = result.seconds * noise
             phases.append(
                 _phase_result(
                     result.phase,
@@ -186,7 +232,7 @@ def _sweep_group(
                 )
             )
             total += seconds
-        total *= float(run_noises[index])
+        total *= run_factor
         results.append(
             RunResult(
                 workload=name,

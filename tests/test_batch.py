@@ -126,6 +126,10 @@ class TestBoundsCache:
             return original(*args, **kwargs)
 
         monkeypatch.setattr(config_module, "_resolve", counting_resolve)
+        # Observe the per-instance cache directly: the content-keyed shared
+        # map would (correctly) serve repeated contents without resolving.
+        monkeypatch.setattr(config_module, "_SHARED_BOUNDS", {})
+        monkeypatch.setattr(config_module, "_SHARED_BOUNDS_MAX", 0)
         config.bounds("lov.stripe_count")
         warm = len(resolve_calls)
         assert warm > 0

@@ -308,6 +308,10 @@ class TestDependencyAwareInvalidation:
             return original(*args, **kwargs)
 
         monkeypatch.setattr(config_module, "_resolve", counting)
+        # Observe the per-instance cache directly: the content-keyed shared
+        # map would (correctly) serve repeated contents without resolving.
+        monkeypatch.setattr(config_module, "_SHARED_BOUNDS", {})
+        monkeypatch.setattr(config_module, "_SHARED_BOUNDS_MAX", 0)
         return calls
 
     def test_unrelated_write_keeps_cached_bounds(self, monkeypatch):

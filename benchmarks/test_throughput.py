@@ -24,6 +24,8 @@ from time import perf_counter
 
 from conftest import BENCH_REPS
 
+from repro.agents.policies import list_policies
+from repro.core.engine import Stellar
 from repro.experiments.harness import run_sessions, shared_extraction
 from repro.faults import FaultPlan
 from repro.pfs.config import PfsConfig
@@ -46,6 +48,8 @@ GRID_WORKLOAD = "IO500"
 #: Fleet shape: enough tenants (and sessions) that pool start-up amortizes.
 N_FLEET_TENANTS = 16
 FLEET_QUEUE = ("IOR_64K", "IOR_16M", "MDWorkbench_8K", "IO500")
+#: Per-policy arm: a handful of full tuning sessions per agent policy.
+N_POLICY_SESSIONS = 4
 
 
 def build_fleet(n: int = N_FLEET_TENANTS) -> list[TenantSpec]:
@@ -185,6 +189,27 @@ def test_throughput(benchmark, cluster):
             degraded_elapsed, degraded = result.elapsed, result
     degraded_sps = degraded.total_sessions / degraded_elapsed
 
+    # -- agent policies: full sessions per turn-taking strategy -------------
+    # Alternative policies spend extra model turns (decide/thought for
+    # ReACT, a critic pass per proposal); this records what each strategy
+    # costs in sessions/sec so policy overhead regressions are visible.
+    policy_sps = {}
+    for policy_name in list_policies():
+        policy_engine = Stellar(
+            cluster=cluster,
+            model="claude-3.7-sonnet",
+            extraction=extraction,
+            seed=0,
+            policy=policy_name,
+        )
+        start = perf_counter()
+        policy_sessions = [
+            policy_engine.tune(get_workload("IOR_64K"), seed=i)
+            for i in range(N_POLICY_SESSIONS)
+        ]
+        policy_sps[policy_name] = N_POLICY_SESSIONS / (perf_counter() - start)
+        assert all(s.best_speedup > 0 for s in policy_sessions)
+
     # The pytest-benchmark row tracks the sweep path (the tentpole).
     benchmark.pedantic(
         lambda: run_items(sim, items),
@@ -216,6 +241,11 @@ def test_throughput(benchmark, cluster):
         "fleet_sequential_sessions_per_sec": round(fleet_sequential_sps, 2),
         "degraded_sessions_per_sec": round(degraded_sps, 2),
         "degraded_quarantined_tenants": len(degraded.failures),
+        **{
+            f"policy_sessions_per_sec_{name}": round(sps, 2)
+            for name, sps in policy_sps.items()
+        },
+        "n_policy_sessions": N_POLICY_SESSIONS,
         "fleet_workers": fleet.workers,
         "n_batched": N_BATCHED,
         "n_sequential": N_SEQUENTIAL,
@@ -267,3 +297,5 @@ def test_throughput(benchmark, cluster):
         for count in session.fault_recovery.values()
     )
     assert absorbed > 0
+    # Every policy arm really sustained throughput.
+    assert all(sps > 0 for sps in policy_sps.values())

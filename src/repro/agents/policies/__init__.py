@@ -1,0 +1,36 @@
+"""Pluggable agent policies: turn-taking strategies for the tuning loop.
+
+Importing the package registers the built-in policies; registration order
+is the presentation order everywhere (CLI choices, the ranking experiment,
+the bench's per-policy figures).
+"""
+
+from repro.agents.policies.base import (
+    AgentPolicy,
+    PolicyContext,
+    get_policy,
+    list_policies,
+    register_policy,
+    resolve_policy,
+)
+from repro.agents.policies.critic import ProposeCriticAgent, ProposeCriticPolicy
+from repro.agents.policies.react import ReACTAgent, ReACTPolicy
+from repro.agents.policies.reflection import ReflectionPolicy
+
+REFLECTION = register_policy(ReflectionPolicy())
+REACT = register_policy(ReACTPolicy())
+PROPOSE_CRITIC = register_policy(ProposeCriticPolicy())
+
+__all__ = [
+    "AgentPolicy",
+    "PolicyContext",
+    "ProposeCriticAgent",
+    "ProposeCriticPolicy",
+    "ReACTAgent",
+    "ReACTPolicy",
+    "ReflectionPolicy",
+    "get_policy",
+    "list_policies",
+    "register_policy",
+    "resolve_policy",
+]

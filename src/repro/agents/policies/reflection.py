@@ -1,0 +1,41 @@
+"""The default policy: the paper's reflection loop, verbatim.
+
+One tool turn per model call — the agent assembles its full context and the
+model answers with ``analysis_question`` / ``run_configuration`` /
+``end_tuning`` — followed by Reflect & Summarize.  The policy constructs
+the :class:`~repro.agents.tuning.TuningAgent` from its context with exactly
+the former ``AgentLoopStage`` arguments, so sessions and transcripts are
+byte-identical to the pre-refactor loop (guarded by the parity suites in
+``tests/test_pipeline.py`` and ``tests/test_policies.py``).
+"""
+
+from __future__ import annotations
+
+from repro.agents.policies.base import PolicyContext
+from repro.agents.tuning import TuningAgent, TuningLoopResult
+
+
+class ReflectionPolicy:
+    """Today's loop behind the protocol; subclasses swap the agent class."""
+
+    name = "reflection"
+    agent_class: type[TuningAgent] = TuningAgent
+
+    def agent(self, ctx: PolicyContext) -> TuningAgent:
+        return self.agent_class(
+            client=ctx.client,
+            parameters=ctx.parameters,
+            hardware_description=ctx.hardware_description,
+            facts=ctx.facts,
+            runner=ctx.runner,
+            report=ctx.report,
+            analysis_agent=ctx.analysis_agent,
+            rules_json=ctx.rules_json,
+            max_attempts=ctx.max_attempts,
+            transcript=ctx.transcript,
+            session=ctx.session,
+            fs_family=ctx.fs_family,
+        )
+
+    def run(self, ctx: PolicyContext) -> TuningLoopResult:
+        return self.agent(ctx).run_loop()

@@ -17,6 +17,7 @@ on the shared prefix every turn (§5.7).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -70,6 +71,12 @@ def system_prompt(fs_family: str = "Lustre") -> str:
     )
 
 
+class ReflectionFormatError(ValueError):
+    """The model's Reflect & Summarize payload was not the strict JSON the
+    protocol demands; the message names the agent and session so a fleet
+    operator can locate the offending run without replaying it."""
+
+
 class ConfigurationRunnerLike(Protocol):
     """What the Tuning Agent needs from the environment."""
 
@@ -97,7 +104,17 @@ class TuningLoopResult:
 
 
 class TuningAgent:
-    """Drives the trial-and-error loop for one application."""
+    """Drives the trial-and-error loop for one application.
+
+    Subclasses (the alternative agent policies in
+    :mod:`repro.agents.policies`) reuse the prompt assembly
+    (:meth:`_sections`), the tool dispatch (:meth:`_dispatch`) and the
+    Reflect & Summarize step; only the turn-taking strategy differs.
+    """
+
+    #: Safety-valve headroom beyond ``max_attempts`` tool turns; policies
+    #: that spend turns on non-attempt work (e.g. critic vetoes) raise it.
+    EXTRA_TURNS = 6
 
     def __init__(
         self,
@@ -140,7 +157,7 @@ class TuningAgent:
         result = TuningLoopResult()
         # Safety valve: tool turns are bounded by attempts + a few
         # analysis/ending turns.
-        for _ in range(self.max_attempts + 6):
+        for _ in range(self.max_attempts + self.EXTRA_TURNS):
             completion = self.client.complete(
                 self._messages(result),
                 tools=TOOLS,
@@ -151,16 +168,8 @@ class TuningAgent:
             if call is None:
                 result.end_reason = "model returned no tool call"
                 break
-            if call.name == "analysis_question":
-                self._handle_analysis(call.arguments.get("question", ""), result)
-            elif call.name == "run_configuration":
-                self._handle_run(call.arguments, result)
-            elif call.name == "end_tuning":
-                result.end_reason = call.arguments.get("reason", "")
-                self.transcript.add("end_tuning", result.end_reason)
+            if self._dispatch(call, result):
                 break
-            else:
-                raise RuntimeError(f"model called unknown tool {call.name!r}")
         if not result.end_reason and result.degradations:
             result.end_reason = (
                 "tuning degraded: probe failures consumed the turn budget"
@@ -169,6 +178,32 @@ class TuningAgent:
         return result
 
     # ------------------------------------------------------------------
+    def _dispatch(self, call, result: TuningLoopResult) -> bool:
+        """Route one tool call; returns True when the loop should end.
+
+        An unknown tool name is absorbed as a degradation (structured
+        transcript event, loop continues) rather than killing the session —
+        the same contract probe failures follow under injected faults.
+        """
+        if call.name == "analysis_question":
+            self._handle_analysis(call.arguments.get("question", ""), result)
+        elif call.name == "run_configuration":
+            self._handle_run(call.arguments, result)
+        elif call.name == "end_tuning":
+            result.end_reason = call.arguments.get("reason", "")
+            self.transcript.add("end_tuning", result.end_reason)
+            return True
+        else:
+            self.transcript.add(
+                "unknown_tool",
+                f"model called unknown tool {call.name!r}; turn skipped",
+                tool=call.name,
+            )
+            result.degradations.append(
+                f"llm.tool: unknown tool {call.name!r} skipped"
+            )
+        return False
+
     def _handle_analysis(self, question: str, result: TuningLoopResult) -> None:
         if self.analysis_agent is None or self.report is None:
             answer = "analysis unavailable"
@@ -223,7 +258,8 @@ class TuningAgent:
         )
 
     # ------------------------------------------------------------------
-    def _messages(self, result: TuningLoopResult) -> list[ChatMessage]:
+    def _sections(self, result: TuningLoopResult) -> list[str]:
+        """The prompt sections of one tool turn, stable-prefix first."""
         sections = [*self._static_sections, self._rules_section]
         if self.report is not None:
             sections.append(pp.build_io_report_section(self.report))
@@ -234,9 +270,12 @@ class TuningAgent:
             f"You may try at most {self.max_attempts} configurations. "
             "Choose your next action."
         )
+        return sections
+
+    def _messages(self, result: TuningLoopResult) -> list[ChatMessage]:
         return [
             ChatMessage(role="system", content=self._system),
-            ChatMessage(role="user", content="\n\n".join(sections)),
+            ChatMessage(role="user", content="\n\n".join(self._sections(result))),
         ]
 
     def _reflect(self, result: TuningLoopResult) -> list[dict]:
@@ -264,9 +303,14 @@ class TuningAgent:
             agent="tuning",
             session=self.session,
         ).content
-        import json
-
-        rules = json.loads(content)
+        try:
+            rules = json.loads(content)
+        except json.JSONDecodeError as exc:
+            raise ReflectionFormatError(
+                f"agent 'tuning' (session {self.session!r}) returned a "
+                f"Reflect & Summarize payload that is not valid JSON at "
+                f"line {exc.lineno} column {exc.colno}: {exc.msg}"
+            ) from exc
         self.transcript.add(
             "reflection", f"distilled {len(rules)} rule(s)", rules=rules
         )

@@ -14,6 +14,8 @@ Examples::
     stellar fleet --backend lustre --workers 4
     stellar chaos                      # fleet under injected faults
     stellar chaos --backend beegfs --rates 0,0.1
+    stellar tune IOR_16M --policy react
+    stellar policies                   # rank agent policies over the fleet
     stellar list                       # workloads, experiments, backends
 """
 
@@ -22,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.agents.policies import list_policies
 from repro.backends import list_backends
 from repro.cluster import make_cluster
 from repro.core.engine import Stellar
@@ -44,6 +47,7 @@ EXPERIMENTS = (
     "drift",
     "fleet",
     "resilience",
+    "policies",
 )
 
 
@@ -69,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--no-descriptions", action="store_true")
     tune.add_argument("--no-analysis", action="store_true")
     tune.add_argument("--transcript", action="store_true")
+    tune.add_argument(
+        "--policy",
+        choices=list_policies(),
+        default="reflection",
+        help="agent turn-taking strategy (default: reflection)",
+    )
 
     experiment = sub.add_parser("experiment", help="reproduce a paper figure")
     experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
@@ -115,6 +125,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault rates in [0, 1] (0 is the oracle cell)",
     )
     chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (default: REPRO_MAX_WORKERS, then cpu count)",
+    )
+
+    policies = sub.add_parser(
+        "policies",
+        help="rank agent policies over the mixed-tenant fleet matrix",
+    )
+    policies.add_argument(
+        "--backend", choices=list_backends() + ["all"], default="all"
+    )
+    policies.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -182,6 +206,10 @@ def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
         from repro.experiments import resilience
 
         return resilience.run(cluster, seed=seed).render()
+    if name == "policies":
+        from repro.experiments import policies
+
+        return policies.run(cluster, seed=seed).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -277,6 +305,25 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
         return 0
 
+    if args.command == "policies":
+        from repro.experiments import policies
+
+        if args.workers is not None and args.workers <= 0:
+            print(
+                f"error: --workers {args.workers}: must be a positive "
+                "worker count",
+                file=sys.stderr,
+            )
+            return 2
+        backends = (
+            policies.BACKENDS if backend_arg == "all" else (backend_arg,)
+        )
+        report = policies.run(
+            seed=args.seed, backends=backends, max_workers=args.workers
+        )
+        print(report.render())
+        return 0
+
     cluster = make_cluster(seed=args.seed, backend=backend_arg)
 
     if args.command == "list":
@@ -284,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
         print("schedules:", ", ".join(list_schedules()))
         print("experiments:", ", ".join(EXPERIMENTS))
         print("backends:", ", ".join(list_backends()))
+        print("policies:", ", ".join(list_policies()))
         return 0
 
     if args.command == "extract":
@@ -299,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
             max_attempts=args.max_attempts,
             use_descriptions=not args.no_descriptions,
             use_analysis=not args.no_analysis,
+            policy=args.policy,
         )
         print(session.summary())
         if args.transcript:

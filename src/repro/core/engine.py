@@ -52,6 +52,10 @@ class Stellar:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Optional batching seam for probe evaluations (the fleet broker).
     broker: "EvaluationBroker | None" = None
+    #: Default turn-taking strategy for every run this engine drives: a
+    #: registered policy name or ``None`` for the reflection loop;
+    #: ``tune(policy=...)`` overrides it per run.
+    policy: str | None = None
 
     def __post_init__(self):
         self.journal = RuleJournal()
@@ -105,13 +109,17 @@ class Stellar:
         use_analysis: bool = True,
         user_accessible_only: bool = False,
         seed: int | None = None,
+        policy: str | None = None,
     ) -> TuningSession:
         """One complete Tuning Run for ``workload``.
 
         ``user_accessible_only`` restricts the tunable surface to parameters
         a user can set without root privileges (``lfs setstripe`` layout
         settings) — the paper's §5.6 deployment direction for production
-        systems where ``/proc`` parameters are off limits.
+        systems where ``/proc`` parameters are off limits.  ``policy``
+        selects the agent's turn-taking strategy for this run (a name from
+        :func:`repro.agents.policies.list_policies`); ``None`` falls back to
+        the engine default, then to the reflection loop.
         """
         self._run_counter += 1
         run_seed = (
@@ -134,6 +142,7 @@ class Stellar:
             faults=self.faults,
             retry=self.retry,
             broker=self.broker,
+            policy=policy if policy is not None else self.policy,
         )
         return SESSION_PIPELINE.run(state).session
 

@@ -31,8 +31,9 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.agents.analysis import AnalysisAgent
+from repro.agents.policies import AgentPolicy, PolicyContext, resolve_policy
 from repro.agents.transcript import Transcript
-from repro.agents.tuning import TuningAgent, TuningLoopResult
+from repro.agents.tuning import TuningLoopResult
 from repro.cluster.hardware import ClusterSpec
 from repro.core.runner import ConfigurationRunner, EvaluationBroker
 from repro.core.session import TuningSession
@@ -76,6 +77,10 @@ class SessionState:
     #: Batching seam for probe evaluations (the fleet broker); ``None``
     #: keeps the runner on the direct ``Simulator.run`` path.
     broker: EvaluationBroker | None = None
+    #: Turn-taking strategy for the agent loop: a registered policy name,
+    #: an :class:`AgentPolicy` instance, or ``None`` for the default
+    #: reflection loop.
+    policy: "AgentPolicy | str | None" = None
 
     # -- ClientSetupStage ----------------------------------------------
     ledger: UsageLedger | None = None
@@ -233,12 +238,20 @@ class ParameterSelectionStage:
 
 
 class AgentLoopStage:
-    """The Tuning Agent's loop: analyses, configurations, end decision."""
+    """The agent loop, behind the policy seam.
+
+    The state's policy (default: reflection) receives the same context the
+    stage used to hand :class:`~repro.agents.tuning.TuningAgent` directly —
+    field for field, in the same order — so the default policy reproduces
+    the pre-refactor loop byte for byte while alternative policies swap
+    only the turn-taking strategy.
+    """
 
     name = "agent_loop"
 
     def run(self, state: SessionState) -> SessionState:
-        agent = TuningAgent(
+        policy = resolve_policy(state.policy)
+        ctx = PolicyContext(
             client=state.tuning_client,
             parameters=state.parameters,
             hardware_description=render_hardware_doc(state.cluster),
@@ -252,7 +265,7 @@ class AgentLoopStage:
             session=f"tuning:{state.workload.name}:{state.run_seed}",
             fs_family=state.cluster.backend.fs_family,
         )
-        state.loop = agent.run_loop()
+        state.loop = policy.run(ctx)
         return state
 
 

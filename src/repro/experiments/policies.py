@@ -1,0 +1,150 @@
+"""Policy-ranking experiment: agent architectures as a measurable axis.
+
+For every registered agent policy the experiment runs the mixed-tenant
+matrix (the fleet scenario's archetypes — data, metadata, mixed, drifting —
+on every backend) through its own :class:`~repro.service.FleetScheduler`
+arm.  Arms share tenant ids and seeds, so each (backend × workload-queue ×
+schedule) cell compares the *same* tuning problem across policies —
+apples-to-apples rankings by mean speedup, tie-broken by probe-run and
+token frugality (a policy that reaches the same speedup with fewer real
+executions or cheaper prompts wins the tie).
+
+The report is deterministic for a fixed seed (no wall-clock figures), so
+CI can assert its summary lines byte-for-byte across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.agents.policies import list_policies
+from repro.cluster.hardware import ClusterSpec
+from repro.experiments.fleet import ARCHETYPES, BACKENDS, default_tenants
+from repro.service import FleetScheduler
+
+
+@dataclass
+class PolicyRow:
+    """One policy's outcome in one cell."""
+
+    policy: str
+    mean_speedup: float
+    executions: int
+    input_tokens: int
+
+
+@dataclass
+class PolicyCell:
+    """One (backend, archetype) cell with its ranked policy rows."""
+
+    backend: str
+    archetype: str
+    queue: str
+    rows: list[PolicyRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"-- backend={self.backend} cell={self.archetype} ({self.queue}) --"]
+        for rank, row in enumerate(self.rows, 1):
+            lines.append(
+                f"  {rank}. {row.policy:16s} mean speedup "
+                f"{row.mean_speedup:.2f}x | {row.executions} runs | "
+                f"{row.input_tokens} tok in"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PolicyReport:
+    """Ranked cells plus per-policy improvement tallies."""
+
+    cells: list[PolicyCell] = field(default_factory=list)
+    policies: list[str] = field(default_factory=list)
+
+    def wins(self, policy: str) -> int:
+        """Cells in which ``policy`` improves on the defaults."""
+        return sum(
+            1
+            for cell in self.cells
+            for row in cell.rows
+            if row.policy == policy and row.mean_speedup > 1.0
+        )
+
+    @property
+    def sweeping_policies(self) -> int:
+        return sum(
+            1 for policy in self.policies if self.wins(policy) == len(self.cells)
+        )
+
+    def render(self) -> str:
+        lines = [
+            "Policy ranking: agent architectures over the mixed-tenant "
+            f"matrix ({len(self.policies)} policies x {len(self.cells)} cells)"
+        ]
+        lines.extend(cell.render() for cell in self.cells)
+        for policy in self.policies:
+            lines.append(
+                f"  policy {policy}: improves on defaults in "
+                f"{self.wins(policy)}/{len(self.cells)} cells"
+            )
+        lines.append(
+            f"  {self.sweeping_policies}/{len(self.policies)} policies "
+            "improve on defaults in every cell"
+        )
+        return "\n".join(lines)
+
+
+def run(
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    backends: tuple[str, ...] = BACKENDS,
+    max_workers: int | None = None,
+    policies: tuple[str, ...] | None = None,
+) -> PolicyReport:
+    """Rank every registered policy over the mixed-tenant matrix.
+
+    ``cluster`` is accepted for signature parity with the figure
+    experiments (its backend selects a single-backend matrix).
+    """
+    if cluster is not None:
+        backends = (cluster.backend_name,)
+    names = list(policies) if policies is not None else list_policies()
+    arms = {}
+    for policy in names:
+        specs = [
+            replace(spec, policy=policy)
+            for spec in default_tenants(backends, seed=seed)
+        ]
+        scheduler = FleetScheduler(specs, seed=seed, max_workers=max_workers)
+        arms[policy] = scheduler.run()
+
+    cells = []
+    for backend in backends:
+        for suffix, work in ARCHETYPES:
+            tenant_id = f"{backend}-{suffix}"
+            rows = []
+            for policy in names:
+                tenant = arms[policy].get(tenant_id)
+                usage = tenant.total_usage()
+                rows.append(
+                    PolicyRow(
+                        policy=policy,
+                        mean_speedup=tenant.mean_speedup,
+                        executions=tenant.executions,
+                        input_tokens=usage.input_tokens,
+                    )
+                )
+            rows.sort(
+                key=lambda r: (
+                    -r.mean_speedup,
+                    r.executions,
+                    r.input_tokens,
+                    r.policy,
+                )
+            )
+            queue = work if isinstance(work, str) else "+".join(work)
+            cells.append(
+                PolicyCell(
+                    backend=backend, archetype=suffix, queue=queue, rows=rows
+                )
+            )
+    return PolicyReport(cells=cells, policies=names)

@@ -30,7 +30,20 @@ from repro.llm import promptparse as pp
 from repro.llm.api import ChatMessage, Completion, ToolCall, ToolSpec
 from repro.llm.knowledge import parametric_belief
 from repro.llm.profiles import ModelProfile
-from repro.llm.reasoning import Decision, TuningContext, TuningPolicy
+from repro.llm.reasoning import (
+    S_PROPOSED,
+    S_REACT_TRANSCRIPT,
+    S_VETOED,
+    Decision,
+    TuningContext,
+    TuningPolicy,
+    parse_proposed_section,
+    parse_react_transcript,
+    parse_vetoed_section,
+    react_mode,
+    render_react_thought,
+    review_proposal,
+)
 from repro.llm.tokens import PromptCache, TokenUsage, count_tokens
 from repro.rules.merge import merge_rule_sets
 from repro.rules.model import RuleSet
@@ -78,6 +91,16 @@ class MockLLM:
             content = self._judge_impact(last_user)
         elif "## TASK: PARAM INFO" in last_user:
             content = self._param_info(last_user)
+        elif "## TASK: REACT DECIDE" in last_user:
+            content = react_mode(
+                parse_react_transcript(
+                    pp.split_sections(last_user).get(S_REACT_TRANSCRIPT, "")
+                )
+            )
+        elif "## TASK: REACT THOUGHT" in last_user:
+            content = self._react_thought(full_text)
+        elif "## TASK: CRITIC REVIEW" in last_user:
+            content = self._critic_review(full_text)
         elif "## TASK: ANALYZE IO" in full_text or "## TASK: FOLLOWUP ANALYSIS" in full_text:
             content = self._analysis_turn(messages, full_text)
         else:
@@ -110,7 +133,8 @@ class MockLLM:
         return "\n\n".join(parts)
 
     # -- tuning ----------------------------------------------------------
-    def _tuning_decision(self, full_text: str) -> Decision:
+    def _parse_tuning_context(self, full_text: str) -> TuningContext:
+        """The full tuning context shared by every agent-policy task."""
         sections = pp.split_sections(full_text)
         parameters = pp.parse_parameter_section(sections.get(pp.S_PARAMETERS, ""))
         report = None
@@ -127,7 +151,12 @@ class MockLLM:
         match = re.search(r"at most (\d+) configurations", full_text)
         if match:
             max_attempts = int(match.group(1))
-        ctx = TuningContext(
+        vetoed = (
+            parse_vetoed_section(sections[S_VETOED])
+            if S_VETOED in sections
+            else []
+        )
+        return TuningContext(
             parameters=parameters,
             report=report,
             rules=rules,
@@ -135,9 +164,27 @@ class MockLLM:
             initial_seconds=initial,
             attempts=attempts,
             max_attempts=max_attempts,
+            vetoed=vetoed,
         )
+
+    def _tuning_decision(self, full_text: str) -> Decision:
+        ctx = self._parse_tuning_context(full_text)
         policy = TuningPolicy(self.profile, self.rng_streams.stream("tuning"))
         return policy.decide(ctx)
+
+    def _react_thought(self, full_text: str) -> str:
+        # Thought turns draw from their own stream: a policy that thinks
+        # between actions must not perturb the act decisions other policies
+        # (and the parity fixtures) take from the "tuning" stream.
+        ctx = self._parse_tuning_context(full_text)
+        policy = TuningPolicy(self.profile, self.rng_streams.stream("react"))
+        return render_react_thought(policy.decide(ctx))
+
+    def _critic_review(self, full_text: str) -> str:
+        sections = pp.split_sections(full_text)
+        parameters = pp.parse_parameter_section(sections.get(pp.S_PARAMETERS, ""))
+        changes, rationale = parse_proposed_section(sections.get(S_PROPOSED, ""))
+        return review_proposal(changes, rationale, parameters)
 
     @staticmethod
     def _decision_to_call(decision: Decision) -> ToolCall:

@@ -28,6 +28,7 @@ parameters that do nothing for metadata-bound applications.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Any
@@ -53,6 +54,162 @@ WORKLOAD_CLASSES = (
     "mixed",
 )
 
+# ---------------------------------------------------------------------------
+# Prompt shapes of the alternative agent policies (ReACT, propose/critic).
+#
+# The sections below are backend-agnostic by construction: they carry only
+# JSON change maps, free-text thoughts and the standard parameter section —
+# the mock controller re-detects the backend from parameter names exactly
+# like the tuning policy does.  Every policy prompt keeps the stable
+# sections (hardware, parameters) first so the provider prompt cache keeps
+# hitting on the shared prefix (§5.7).
+# ---------------------------------------------------------------------------
+S_REACT_TRANSCRIPT = "REACT TRANSCRIPT"
+S_PROPOSED = "PROPOSED CONFIGURATION"
+S_VETOED = "VETOED PROPOSALS"
+
+REACT_DECIDE_TASK = (
+    "## TASK: REACT DECIDE\n"
+    "You are operating as a ReACT agent. Review the transcript above and "
+    "reply with exactly one token: REASON to think before acting, TOOL to "
+    "take an environment action now, or HALT when the final thought has "
+    "concluded the run."
+)
+REACT_THOUGHT_TASK = (
+    "## TASK: REACT THOUGHT\n"
+    "Write the next thought for the transcript above: one short passage of "
+    "reasoning about the tuning state. Prefix a concluding thought with "
+    "'FINAL:' followed by the justification for stopping."
+)
+CRITIC_TASK = (
+    "## TASK: CRITIC REVIEW\n"
+    "You are the critic of a propose/critic tuning pair. Review the "
+    "proposed configuration against the documented parameter ranges and "
+    "the grounding of its rationale. Reply APPROVE, VETO: <reason>, or "
+    "AMEND followed by a corrected JSON changes object on the next line."
+)
+
+#: The tuning policy's speculative noise-exploration rationale opens with
+#: this prefix; it is the one proposal class the critic refuses outright.
+SPECULATIVE_RATIONALE_PREFIX = "Exploring whether a smaller client cache"
+
+
+def build_react_transcript_section(lines: list[str]) -> str:
+    body = "\n".join(lines) if lines else "(empty)"
+    return f"## {S_REACT_TRANSCRIPT}\n{body}"
+
+
+def parse_react_transcript(body: str) -> list[str]:
+    body = body.strip()
+    if not body or body == "(empty)":
+        return []
+    return body.splitlines()
+
+
+def react_mode(lines: list[str]) -> str:
+    """The ReACT turn controller: REASON | TOOL | HALT.
+
+    Deterministic and draw-free: a fresh transcript (or one ending in an
+    Observation) earns a thought first; a thought earns an action; a
+    concluding ``FINAL:`` thought halts the run.
+    """
+    last = lines[-1] if lines else ""
+    if last.startswith("Thought:"):
+        return "HALT" if "FINAL:" in last else "TOOL"
+    return "REASON"
+
+
+def render_react_thought(decision: "Decision") -> str:
+    """Verbalize a tuning decision as the transcript's next thought."""
+    if decision.kind == "analyze":
+        return (
+            "I still need information from the trace before proposing: "
+            f"{decision.question}"
+        )
+    if decision.kind == "run":
+        return (
+            f"{decision.rationale} I will test "
+            f"{json.dumps(decision.changes, sort_keys=True)} next."
+        )
+    return f"FINAL: {decision.reason}"
+
+
+def build_proposed_section(changes: dict[str, int], rationale: str) -> str:
+    return (
+        f"## {S_PROPOSED}\n"
+        f"changes: {json.dumps(changes, sort_keys=True)}\n"
+        f"rationale: {rationale}"
+    )
+
+
+def parse_proposed_section(body: str) -> tuple[dict[str, int], str]:
+    changes: dict[str, int] = {}
+    rationale = ""
+    for line in body.splitlines():
+        if line.startswith("changes: "):
+            changes = {
+                str(name): int(value)
+                for name, value in json.loads(line[len("changes: "):]).items()
+            }
+        elif line.startswith("rationale: "):
+            rationale = line[len("rationale: "):]
+    return changes, rationale
+
+
+def build_vetoed_section(vetoed: list[dict[str, int]]) -> str:
+    lines = [f"## {S_VETOED}"]
+    lines.extend(f"- {json.dumps(changes, sort_keys=True)}" for changes in vetoed)
+    return "\n".join(lines)
+
+
+def parse_vetoed_section(body: str) -> list[dict[str, int]]:
+    vetoed = []
+    for raw in body.splitlines():
+        line = raw.strip()
+        if line.startswith("- "):
+            vetoed.append(
+                {str(k): int(v) for k, v in json.loads(line[2:]).items()}
+            )
+    return vetoed
+
+
+def review_proposal(
+    changes: dict[str, int], rationale: str, parameters: list[ParameterInfo]
+) -> str:
+    """The critic's deterministic, draw-free review of one proposal.
+
+    Vetoes the speculative noise exploration (its rationale names no
+    mechanism grounded in the I/O report); amends values that escape a
+    purely numeric documented range (expression-valued bounds are left to
+    the runner's clip, which knows the hardware facts); approves the rest.
+    """
+    if rationale.startswith(SPECULATIVE_RATIONALE_PREFIX):
+        return (
+            "VETO: the rationale is speculative — shrinking the client "
+            "cache has no mechanism grounded in the I/O report, and the "
+            "probe run it would consume is better spent on a documented "
+            "lever."
+        )
+    by_name = {p.name: p for p in parameters}
+    amended: dict[str, int] = {}
+    for name, value in changes.items():
+        info = by_name.get(name)
+        if info is None:
+            continue
+        try:
+            low, high = int(float(info.min_expr)), int(float(info.max_expr))
+        except ValueError:
+            continue
+        if low > high or (low == 0 and high == 0):
+            continue
+        clipped = min(max(value, low), high)
+        if clipped != value:
+            amended[name] = clipped
+    if amended:
+        corrected = {**changes, **amended}
+        return "AMEND\n" + json.dumps(corrected, sort_keys=True)
+    return "APPROVE"
+
 
 @dataclass
 class TuningContext:
@@ -65,6 +222,9 @@ class TuningContext:
     initial_seconds: float
     attempts: list[AttemptRecord]
     max_attempts: int = 5
+    #: Proposals a critic refused this run (propose/critic policy only);
+    #: the policy treats them as tried so a veto can never livelock the loop.
+    vetoed: list[dict[str, int]] = field(default_factory=list)
 
     def parameter(self, name: str) -> ParameterInfo | None:
         for p in self.parameters:
@@ -298,22 +458,25 @@ class TuningPolicy:
         )
         improvement = last.speedup / max(previous_best, 1e-9) - 1.0
 
+        vetoed = [frozenset(v.items()) for v in ctx.vetoed]
+
         # Occasional suboptimal exploration (model-specific noise).
         if self.rng.random() < self.profile.reasoning_noise:
             noise_param = ctx.parameter(heur.noise_param)
             if noise_param is not None and heur.noise_param not in best.changes:
                 changes = dict(best.changes)
                 changes[heur.noise_param] = heur.noise_value
-                return Decision(
-                    kind="run",
-                    changes=changes,
-                    rationale=(
-                        "Exploring whether a smaller client cache frees "
-                        "memory bandwidth for the I/O path."
-                    ),
-                )
+                if frozenset(changes.items()) not in vetoed:
+                    return Decision(
+                        kind="run",
+                        changes=changes,
+                        rationale=(
+                            "Exploring whether a smaller client cache frees "
+                            "memory bandwidth for the I/O path."
+                        ),
+                    )
 
-        tried = [frozenset(a.changes.items()) for a in attempts]
+        tried = [frozenset(a.changes.items()) for a in attempts] + vetoed
 
         def untried(changes: dict[str, int]) -> bool:
             return bool(changes) and frozenset(changes.items()) not in tried

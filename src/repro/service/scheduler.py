@@ -112,6 +112,7 @@ def run_tenant(
         faults=faults,
         retry=retry if retry is not None else RetryPolicy(),
         broker=broker,
+        policy=spec.policy,
     )
     scope = RUN_CACHE.enabled() if use_cache else nullcontext()
     sessions: list[TuningSession] = []

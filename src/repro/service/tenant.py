@@ -33,7 +33,12 @@ class TenantSpec:
     the schedule's distinct segment workloads in first-appearance order)
     describes the work.  ``seed`` doubles as the tenant's replay-order key:
     when a fleet merges journals, this tenant's rule contributions land at
-    its seed's position regardless of completion order.
+    its seed's position regardless of completion order.  ``policy`` names
+    the agent's turn-taking strategy (a registered
+    :mod:`repro.agents.policies` name) — a first-class fleet dimension like
+    the backend; policies only change *when* a tenant parks evaluations,
+    never probe seeds or operand order, so every scheduler contract
+    (worker-count invariance, batched-broker parity) holds per policy.
     """
 
     tenant_id: str
@@ -45,12 +50,20 @@ class TenantSpec:
     seed: int = 0
     cluster_seed: int | None = None
     max_attempts: int = 5
+    policy: str = "reflection"
 
     def __post_init__(self):
         if bool(self.workloads) == bool(self.schedule):
             raise ValueError(
                 f"tenant {self.tenant_id!r} must set exactly one of "
                 "workloads or schedule"
+            )
+        from repro.agents.policies import list_policies
+
+        if self.policy not in list_policies():
+            raise ValueError(
+                f"tenant {self.tenant_id!r} names unknown policy "
+                f"{self.policy!r}; registered: {', '.join(list_policies())}"
             )
 
     def session_queue(self) -> list[Workload]:
@@ -102,11 +115,19 @@ class TenantResult:
     def render_row(self) -> str:
         queue = self.spec.schedule or "+".join(self.spec.workloads)
         usage = self.total_usage()
+        # The default policy stays unmarked so pre-policy fixtures (and the
+        # chaos smoke's fleet-row comparisons) remain byte-identical.
+        policy_note = (
+            f" | policy={self.spec.policy}"
+            if self.spec.policy != "reflection"
+            else ""
+        )
         return (
             f"  {self.tenant_id:12s} {self.spec.backend:8s} {queue:30s} "
             f"{len(self.sessions)} session(s) | mean speedup "
             f"{self.mean_speedup:.2f}x | {len(self.journal)} rule version(s) "
             f"| {self.executions} runs | {usage.input_tokens} tok in"
+            f"{policy_note}"
         )
 
 

@@ -180,6 +180,17 @@ class TestPipelineParity:
         ref_follow = monolithic_tune(ref_engine, get_workload("MACSio_16M"))
         assert_sessions_byte_identical(follow, ref_follow)
 
+    def test_explicit_reflection_policy_byte_identical(self, engines):
+        """Naming the default policy changes nothing vs the pre-refactor loop."""
+        staged, reference = engines
+        ours = staged.fresh_copy().tune(
+            get_workload("MDWorkbench_8K"), policy="reflection"
+        )
+        theirs = monolithic_tune(
+            reference.fresh_copy(), get_workload("MDWorkbench_8K")
+        )
+        assert_sessions_byte_identical(ours, theirs)
+
     def test_run_counter_advances_run_seeds(self, engines):
         """Back-to-back runs differ only through the counter-derived seed."""
         staged, _ = engines

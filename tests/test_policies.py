@@ -1,0 +1,493 @@
+"""The agent-policy layer: registry, parity, behavior, faults, fleet.
+
+Covers the policy tentpole's contracts:
+
+- the registry (ordering, lookup errors, resolution rules);
+- CLI byte parity: the default policy's seed-2 transcript matches the
+  pre-refactor fixtures exactly, on every backend;
+- ReACT and propose/critic determinism and quality (both improve on the
+  defaults, and their *attempts* stay aligned with the reflection loop —
+  policies only change when evaluations are parked, never probe seeds);
+- the satellite behaviors: unknown tool calls degrade instead of crash,
+  malformed Reflect & Summarize payloads raise a descriptive error;
+- policy x fault interaction: every policy absorbs probe exhaustion as a
+  degradation, runs deterministically under a nonzero fault plan at any
+  worker count, and treats the zero-fault plan as byte-identical to no
+  plane at all;
+- the fleet dimension: per-tenant policies validate, render, and preserve
+  the scheduler's worker-count and batching parity contracts.
+"""
+
+import json
+
+import pytest
+
+from repro.agents.policies import (
+    PolicyContext,
+    ProposeCriticPolicy,
+    ReACTPolicy,
+    ReflectionPolicy,
+    get_policy,
+    list_policies,
+    register_policy,
+    resolve_policy,
+)
+from repro.agents.tuning import (
+    ReflectionFormatError,
+    TuningAgent,
+    TuningLoopResult,
+)
+from repro.backends import list_backends
+from repro.cli import main
+from repro.cluster.hardware import make_cluster
+from repro.core.engine import Stellar
+from repro.core.pipeline import SESSION_PIPELINE, SessionState
+from repro.corpus import render_hardware_doc
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import FaultBudgetExhausted
+from repro.llm.api import Completion, ToolCall
+from repro.llm.promptparse import ParameterInfo
+from repro.llm.reasoning import SPECULATIVE_RATIONALE_PREFIX, review_proposal
+from repro.rules.store import session_to_dict
+from repro.service import FleetScheduler, TenantSpec
+from repro.workloads import get_workload
+from test_fleet import fleet_fingerprint
+from test_pipeline import assert_sessions_byte_identical
+
+FIXTURE_DIR = "tests/fixtures"
+
+
+@pytest.fixture(scope="module", params=list_backends())
+def engine(request):
+    """One engine per backend, sharing its offline extraction."""
+    cluster = make_cluster(backend=request.param)
+    return Stellar.build(cluster, seed=0)
+
+
+def build_context(engine, workload_name, seed=0, max_attempts=5, runner=None):
+    """A PolicyContext the way AgentLoopStage builds one, stage by stage."""
+    workload = get_workload(workload_name)
+    state = SessionState(
+        cluster=engine.cluster,
+        workload=workload,
+        model=engine.model,
+        analysis_model="gpt-4o",
+        extraction=engine.extraction,
+        run_seed=seed,
+    )
+    for stage in SESSION_PIPELINE.stages[:4]:
+        state = stage.run(state)
+    return PolicyContext(
+        client=state.tuning_client,
+        parameters=state.parameters,
+        hardware_description=render_hardware_doc(engine.cluster),
+        facts=state.facts,
+        runner=runner if runner is not None else state.runner,
+        report=state.report,
+        analysis_agent=state.analysis_agent,
+        rules_json=[],
+        max_attempts=max_attempts,
+        transcript=state.transcript,
+        session=f"tuning:{workload.name}:{seed}",
+        fs_family=engine.cluster.backend.fs_family,
+    )
+
+
+class TestPolicyRegistry:
+    def test_registration_order(self):
+        assert list_policies() == ["reflection", "react", "propose_critic"]
+
+    def test_get_unknown_names_registered(self):
+        with pytest.raises(KeyError, match="reflection.*react.*propose_critic"):
+            get_policy("chain_of_thought")
+
+    def test_resolve_none_is_reflection(self):
+        assert resolve_policy(None) is get_policy("reflection")
+
+    def test_resolve_by_name(self):
+        assert resolve_policy("react").name == "react"
+
+    def test_resolve_instance_passthrough(self):
+        policy = ReACTPolicy()
+        assert resolve_policy(policy) is policy
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="reflection"):
+            register_policy(ReflectionPolicy())
+
+    def test_policy_classes_expose_names(self):
+        assert ReflectionPolicy().name == "reflection"
+        assert ReACTPolicy().name == "react"
+        assert ProposeCriticPolicy().name == "propose_critic"
+
+
+class TestDefaultPolicyCliParity:
+    """The refactored default loop vs the pre-refactor CLI fixtures."""
+
+    @pytest.mark.parametrize("backend", list_backends())
+    def test_seed2_transcript_matches_fixture(self, backend, capsys):
+        assert (
+            main(
+                [
+                    "--seed",
+                    "2",
+                    "tune",
+                    "MDWorkbench_8K",
+                    "--backend",
+                    backend,
+                    "--transcript",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        with open(f"{FIXTURE_DIR}/policy_parity_{backend}.txt") as handle:
+            assert out == handle.read()
+
+
+class TestPolicyBehavior:
+    @pytest.mark.parametrize("policy", ["react", "propose_critic"])
+    def test_deterministic_and_improving(self, engine, policy):
+        workload = get_workload("MDWorkbench_8K")
+        first = engine.fresh_copy().tune(workload, seed=5, policy=policy)
+        second = engine.fresh_copy().tune(workload, seed=5, policy=policy)
+        assert_sessions_byte_identical(first, second)
+        assert first.best_speedup > 1.0
+
+    @pytest.mark.parametrize("policy", ["react", "propose_critic"])
+    def test_attempts_align_with_reflection(self, engine, policy):
+        """Policies park evaluations; they never perturb probe draws."""
+        workload = get_workload("MDWorkbench_8K")
+        base = engine.fresh_copy().tune(workload, seed=5)
+        other = engine.fresh_copy().tune(workload, seed=5, policy=policy)
+        base_attempts = [(a.changes, a.seconds) for a in base.attempts]
+        other_attempts = [(a.changes, a.seconds) for a in other.attempts]
+        # Every attempt the policy *did* run matches an attempt the
+        # reflection loop ran, in order (the critic may skip some).
+        it = iter(base_attempts)
+        assert all(attempt in it for attempt in other_attempts)
+        assert other.best_speedup >= 1.0
+
+    def test_react_transcript_interleaves_thoughts(self, engine):
+        session = engine.fresh_copy().tune(
+            get_workload("IOR_16M"), seed=5, policy="react"
+        )
+        thoughts = session.transcript.of_kind("react_thought")
+        assert thoughts
+        assert session.transcript.of_kind("end_tuning")
+        assert any(t.detail.startswith("FINAL:") for t in thoughts)
+
+    def test_critic_vetoes_speculative_exploration(self):
+        """Seed 15 on lustre IOR_64K makes the reflection loop explore
+        speculatively; the critic parks that probe run."""
+        cluster = make_cluster(backend="lustre")
+        engine = Stellar.build(cluster, seed=0)
+        workload = get_workload("IOR_64K")
+        base = engine.fresh_copy().tune(workload, seed=15)
+        assert any(
+            a.rationale.startswith(SPECULATIVE_RATIONALE_PREFIX)
+            for a in base.attempts
+        )
+        critic = engine.fresh_copy().tune(
+            workload, seed=15, policy="propose_critic"
+        )
+        vetoes = critic.transcript.of_kind("critic_veto")
+        assert vetoes and "speculative" in vetoes[0].detail
+        assert not any(
+            a.rationale.startswith(SPECULATIVE_RATIONALE_PREFIX)
+            for a in critic.attempts
+        )
+        # The parked probe run never shifts seeds: the shared attempts and
+        # the winning configuration are unchanged.
+        assert critic.best_speedup == base.best_speedup
+        assert "critic" in critic.usage
+
+
+class TestReviewProposal:
+    PARAMS = [
+        ParameterInfo(
+            name="osc.max_rpcs_in_flight",
+            default=8,
+            min_expr="1",
+            max_expr="64",
+        ),
+        ParameterInfo(
+            name="lov.stripe_count",
+            default=1,
+            min_expr="-1",
+            max_expr="n_osts",
+        ),
+    ]
+
+    def test_vetoes_speculative_rationale(self):
+        verdict = review_proposal(
+            {"osc.max_rpcs_in_flight": 16},
+            SPECULATIVE_RATIONALE_PREFIX + " reduces readahead pressure.",
+            self.PARAMS,
+        )
+        assert verdict.startswith("VETO:")
+
+    def test_amends_out_of_range_value(self):
+        verdict = review_proposal(
+            {"osc.max_rpcs_in_flight": 1024},
+            "Deeper RPC pipelining should hide server latency.",
+            self.PARAMS,
+        )
+        head, _, body = verdict.partition("\n")
+        assert head == "AMEND"
+        assert json.loads(body) == {"osc.max_rpcs_in_flight": 64}
+
+    def test_expression_bounds_left_to_runner(self):
+        verdict = review_proposal(
+            {"lov.stripe_count": 999},
+            "Wider striping should spread the load.",
+            self.PARAMS,
+        )
+        assert verdict == "APPROVE"
+
+    def test_approves_grounded_in_range_proposal(self):
+        verdict = review_proposal(
+            {"osc.max_rpcs_in_flight": 32},
+            "The report shows RPC queue saturation.",
+            self.PARAMS,
+        )
+        assert verdict == "APPROVE"
+
+
+class ScriptedClient:
+    """Replays canned tool turns; answers reflections with fixed text."""
+
+    def __init__(self, turns, reflection="[]"):
+        self.turns = list(turns)
+        self.reflection = reflection
+
+    def complete(self, messages, tools=None, agent="generic", session=None):
+        if tools:
+            return Completion(tool_calls=[self.turns.pop(0)])
+        return Completion(content=self.reflection)
+
+
+class StaticRunner:
+    """Just enough runner surface for prompt assembly and one probe."""
+
+    initial_seconds = 10.0
+    execution_count = 1
+
+    def measure(self, changes):
+        return 5.0, dict(changes)
+
+
+def scripted_agent(turns, reflection="[]", **kwargs):
+    return TuningAgent(
+        client=ScriptedClient(turns, reflection=reflection),
+        parameters=[],
+        hardware_description="one test node",
+        facts={"n_clients": 1.0},
+        runner=StaticRunner(),
+        report=None,
+        **kwargs,
+    )
+
+
+class TestUnknownToolDegradation:
+    def test_unknown_tool_skips_turn_and_continues(self):
+        agent = scripted_agent(
+            [
+                ToolCall("fetch_weather", {"city": "Hamburg"}),
+                ToolCall("end_tuning", {"reason": "done"}),
+            ]
+        )
+        result = agent.run_loop()
+        assert result.end_reason == "done"
+        events = agent.transcript.of_kind("unknown_tool")
+        assert events and "'fetch_weather'" in events[0].detail
+        assert any("unknown tool 'fetch_weather'" in d for d in result.degradations)
+
+
+class TestReflectionFormatError:
+    def test_malformed_payload_names_agent_and_session(self):
+        agent = scripted_agent(
+            [
+                ToolCall(
+                    "run_configuration",
+                    {"changes": {"osc.max_dirty_mb": 256}, "rationale": "x"},
+                ),
+                ToolCall("end_tuning", {"reason": "done"}),
+            ],
+            reflection="here are some rules!",
+            session="tuning:IOR_16M:7",
+        )
+        with pytest.raises(ReflectionFormatError) as exc:
+            agent.run_loop()
+        message = str(exc.value)
+        assert "agent 'tuning'" in message
+        assert "tuning:IOR_16M:7" in message
+        assert "line 1" in message and "column" in message
+
+
+class ExhaustedRunner:
+    """Proxies a real runner but every probe exhausts its fault budget."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    @property
+    def initial_seconds(self):
+        return self.inner.initial_seconds
+
+    @property
+    def execution_count(self):
+        return self.inner.execution_count
+
+    def measure(self, changes):
+        raise FaultBudgetExhausted(site="probe.run", key="probe:0:1", attempts=5)
+
+
+class TestPolicyFaultInteraction:
+    PLAN = FaultPlan.uniform(0.05, seed=3)
+
+    @pytest.mark.parametrize("policy", list_policies())
+    def test_deterministic_under_nonzero_plan(self, engine, policy):
+        workload = get_workload("MDWorkbench_8K")
+        runs = []
+        for _ in range(2):
+            faulty = Stellar(
+                cluster=engine.cluster,
+                model=engine.model,
+                extraction=engine.extraction,
+                seed=0,
+                faults=self.PLAN,
+                policy=policy,
+            )
+            runs.append(faulty.tune(workload, seed=5))
+        assert_sessions_byte_identical(*runs)
+
+    @pytest.mark.parametrize("policy", list_policies())
+    def test_zero_fault_plan_matches_no_plane(self, engine, policy):
+        workload = get_workload("MDWorkbench_8K")
+        planned = Stellar(
+            cluster=engine.cluster,
+            model=engine.model,
+            extraction=engine.extraction,
+            seed=0,
+            faults=FaultPlan.none(),
+            policy=policy,
+        ).tune(workload, seed=5)
+        bare = Stellar(
+            cluster=engine.cluster,
+            model=engine.model,
+            extraction=engine.extraction,
+            seed=0,
+            policy=policy,
+        ).tune(workload, seed=5)
+        assert_sessions_byte_identical(planned, bare)
+
+    @pytest.mark.parametrize("policy", list_policies())
+    def test_probe_exhaustion_degrades_not_crashes(self, engine, policy):
+        ctx = build_context(engine, "MDWorkbench_8K", max_attempts=2)
+        ctx.runner = ExhaustedRunner(ctx.runner)
+        result = resolve_policy(policy).run(ctx)
+        assert not result.attempts
+        assert result.degradations
+        assert all("probe.run" in d for d in result.degradations)
+        assert result.end_reason == (
+            "tuning degraded: probe failures consumed the turn budget"
+        )
+
+
+MIXED_POLICY_FLEET = [
+    TenantSpec("acme-data", backend="lustre", workloads=("IOR_16M",), seed=21),
+    TenantSpec(
+        "acme-meta",
+        backend="lustre",
+        workloads=("MDWorkbench_8K",),
+        seed=22,
+        policy="react",
+    ),
+    TenantSpec(
+        "globex",
+        backend="beegfs",
+        workloads=("IOR_64K",),
+        seed=23,
+        policy="propose_critic",
+    ),
+]
+
+
+class TestPolicyFleetDimension:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="badco.*chain_of_thought"):
+            TenantSpec(
+                "badco",
+                workloads=("IOR_16M",),
+                policy="chain_of_thought",
+            )
+
+    def test_render_row_marks_non_default_policy(self):
+        result = FleetScheduler(
+            MIXED_POLICY_FLEET, seed=0, max_workers=1
+        ).run()
+        rows = {t.tenant_id: t.render_row() for t in result.tenants}
+        assert "policy=" not in rows["acme-data"]
+        assert "policy=react" in rows["acme-meta"]
+        assert "policy=propose_critic" in rows["globex"]
+
+    def test_mixed_policy_worker_invariance(self):
+        baseline = fleet_fingerprint(
+            FleetScheduler(MIXED_POLICY_FLEET, seed=0, max_workers=1).run()
+        )
+        pooled = FleetScheduler(MIXED_POLICY_FLEET, seed=0, max_workers=2).run()
+        assert fleet_fingerprint(pooled) == baseline
+
+    def test_mixed_policy_batching_parity(self):
+        batched = FleetScheduler(
+            MIXED_POLICY_FLEET, seed=0, batching=True
+        ).run()
+        scalar = FleetScheduler(
+            MIXED_POLICY_FLEET, seed=0, batching=False
+        ).run()
+        assert fleet_fingerprint(batched) == fleet_fingerprint(scalar)
+
+    def test_faulted_mixed_policy_worker_invariance(self):
+        plan = FaultPlan.uniform(0.05, seed=3)
+        baseline = fleet_fingerprint(
+            FleetScheduler(
+                MIXED_POLICY_FLEET, seed=0, max_workers=1, faults=plan
+            ).run()
+        )
+        pooled = FleetScheduler(
+            MIXED_POLICY_FLEET, seed=0, max_workers=2, faults=plan
+        ).run()
+        assert fleet_fingerprint(pooled) == baseline
+
+
+class TestPolicyExperiment:
+    def test_single_backend_deterministic(self):
+        from repro.experiments import policies
+
+        first = policies.run(seed=0, backends=("lustre",), max_workers=1)
+        second = policies.run(seed=0, backends=("lustre",), max_workers=2)
+        assert first.render() == second.render()
+
+    def test_every_policy_improves_in_every_cell(self):
+        from repro.experiments import policies
+
+        report = policies.run(seed=0)
+        assert report.cells and report.policies == list_policies()
+        for policy in report.policies:
+            assert report.wins(policy) == len(report.cells), policy
+        assert report.sweeping_policies == len(report.policies)
+        assert (
+            f"{len(report.policies)}/{len(report.policies)} policies "
+            "improve on defaults in every cell"
+        ) in report.render()
+
+    def test_cli_policies_command(self, capsys):
+        assert main(["--seed", "2", "policies", "--backend", "lustre"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 policies improve on defaults in every cell" in out
+
+    def test_cli_tune_policy_flag(self, capsys):
+        assert main(["tune", "IOR_16M", "--policy", "propose_critic"]) == 0
+        out = capsys.readouterr().out
+        assert "best speedup" in out

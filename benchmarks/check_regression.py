@@ -22,8 +22,8 @@ from pathlib import Path
 #: The sessions/sec and runs/sec figures the PR-1 perf work established,
 #: plus the PR-4 candidate-sweep and cached-rerun figures, the PR-5
 #: fleet-scheduler figure, the PR-6 degraded-fleet (fault plan) figure,
-#: the PR-7 cross-tenant batched-fleet figure and the PR-8 per-policy
-#: session figures.
+#: the PR-7 cross-tenant batched-fleet figure, the PR-8 per-policy
+#: session figures and the PR-9 tuning-service drain figure.
 TRACKED = (
     "batched_runs_per_sec",
     "sequential_runs_per_sec",
@@ -32,6 +32,7 @@ TRACKED = (
     "cached_rerun_runs_per_sec",
     "fleet_sessions_per_sec",
     "fleet_batched_sessions_per_sec",
+    "service_sessions_per_sec",
     "degraded_sessions_per_sec",
     "policy_sessions_per_sec_reflection",
     "policy_sessions_per_sec_react",

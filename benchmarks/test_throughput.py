@@ -30,7 +30,7 @@ from repro.experiments.harness import run_sessions, shared_extraction
 from repro.faults import FaultPlan
 from repro.pfs.config import PfsConfig
 from repro.pfs.simulator import Simulator
-from repro.service import FleetScheduler, TenantSpec, run_tenant
+from repro.service import FleetScheduler, TenantSpec, TuningService, run_tenant
 from repro.sim.batch import grid_items, repetition_items
 from repro.sim.cache import RUN_CACHE
 from repro.sim.random import RngStreams
@@ -176,6 +176,24 @@ def test_throughput(benchmark, cluster):
             batched_fleet_elapsed, batched_fleet = result.elapsed, result
     fleet_batched_sps = batched_fleet.total_sessions / batched_fleet_elapsed
 
+    # -- tuning service: the same tenants through the daemon front door -----
+    # Submit the whole fleet to a TuningService and drain: measures what the
+    # long-lived path (admission, per-wave pumping, checkpoint-free here)
+    # costs over the batch scheduler.  Drain is once-per-service, so each
+    # round gets a fresh daemon.
+    def run_service():
+        service = TuningService(seed=0, use_cache=False, pump_interval=4)
+        for spec in fleet_tenants:
+            assert service.submit(spec).accepted
+        return service.drain()
+
+    service_elapsed, service_fleet = None, None
+    for _ in range(2):
+        result = run_service()
+        if service_elapsed is None or result.elapsed < service_elapsed:
+            service_elapsed, service_fleet = result.elapsed, result
+    service_sps = service_fleet.total_sessions / service_elapsed
+
     # -- degraded fleet: the same pool absorbing a 10% fault plan -----------
     # Measures resilience overhead: retries, backoff accounting and (rarely)
     # quarantine handling, with the cache off like the other fleet arms.
@@ -239,6 +257,7 @@ def test_throughput(benchmark, cluster):
         "fleet_sessions_per_sec": round(fleet_sps, 2),
         "fleet_batched_sessions_per_sec": round(fleet_batched_sps, 2),
         "fleet_sequential_sessions_per_sec": round(fleet_sequential_sps, 2),
+        "service_sessions_per_sec": round(service_sps, 2),
         "degraded_sessions_per_sec": round(degraded_sps, 2),
         "degraded_quarantined_tenants": len(degraded.failures),
         **{
@@ -283,6 +302,11 @@ def test_throughput(benchmark, cluster):
     # pooled arm session for session.
     assert [
         [s.best_speedup for s in t.sessions] for t in batched_fleet.tenants
+    ] == [[s.best_speedup for s in t.sessions] for t in fleet.tenants]
+    # And so is the daemon: a drained service is the batch fleet (seeds are
+    # strictly increasing, so canonical drain order is submission order).
+    assert [
+        [s.best_speedup for s in t.sessions] for t in service_fleet.tenants
     ] == [[s.best_speedup for s in t.sessions] for t in fleet.tenants]
     if fleet.workers > 1:
         assert fleet_sps > fleet_sequential_sps

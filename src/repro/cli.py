@@ -16,6 +16,8 @@ Examples::
     stellar chaos --backend beegfs --rates 0,0.1
     stellar tune IOR_16M --policy react
     stellar policies                   # rank agent policies over the fleet
+    stellar serve                      # long-lived service: submit -> drain
+    stellar overload                   # service under rising offered load
     stellar list                       # workloads, experiments, backends
 """
 
@@ -48,6 +50,7 @@ EXPERIMENTS = (
     "fleet",
     "resilience",
     "policies",
+    "overload",
 )
 
 
@@ -144,6 +147,50 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pool size (default: REPRO_MAX_WORKERS, then cpu count)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived tuning service: submit the fleet matrix, drain",
+    )
+    serve.add_argument(
+        "--backend", choices=list_backends() + ["all"], default="all"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (default: REPRO_MAX_WORKERS, then cpu count)",
+    )
+    serve.add_argument(
+        "--in-order",
+        action="store_true",
+        help="submit in matrix order instead of the seeded shuffle",
+    )
+
+    overload = sub.add_parser(
+        "overload",
+        help="service overload sweep: admitted/shed/queue depth vs offered load",
+    )
+    overload.add_argument(
+        "--backend", choices=list_backends() + ["all"], default="all"
+    )
+    overload.add_argument(
+        "--loads",
+        default="4,8,16",
+        help="comma-separated submission burst sizes",
+    )
+    overload.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="uniform fault rate in [0, 1] composed with the overload",
+    )
+    overload.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (default: REPRO_MAX_WORKERS, then cpu count)",
+    )
     return parser
 
 
@@ -210,6 +257,10 @@ def _run_experiment(name: str, cluster, reps: int, seed: int) -> str:
         from repro.experiments import policies
 
         return policies.run(cluster, seed=seed).render()
+    if name == "overload":
+        from repro.experiments import overload
+
+        return overload.run(cluster, seed=seed).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -300,6 +351,88 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             backends=backends,
             rates=rates,
+            max_workers=args.workers,
+        )
+        print(report.render())
+        return 0
+
+    if args.command == "serve":
+        import random
+
+        from repro.experiments import fleet as fleet_experiment
+        from repro.service import TuningService
+
+        if args.workers is not None and args.workers <= 0:
+            print(
+                f"error: --workers {args.workers}: must be a positive "
+                "worker count",
+                file=sys.stderr,
+            )
+            return 2
+        backends = (
+            fleet_experiment.BACKENDS if backend_arg == "all" else (backend_arg,)
+        )
+        tenants = fleet_experiment.default_tenants(backends, seed=args.seed)
+        order = list(tenants)
+        if not args.in_order:
+            # A seeded shuffle: the daemon must produce the same drained
+            # fleet whatever order tenants arrive in, so the default
+            # exercises an out-of-order submission stream deterministically.
+            random.Random(args.seed).shuffle(order)
+        service = TuningService(seed=args.seed, max_workers=args.workers)
+        print(
+            "Service: long-lived tuning daemon "
+            f"({len(order)} submission(s), out-of-order={not args.in_order})"
+        )
+        print("  admission log:")
+        for index, spec in enumerate(order):
+            print(service.submit(spec, priority=index % 3).render_row())
+        result = service.drain()
+        print(result.render())
+        return 0
+
+    if args.command == "overload":
+        from repro.experiments import overload
+
+        if args.workers is not None and args.workers <= 0:
+            print(
+                f"error: --workers {args.workers}: must be a positive "
+                "worker count",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            loads = tuple(
+                int(token) for token in args.loads.split(",") if token.strip()
+            )
+        except ValueError:
+            print(
+                f"error: --loads {args.loads!r}: not a comma-separated "
+                "list of integers",
+                file=sys.stderr,
+            )
+            return 2
+        if not loads or any(load <= 0 for load in loads):
+            print(
+                f"error: --loads {args.loads!r}: burst sizes must be "
+                "positive",
+                file=sys.stderr,
+            )
+            return 2
+        if not 0.0 <= args.rate <= 1.0:
+            print(
+                f"error: --rate {args.rate}: must lie in [0, 1]",
+                file=sys.stderr,
+            )
+            return 2
+        backends = (
+            overload.BACKENDS if backend_arg == "all" else (backend_arg,)
+        )
+        report = overload.run(
+            seed=args.seed,
+            backends=backends,
+            loads=loads,
+            rate=args.rate,
             max_workers=args.workers,
         )
         print(report.render())

@@ -9,6 +9,7 @@ sessions, transcripts and quarantine reports at any worker count, and the
 zero-fault plan is byte-identical to running without the plane at all.
 """
 
+from repro.faults.breaker import BreakerPolicy, BreakerState
 from repro.faults.llm import ResilientLLMClient
 from repro.faults.plan import FAULT_SITES, LLM_SITES, FaultPlan
 from repro.faults.retry import (
@@ -27,4 +28,6 @@ __all__ = [
     "FaultBudgetExhausted",
     "RetryPolicy",
     "ResilientLLMClient",
+    "BreakerPolicy",
+    "BreakerState",
 ]

@@ -10,8 +10,8 @@ latency accounting, never slept.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, TypeVar
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, TypeVar
 
 from repro.faults.plan import FaultPlan
 
@@ -36,12 +36,24 @@ class FaultBudgetExhausted(FaultError):
 
     Carries the structured context quarantine reports are built from:
     the failing site, the operation key, how many attempts were spent and
-    how much simulated backoff accrued before giving up.
+    how much simulated backoff accrued before giving up.  ``backoff_spent``
+    counts only delays that preceded an attempt that actually ran — the
+    backoff a final retry *would* have waited is never charged, because that
+    retry never happens.  ``fail_fast`` marks exhaustions short-circuited by
+    an open circuit breaker (see :attr:`RetryPolicy.fail_fast_sites`).
     """
 
-    def __init__(self, site: str, key: str, attempts: int, backoff_spent: float = 0.0):
+    def __init__(
+        self,
+        site: str,
+        key: str,
+        attempts: int,
+        backoff_spent: float = 0.0,
+        fail_fast: bool = False,
+    ):
+        mode = "fail-fast (breaker open)" if fail_fast else "exhausted its retry budget"
         super().__init__(
-            f"fault site {site} exhausted its retry budget after "
+            f"fault site {site} {mode} after "
             f"{attempts} attempt(s) at {key or '<unkeyed>'} "
             f"({backoff_spent:.1f}s backoff spent)"
         )
@@ -49,6 +61,7 @@ class FaultBudgetExhausted(FaultError):
         self.key = key
         self.attempts = attempts
         self.backoff_spent = backoff_spent
+        self.fail_fast = fail_fast
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,11 @@ class RetryPolicy:
     simulated backoff an operation may accrue — whichever limit trips
     first raises :class:`FaultBudgetExhausted`.  ``request_timeout`` is the
     simulated wall cost charged for one timed-out request.
+
+    ``fail_fast_sites`` lists sites whose *first* transient fault exhausts
+    immediately — no retries, no backoff.  The service layer's circuit
+    breaker routes tenants into this degraded mode once a site has proven
+    hostile, instead of burning every tenant's full retry budget on it.
     """
 
     max_retries: int = 4
@@ -68,6 +86,21 @@ class RetryPolicy:
     jitter: float = 0.1
     request_timeout: float = 30.0
     timeout_budget: float = 120.0
+    fail_fast_sites: frozenset[str] = frozenset()
+
+    def with_fail_fast(self, sites: Iterable[str]) -> "RetryPolicy":
+        """This policy, failing fast on ``sites`` (replaces any prior set)."""
+        return replace(self, fail_fast_sites=frozenset(sites))
+
+    def with_deadline(self, deadline: float | None) -> "RetryPolicy":
+        """This policy with ``timeout_budget`` capped at ``deadline``.
+
+        ``None`` leaves the policy untouched; the cap never *raises* the
+        budget, so a generous deadline cannot loosen an existing policy.
+        """
+        if deadline is None:
+            return self
+        return replace(self, timeout_budget=min(self.timeout_budget, float(deadline)))
 
     def backoff(self, plan: FaultPlan, key: str, attempt: int) -> float:
         """Simulated delay before retrying ``attempt`` (0-based)."""
@@ -88,22 +121,37 @@ class RetryPolicy:
 
         ``record`` observes every failed attempt (for retry/latency
         accounting) *before* the exhaustion decision, so quarantine reports
-        and ledgers see each attempt exactly once.
+        and ledgers see each attempt exactly once.  The attempt that
+        exhausts the budget is recorded with a zero delay: the backoff that
+        would have preceded the next retry is never waited, so neither the
+        ledger nor ``backoff_spent`` charges it.
         """
         spent = 0.0
         for attempt in range(self.max_retries + 1):
             try:
                 return fn(attempt)
             except TransientFault as fault:
+                if fault.site in self.fail_fast_sites:
+                    if record is not None:
+                        record(fault, attempt, 0.0)
+                    raise FaultBudgetExhausted(
+                        site=fault.site,
+                        key=key,
+                        attempts=attempt + 1,
+                        backoff_spent=spent,
+                        fail_fast=True,
+                    ) from fault
                 delay = self.backoff(plan, key, attempt)
-                spent += delay
-                if record is not None:
-                    record(fault, attempt, delay)
-                if attempt == self.max_retries or spent > self.timeout_budget:
+                if attempt == self.max_retries or spent + delay > self.timeout_budget:
+                    if record is not None:
+                        record(fault, attempt, 0.0)
                     raise FaultBudgetExhausted(
                         site=fault.site,
                         key=key,
                         attempts=attempt + 1,
                         backoff_spent=spent,
                     ) from fault
+                spent += delay
+                if record is not None:
+                    record(fault, attempt, delay)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -21,9 +21,28 @@ budget is quarantined with a structured
 :class:`~repro.service.tenant.TenantFailure` report while every other
 tenant completes, and fleet state checkpoints through the journal store so
 a killed fleet resumes without re-running completed tenants.
+
+The long-lived face of the layer is :class:`~repro.service.daemon.
+TuningService`: tenants arrive through deterministic admission control
+(rate limits + bounded queue with backpressure), run in waves over the
+same pool, and ``drain()`` returns a fleet byte-identical to the batch
+scheduler — the daemon owns no tuning logic, everything routes through
+:func:`~repro.service.scheduler.run_tenant`.
 """
 
-from repro.service.scheduler import FleetResult, FleetScheduler, run_tenant
+from repro.service.admission import (
+    Admission,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.daemon import TuningService
+from repro.service.scheduler import (
+    FleetResult,
+    FleetScheduler,
+    execute_jobs,
+    run_tenant,
+)
 from repro.service.tenant import TenantFailure, TenantResult, TenantSpec
 
 __all__ = [
@@ -33,4 +52,10 @@ __all__ = [
     "TenantResult",
     "TenantFailure",
     "run_tenant",
+    "execute_jobs",
+    "TuningService",
+    "Admission",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
 ]

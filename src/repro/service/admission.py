@@ -1,0 +1,165 @@
+"""Deterministic admission control for the long-lived tuning service.
+
+The daemon's front door: every submission passes through an
+:class:`AdmissionController`, which applies a per-principal sliding-window
+rate limit and a bounded global queue with explicit backpressure.  The
+controller is a pure state machine over the *submission sequence* — its
+decisions are functions of submission order and the prior decisions, never
+wall clock, worker count, or execution timing — so the same submission
+stream sheds the same tenants on every run of the service.
+
+A submission's *principal* is who it counts against for rate limiting:
+explicitly provided, or derived from a hierarchical tenant id
+(``"acct/job"`` -> ``"acct"``; a flat id is its own principal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Admission(Enum):
+    """What the service decided about one submission."""
+
+    #: Accepted; the queue was empty, so it heads the next wave.
+    ADMITTED = "admitted"
+    #: Accepted; parked behind pending work.
+    QUEUED = "queued"
+    #: Shed — over the rate limit, over the queue bound, or the service
+    #: is no longer accepting work.
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """How much offered load the service absorbs before shedding.
+
+    ``max_pending`` bounds the global queue (accepted-but-unexecuted
+    submissions); ``per_tenant_limit`` bounds how many submissions one
+    principal may have accepted within the last ``window`` global
+    submissions (a sliding window in sequence numbers, not seconds —
+    the deterministic analogue of a rate limit).
+    """
+
+    max_pending: int = 64
+    per_tenant_limit: int = 8
+    window: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending={self.max_pending} must be >= 1")
+        if self.per_tenant_limit < 1:
+            raise ValueError(
+                f"per_tenant_limit={self.per_tenant_limit} must be >= 1"
+            )
+        if self.window < 1:
+            raise ValueError(f"window={self.window} must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One submission's verdict, in the order submissions arrived."""
+
+    seq: int
+    tenant_id: str
+    principal: str
+    admission: Admission
+    reason: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.admission is not Admission.REJECTED
+
+    def render_row(self) -> str:
+        verdict = self.admission.value
+        note = f" ({self.reason})" if self.reason else ""
+        return f"  #{self.seq:03d} {self.tenant_id:24s} {verdict}{note}"
+
+
+class AdmissionController:
+    """The pure admission state machine.
+
+    :meth:`decide` is called once per submission, in submission order;
+    :meth:`release` is called by the execution pump when it takes
+    accepted submissions off the queue.  Nothing here reads a clock.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.decisions: list[AdmissionDecision] = []
+        self._seq = 0
+        self._accepted: list[tuple[int, str]] = []  # (seq, principal)
+        self._released = 0
+        self._closed: str | None = None
+
+    @staticmethod
+    def principal_of(tenant_id: str, principal: str | None = None) -> str:
+        if principal is not None:
+            return principal
+        return tenant_id.split("/", 1)[0]
+
+    @property
+    def pending(self) -> int:
+        """Accepted submissions not yet released to execution."""
+        return len(self._accepted) - self._released
+
+    @property
+    def closed(self) -> bool:
+        return self._closed is not None
+
+    def close(self, reason: str) -> None:
+        """Stop admission; every later submission is shed with ``reason``."""
+        self._closed = reason
+
+    def release(self, count: int) -> None:
+        """The pump took ``count`` accepted submissions off the queue."""
+        self._released += count
+
+    def decide(
+        self, tenant_id: str, principal: str | None = None
+    ) -> AdmissionDecision:
+        seq = self._seq
+        self._seq += 1
+        who = self.principal_of(tenant_id, principal)
+
+        def shed(reason: str) -> AdmissionDecision:
+            return AdmissionDecision(
+                seq, tenant_id, who, Admission.REJECTED, reason
+            )
+
+        if self._closed is not None:
+            decision = shed(self._closed)
+        else:
+            recent = [
+                s
+                for s, p in self._accepted
+                if p == who and s > seq - self.policy.window
+            ]
+            if len(recent) >= self.policy.per_tenant_limit:
+                decision = shed(
+                    f"rate limit: {len(recent)} accepted for {who!r} in the "
+                    f"last {self.policy.window} submissions"
+                )
+            elif self.pending >= self.policy.max_pending:
+                decision = shed(
+                    f"backpressure: queue full at {self.pending} pending"
+                )
+            else:
+                verdict = (
+                    Admission.ADMITTED if self.pending == 0 else Admission.QUEUED
+                )
+                self._accepted.append((seq, who))
+                decision = AdmissionDecision(seq, tenant_id, who, verdict)
+        self.decisions.append(decision)
+        return decision
+
+    def last_decision(self, tenant_id: str) -> AdmissionDecision | None:
+        for decision in reversed(self.decisions):
+            if decision.tenant_id == tenant_id:
+                return decision
+        return None
+
+    def shed(self) -> list[AdmissionDecision]:
+        """Every rejected submission, in submission order."""
+        return [d for d in self.decisions if not d.accepted]

@@ -1,0 +1,394 @@
+"""The long-lived tuning service: a persistent front end over the fleet.
+
+:class:`TuningService` is what the batch :class:`~repro.service.scheduler.
+FleetScheduler` becomes when the process never exits: tenants arrive one
+at a time through :meth:`submit`, pass the deterministic
+:class:`~repro.service.admission.AdmissionController` (per-principal rate
+limits, bounded global queue with explicit backpressure), wait in
+per-principal priority queues, and execute in waves over the same warm
+pool — every tenant still runs through
+:func:`~repro.service.scheduler.run_tenant`; the daemon owns **no**
+tuning logic of its own.
+
+Robustness features, all wall-clock-free:
+
+- **Deadlines.**  ``submit(..., deadline=...)`` caps the tenant's
+  simulated-time retry budget (:meth:`RetryPolicy.with_deadline`), so a
+  latency-sensitive tenant exhausts early instead of burning the full
+  backoff schedule.
+- **Circuit breakers.**  After ``breaker.threshold`` consecutive
+  quarantines on one fault site, later tenants run with that site
+  fail-fast (degraded mode) instead of each re-proving the site hostile.
+- **Crash safety.**  With a ``checkpoint`` path the service persists
+  every arrival through the fleet's fingerprinted checkpoint machinery;
+  a ``kill -9`` + restart + identical resubmission stream resumes
+  without re-running completed tenants, byte-identical to the
+  uninterrupted service.
+
+Determinism contract: :meth:`drain` stops admission, finishes the queue
+and returns a :class:`~repro.service.scheduler.FleetResult` over the
+admitted tenants in canonical ``(seed, tenant_id)`` order that is
+byte-identical (sessions, transcripts, merged journal) to running the
+same tenants through the batch ``FleetScheduler`` — at any worker count,
+any submission interleaving, under any fault plan.  Pre-drain execution
+may speculate about breaker modes (waves run in parallel); the drain
+walk re-folds every outcome in canonical order and deterministically
+re-runs any tenant whose speculative mode disagrees, which is what makes
+the final result independent of how the queue happened to be paced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from repro.experiments.parallel import effective_workers
+from repro.faults.breaker import BreakerPolicy, BreakerState
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.rules.store import JournalCorruptError, RuleJournal
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.scheduler import (
+    ArtifactCatalog,
+    CheckpointStore,
+    FleetResult,
+    _outcome_from_json,
+    _outcome_to_json,
+    _resolve_payload,
+    execute_jobs,
+    fleet_stamp,
+    run_tenant,
+    spec_digest,
+)
+from repro.service.tenant import TenantFailure, TenantResult, TenantSpec
+
+
+@dataclass
+class _Submission:
+    """One accepted submission waiting in the queue."""
+
+    spec: TenantSpec
+    seq: int
+    priority: int
+    retry: RetryPolicy
+    restored: tuple[TenantResult | TenantFailure, frozenset] | None = None
+
+
+class TuningService:
+    """A persistent, crash-safe, overload-aware tuning daemon.
+
+    ``admission`` guards the front door (``None`` applies the default
+    :class:`AdmissionPolicy`); ``breaker`` arms per-site circuit breakers
+    (``None`` disables them); ``pump_interval`` auto-runs a wave whenever
+    that many submissions are queued (``None`` defers all execution to
+    :meth:`pump`/:meth:`drain`).  Higher ``priority`` submissions run
+    earlier within a wave; ties break by submission order.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_workers: int | None = None,
+        use_cache: bool = True,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint: str | Path | None = None,
+        batching: bool = True,
+        admission: AdmissionPolicy | None = None,
+        breaker: BreakerPolicy | None = BreakerPolicy(),
+        pump_interval: int | None = 4,
+    ):
+        if pump_interval is not None and pump_interval < 1:
+            raise ValueError(f"pump_interval={pump_interval} must be >= 1")
+        self.seed = seed
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.batching = batching
+        self.breaker = breaker
+        self.pump_interval = pump_interval
+        self.admission = AdmissionController(admission)
+        self._catalog = ArtifactCatalog(seed)
+        self._queue: list[_Submission] = []
+        self._specs: dict[str, TenantSpec] = {}
+        self._retries: dict[str, RetryPolicy] = {}
+        #: tenant_id -> (outcome, mode the outcome actually ran under)
+        self._outcomes: dict[str, tuple[TenantResult | TenantFailure, frozenset]] = {}
+        self._online = BreakerState(breaker) if breaker is not None else None
+        self._breaker_state: BreakerState | None = None
+        self._elapsed = 0.0
+        self._drained: FleetResult | None = None
+        self._abandoned = 0
+        self._store = (
+            CheckpointStore(
+                checkpoint,
+                fleet_stamp(None, seed, faults),
+                self.retry,
+                faults,
+            )
+            if checkpoint is not None
+            else None
+        )
+        self._restored_raw = self._store.load() if self._store is not None else {}
+
+    # -- the front door -------------------------------------------------
+    def submit(
+        self,
+        spec: TenantSpec,
+        priority: int = 0,
+        deadline: float | None = None,
+        principal: str | None = None,
+    ) -> AdmissionDecision:
+        """Offer one tenant to the service; returns the admission verdict.
+
+        ``deadline`` caps the tenant's simulated-time retry budget;
+        ``principal`` is the rate-limiting identity (defaults to the
+        tenant id's leading ``"acct/"`` segment, or the id itself).
+        """
+        if spec.tenant_id in self._specs:
+            raise ValueError(
+                f"duplicate tenant id {spec.tenant_id!r}: already admitted"
+            )
+        decision = self.admission.decide(spec.tenant_id, principal)
+        if not decision.accepted:
+            return decision
+        self._specs[spec.tenant_id] = spec
+        retry = self.retry.with_deadline(deadline)
+        self._retries[spec.tenant_id] = retry
+        self._queue.append(
+            _Submission(
+                spec=spec,
+                seq=decision.seq,
+                priority=priority,
+                retry=retry,
+                restored=self._adopt_restored(spec),
+            )
+        )
+        if (
+            self.pump_interval is not None
+            and len(self._queue) >= self.pump_interval
+        ):
+            self.pump()
+        return decision
+
+    def _adopt_restored(
+        self, spec: TenantSpec
+    ) -> tuple[TenantResult | TenantFailure, frozenset] | None:
+        """The checkpointed outcome for ``spec``, when one exists.
+
+        The restored submission still flows through admission and the
+        queue exactly like a fresh one — only its *execution* is skipped —
+        so every admission/backpressure decision matches the uninterrupted
+        run.  A digest mismatch means the checkpoint belongs to a
+        different submission stream and is refused loudly.
+        """
+        raw = self._restored_raw.get(spec.tenant_id)
+        if raw is None:
+            return None
+        expected = spec_digest(spec)
+        recorded = raw.get("spec_digest")
+        if recorded != expected:
+            raise JournalCorruptError(
+                f"service checkpoint entry for tenant {spec.tenant_id!r} "
+                f"was written by a different spec (digest {recorded!r}, "
+                f"this submission expects {expected!r}); the checkpoint "
+                "belongs to a different fleet"
+            )
+        outcome = _outcome_from_json(raw, spec)
+        if self._store is not None:
+            self._store.restore_fragment(spec.tenant_id, raw)
+        return outcome, frozenset(raw.get("degraded_sites", ()))
+
+    # -- execution ------------------------------------------------------
+    def pump(self) -> int:
+        """Run every queued submission as one wave over the warm pool.
+
+        Returns the number of submissions taken off the queue.  Wave
+        execution is speculative with respect to breaker modes (the
+        canonical fold happens at :meth:`drain`); outcomes and
+        checkpoints are still recorded per arrival.
+        """
+        if self._drained is not None:
+            raise RuntimeError("service already drained")
+        if not self._queue:
+            return 0
+        wave = sorted(self._queue, key=lambda s: (-s.priority, s.seq))
+        self._queue = []
+        self.admission.release(len(wave))
+        start = perf_counter()
+        jobs: list[tuple] = []
+        modes: list[tuple[_Submission, frozenset]] = []
+        for sub in wave:
+            if sub.restored is not None:
+                outcome, mode = sub.restored
+                self._outcomes[sub.spec.tenant_id] = (outcome, mode)
+                continue
+            mode = (
+                self._online.open_sites()
+                if self._online is not None
+                else frozenset()
+            )
+            jobs.append(
+                (
+                    sub.spec,
+                    self._catalog.payload_for(sub.spec),
+                    self.use_cache,
+                    self.faults,
+                    sub.retry.with_fail_fast(mode),
+                )
+            )
+            modes.append((sub, mode))
+        for index, outcome in execute_jobs(
+            jobs, max_workers=self.max_workers, batching=self.batching
+        ):
+            sub, mode = modes[index]
+            self._arrive(sub.spec, outcome, mode)
+        self._elapsed += perf_counter() - start
+        return len(wave)
+
+    def _arrive(
+        self,
+        spec: TenantSpec,
+        outcome: TenantResult | TenantFailure,
+        mode: frozenset,
+    ) -> None:
+        self._outcomes[spec.tenant_id] = (outcome, mode)
+        if self._online is not None:
+            self._online.observe(outcome)
+        if self._store is not None:
+            self._store.record(
+                spec.tenant_id,
+                _outcome_to_json(
+                    outcome,
+                    spec_fingerprint=spec_digest(spec),
+                    degraded_sites=mode,
+                ),
+            )
+
+    def _rerun_tenant(
+        self, spec: TenantSpec, mode: frozenset
+    ) -> TenantResult | TenantFailure:
+        bundle = _resolve_payload(self._catalog.payload_for(spec))
+        return run_tenant(
+            spec,
+            bundle.cluster,
+            bundle.extraction,
+            self.use_cache,
+            self.faults,
+            self._retries[spec.tenant_id].with_fail_fast(mode),
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def drain(self) -> FleetResult:
+        """Stop admission, finish the queue, return the canonical fleet.
+
+        The result lists admitted tenants in canonical ``(seed,
+        tenant_id)`` order and is byte-identical to the batch
+        ``FleetScheduler`` over the same specs (same seed, plan, retry
+        and breaker), whatever the submission interleaving, pump pacing
+        or worker count was.  Idempotent: later calls return the same
+        result.
+        """
+        if self._drained is not None:
+            return self._drained
+        if not self.admission.closed:
+            self.admission.close("draining: service no longer accepts work")
+        self.pump()
+        specs = sorted(
+            self._specs.values(), key=lambda s: (s.seed, s.tenant_id)
+        )
+        start = perf_counter()
+        if self.breaker is not None:
+            # The canonical breaker fold: same semantics as the batch
+            # scheduler's walk, over the canonical tenant order.
+            state = BreakerState(self.breaker)
+            for spec in specs:
+                outcome, ran_mode = self._outcomes[spec.tenant_id]
+                mode = state.open_sites()
+                if mode != ran_mode:
+                    outcome = self._rerun_tenant(spec, mode)
+                    self._arrive(spec, outcome, mode)
+                state.observe(outcome)
+            self._breaker_state = state
+        self._elapsed += perf_counter() - start
+        outcomes = [self._outcomes[spec.tenant_id][0] for spec in specs]
+        journal = RuleJournal.merged(
+            [o.journal for o in outcomes if isinstance(o, TenantResult)]
+        )
+        self._drained = FleetResult(
+            outcomes=outcomes,
+            journal=journal,
+            elapsed=self._elapsed,
+            workers=effective_workers(self.max_workers, max(len(specs), 1)),
+            checkpoint_write_failures=(
+                self._store.write_failures if self._store is not None else 0
+            ),
+        )
+        return self._drained
+
+    def shutdown(self) -> dict[str, int]:
+        """Stop admission and abandon the queue (no further execution).
+
+        Returns a summary of what the service got done.  Unlike
+        :meth:`drain`, queued-but-unexecuted submissions are dropped —
+        with a checkpoint armed their completed peers survive for the
+        next incarnation.
+        """
+        if not self.admission.closed:
+            self.admission.close("shutdown: service stopped")
+        self._abandoned += len(self._queue)
+        self._queue = []
+        completed = sum(
+            1
+            for outcome, _ in self._outcomes.values()
+            if isinstance(outcome, TenantResult)
+        )
+        return {
+            "completed": completed,
+            "quarantined": len(self._outcomes) - completed,
+            "abandoned": self._abandoned,
+            "rejected": len(self.admission.shed()),
+        }
+
+    # -- introspection --------------------------------------------------
+    def status(self, tenant_id: str) -> str:
+        """One of ``completed``/``quarantined``/``queued``/``rejected``/
+        ``unknown`` (pre-drain outcomes are provisional under breakers)."""
+        held = self._outcomes.get(tenant_id)
+        if held is not None:
+            outcome, _ = held
+            return (
+                "completed" if isinstance(outcome, TenantResult) else "quarantined"
+            )
+        if any(sub.spec.tenant_id == tenant_id for sub in self._queue):
+            return "queued"
+        decision = self.admission.last_decision(tenant_id)
+        if decision is not None and not decision.accepted:
+            return "rejected"
+        return "unknown"
+
+    def results(self, tenant_id: str) -> TenantResult:
+        """The tenant's completed result (KeyError otherwise)."""
+        held = self._outcomes.get(tenant_id)
+        if held is None or not isinstance(held[0], TenantResult):
+            raise KeyError(tenant_id)
+        return held[0]
+
+    def failure(self, tenant_id: str) -> TenantFailure:
+        """The tenant's quarantine report (KeyError otherwise)."""
+        held = self._outcomes.get(tenant_id)
+        if held is None or not isinstance(held[0], TenantFailure):
+            raise KeyError(tenant_id)
+        return held[0]
+
+    def breaker_report(self) -> dict[str, dict[str, int | str]]:
+        """Canonical per-site breaker states (empty before :meth:`drain`)."""
+        if self._breaker_state is None:
+            return {}
+        return self._breaker_state.report()

@@ -39,13 +39,15 @@ tenants.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import threading
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.cluster.hardware import ClusterSpec, make_cluster
 from repro.core.engine import Stellar
@@ -54,6 +56,7 @@ from repro.core.session import TuningSession
 from repro.corpus import render_hardware_doc, render_manual
 from repro.experiments.harness import shared_extraction
 from repro.experiments.parallel import effective_workers, imap
+from repro.faults.breaker import BreakerPolicy, BreakerState
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import FaultBudgetExhausted, RetryPolicy, TransientFault
 from repro.rag.extraction import ExtractionResult
@@ -70,8 +73,49 @@ from repro.service.broker import FleetEvalBroker, TenantPort
 from repro.service.tenant import TenantFailure, TenantResult, TenantSpec
 from repro.sim.cache import RUN_CACHE
 
-#: Version tag of the fleet checkpoint file format.
-CHECKPOINT_FORMAT = 1
+#: Version tag of the fleet checkpoint file format.  Format 2 stamps every
+#: checkpoint with a fleet fingerprint (tenant ids + seed + plan digest) and
+#: every outcome with its spec digest, so a checkpoint written by a
+#: *different* fleet is rejected loudly instead of silently partially
+#: applied.
+CHECKPOINT_FORMAT = 2
+
+
+def spec_digest(spec: TenantSpec) -> str:
+    """Stable content digest of one tenant spec (checkpoint identity)."""
+    payload = json.dumps(dataclasses.asdict(spec), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def plan_digest(plan: FaultPlan | None) -> str:
+    """Stable digest of a fault plan; inert plans all digest to ``"none"``.
+
+    An unarmed plan is byte-identical to no plan at all (the plane's
+    standing contract), so both fingerprint the same way.
+    """
+    if plan is None or not plan.active:
+        return "none"
+    payload = json.dumps(
+        {"seed": plan.seed, "rates": dict(sorted(plan.rates.items()))},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def fleet_stamp(
+    tenant_ids: Sequence[str] | None, seed: int, plan: FaultPlan | None
+) -> dict:
+    """The fleet fingerprint stamped into every checkpoint.
+
+    ``tenant_ids`` is ``None`` for a dynamic fleet (the service daemon,
+    whose tenant set grows with submissions) — then only seed and plan
+    participate in the identity check.
+    """
+    return {
+        "tenants": sorted(tenant_ids) if tenant_ids is not None else None,
+        "seed": seed,
+        "plan": plan_digest(plan),
+    }
 
 
 def _merge_recovery(sessions: Sequence[TuningSession]) -> dict[str, int]:
@@ -234,6 +278,50 @@ def _tenant_group_job(jobs: tuple) -> list[TenantResult | TenantFailure]:
     return run_tenant_group(resolved)
 
 
+def execute_jobs(
+    jobs: Sequence[tuple],
+    max_workers: int | None = None,
+    batching: bool = True,
+) -> Iterator[tuple[int, TenantResult | TenantFailure]]:
+    """THE tenant-execution core: run job tuples over the warm pool.
+
+    ``jobs`` are :func:`run_tenant` payload tuples
+    ``(spec, payload, use_cache, faults, retry)`` — each entry carries its
+    *own* retry policy, which is how the service daemon applies per-tenant
+    deadlines and degraded modes without forking the execution path.
+    Yields ``(index, outcome)`` as each tenant becomes next; the yield
+    order is deterministic for a fixed (jobs, worker count, batching) and
+    every outcome is deterministic for its job tuple alone, so consumers
+    may checkpoint incrementally and reorder freely.
+
+    Both :class:`FleetScheduler` and the service daemon route through this
+    one generator — the daemon owns no tuning logic of its own.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return
+    workers = effective_workers(max_workers, len(jobs))
+    if batching and len(jobs) > 1:
+        # Tenants co-locate round-robin: worker g gets jobs g, g+W, g+2W,
+        # ... so heterogeneous queues spread evenly.  Each group job runs
+        # its tenants as threads over one shared eval broker.
+        indices = [list(range(len(jobs)))[g::workers] for g in range(workers)]
+        group_jobs = [jobs[g::workers] for g in range(workers)]
+        indices = [group for group in indices if group]
+        group_jobs = [group for group in group_jobs if group]
+        for group_indices, outcomes in zip(
+            indices,
+            imap(_tenant_group_job, group_jobs, max_workers=max(len(group_jobs), 1)),
+        ):
+            for index, outcome in zip(group_indices, outcomes):
+                yield index, outcome
+    else:
+        for index, outcome in enumerate(
+            imap(_tenant_job, jobs, max_workers=workers)
+        ):
+            yield index, outcome
+
+
 @dataclass
 class FleetResult:
     """Per-tenant outcomes (submission order) plus the fleet-wide journal.
@@ -317,15 +405,26 @@ class FleetResult:
 # ---------------------------------------------------------------------------
 
 
-def _outcome_to_json(outcome: TenantResult | TenantFailure) -> dict:
+def _outcome_to_json(
+    outcome: TenantResult | TenantFailure,
+    spec_fingerprint: str | None = None,
+    degraded_sites: Iterable[str] = (),
+) -> dict:
     if isinstance(outcome, TenantFailure):
-        return {"kind": "failure", "report": outcome.to_dict()}
-    return {
-        "kind": "result",
-        "tenant_id": outcome.tenant_id,
-        "sessions": [session_to_dict(s) for s in outcome.sessions],
-        "journal": outcome.journal.to_json(),
-    }
+        raw: dict = {"kind": "failure", "report": outcome.to_dict()}
+    else:
+        raw = {
+            "kind": "result",
+            "tenant_id": outcome.tenant_id,
+            "sessions": [session_to_dict(s) for s in outcome.sessions],
+            "journal": outcome.journal.to_json(),
+        }
+    if spec_fingerprint is not None:
+        raw["spec_digest"] = spec_fingerprint
+    sites = sorted(degraded_sites)
+    if sites:
+        raw["degraded_sites"] = sites
+    return raw
 
 
 def _outcome_from_json(raw: dict, spec: TenantSpec) -> TenantResult | TenantFailure:
@@ -338,47 +437,146 @@ def _outcome_from_json(raw: dict, spec: TenantSpec) -> TenantResult | TenantFail
     )
 
 
-class FleetScheduler:
-    """Runs many tenants concurrently with deterministic results.
+class CheckpointStore:
+    """Incremental, fingerprinted fleet checkpoints (one JSON file).
 
-    ``seed`` roots the shared offline artifacts (and any tenant that does
-    not pin its own ``cluster_seed``); ``max_workers`` resolves through
-    :func:`repro.experiments.parallel.effective_workers` (explicit arg >
-    ``REPRO_MAX_WORKERS`` > cpu count).  ``faults`` arms the fault plan
-    for every tenant (``None`` keeps the plane out of the code path
-    entirely); ``checkpoint`` names a JSON file that persists completed
-    outcomes after each arrival and is consulted on the next run, so a
-    killed fleet resumes where it stopped.
+    Each outcome is JSON-encoded exactly once (restored ones at load,
+    fresh ones on arrival) into ``fragments``; every save joins the
+    precomputed fragments instead of re-serializing the fleet, keeping
+    per-arrival writes O(T) instead of the old O(T²) amplification.
+
+    Every payload carries the owning fleet's fingerprint (see
+    :func:`fleet_stamp`); :meth:`load` refuses — with a descriptive
+    :class:`JournalCorruptError` — to hand a different fleet's outcomes
+    back.  Writes go through the armed ``journal.write`` fault site with
+    the caller's retry policy; an exhausted write budget leaves the
+    previous (complete, atomic) checkpoint on disk and is only *counted*
+    (``write_failures``), never raised — a resume just re-runs one more
+    tenant.
     """
 
     def __init__(
         self,
-        tenants: Sequence[TenantSpec],
-        seed: int = 0,
-        max_workers: int | None = None,
-        use_cache: bool = True,
-        faults: FaultPlan | None = None,
-        retry: RetryPolicy | None = None,
-        checkpoint: str | Path | None = None,
-        batching: bool = True,
+        path: str | Path,
+        stamp: dict,
+        retry: RetryPolicy,
+        plan: FaultPlan | None = None,
     ):
-        ids = [spec.tenant_id for spec in tenants]
-        if len(set(ids)) != len(ids):
-            raise ValueError(f"duplicate tenant ids in {ids}")
-        self.tenants = list(tenants)
+        self.path = Path(path)
+        self.stamp = stamp
+        self.retry = retry
+        self.plan = plan if plan is not None else FaultPlan.none()
+        self.fragments: dict[str, str] = {}
+        self.write_failures = 0
+
+    # -- read side ------------------------------------------------------
+    def load(self) -> dict[str, dict]:
+        """Raw outcome dicts from disk, keyed by tenant id.
+
+        Validates the file shape, the format version and the fleet
+        fingerprint; returns ``{}`` when no checkpoint exists yet.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            raw = json.loads(self.path.read_text())
+        except json.JSONDecodeError as exc:
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.path} is not valid JSON "
+                f"({exc}); the file is truncated or corrupt"
+            ) from exc
+        if raw.get("format") != CHECKPOINT_FORMAT:
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.path} has format "
+                f"{raw.get('format')!r}, expected {CHECKPOINT_FORMAT}"
+            )
+        recorded = raw.get("fleet")
+        if not isinstance(recorded, dict):
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.path} carries no fleet "
+                "fingerprint; the file is truncated or corrupt"
+            )
+        self._check_stamp(recorded)
+        outcomes = raw.get("outcomes", {})
+        if not isinstance(outcomes, dict):
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.path} has a malformed outcomes "
+                "table; the file is truncated or corrupt"
+            )
+        return outcomes
+
+    def _check_stamp(self, recorded: dict) -> None:
+        for part in ("seed", "plan"):
+            if recorded.get(part) != self.stamp[part]:
+                raise JournalCorruptError(
+                    f"fleet checkpoint at {self.path} was written by a "
+                    f"different fleet: {part} {recorded.get(part)!r} != "
+                    f"{self.stamp[part]!r}; delete the file (or point the "
+                    "fleet at a fresh path) to start over"
+                )
+        mine, theirs = self.stamp.get("tenants"), recorded.get("tenants")
+        if mine is not None and theirs is not None and mine != theirs:
+            raise JournalCorruptError(
+                f"fleet checkpoint at {self.path} was written by a "
+                f"different fleet: tenant ids {theirs!r} != {mine!r}; "
+                "delete the file (or point the fleet at a fresh path) to "
+                "start over"
+            )
+
+    # -- write side -----------------------------------------------------
+    def restore_fragment(self, tenant_id: str, raw: dict) -> None:
+        """Adopt a loaded outcome into the fragment table (no write)."""
+        self.fragments[tenant_id] = json.dumps(raw)
+
+    def record(self, tenant_id: str, raw: dict) -> None:
+        """Encode one arrival and persist the assembled checkpoint."""
+        self.fragments[tenant_id] = json.dumps(raw)
+        self.write_failures += self._save(key=tenant_id)
+
+    def _save(self, key: str) -> int:
+        body = ", ".join(
+            f"{json.dumps(tenant_id)}: {fragment}"
+            for tenant_id, fragment in self.fragments.items()
+        )
+        payload = (
+            f'{{"format": {CHECKPOINT_FORMAT}, '
+            f'"fleet": {json.dumps(self.stamp)}, '
+            f'"outcomes": {{{body}}}}}'
+        )
+
+        def attempt(n: int) -> int:
+            if self.plan.should_fire("journal.write", f"checkpoint:{key}:a{n}"):
+                raise TransientFault("journal.write", key=f"checkpoint:{key}:a{n}")
+            atomic_write_text(self.path, payload)
+            return 0
+
+        try:
+            return self.retry.execute(
+                attempt, site="journal.write", key=f"checkpoint:{key}", plan=self.plan
+            )
+        except FaultBudgetExhausted:
+            return 1
+
+
+class ArtifactCatalog:
+    """Shared offline artifacts, resolved once per (backend, cluster seed).
+
+    The one place tenant specs turn into clusters, extractions and
+    publishable worker payloads — the batch scheduler and the service
+    daemon both lean on it, so neither can drift in how tenants acquire
+    their offline phase.
+    """
+
+    def __init__(self, seed: int = 0):
         self.seed = seed
-        self.max_workers = max_workers
-        self.use_cache = use_cache
-        self.faults = faults
-        self.retry = retry if retry is not None else RetryPolicy()
-        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
-        self.batching = batching
         self._clusters: dict[tuple[str, int], ClusterSpec] = {}
 
-    # ------------------------------------------------------------------
     def cluster_for(self, spec: TenantSpec) -> ClusterSpec:
         """The tenant's testbed; one instance per (backend, cluster seed)."""
-        key = (spec.backend, spec.cluster_seed if spec.cluster_seed is not None else self.seed)
+        key = (
+            spec.backend,
+            spec.cluster_seed if spec.cluster_seed is not None else self.seed,
+        )
         if key not in self._clusters:
             self._clusters[key] = make_cluster(seed=key[1], backend=key[0])
         return self._clusters[key]
@@ -398,7 +596,7 @@ class FleetScheduler:
         )
         return ("offline", spec.backend, cluster_seed, self.seed)
 
-    def _artifact_payload(self, spec: TenantSpec) -> "ArtifactRef | OfflineArtifacts":
+    def payload_for(self, spec: TenantSpec) -> "ArtifactRef | OfflineArtifacts":
         """The tenant's offline bundle, published once per (backend, seed).
 
         Returns the shared-memory ref when one exists; when the platform
@@ -421,10 +619,86 @@ class FleetScheduler:
             return ref
         return artifacts.resolve(ref)
 
+
+class FleetScheduler:
+    """Runs many tenants concurrently with deterministic results.
+
+    ``seed`` roots the shared offline artifacts (and any tenant that does
+    not pin its own ``cluster_seed``); ``max_workers`` resolves through
+    :func:`repro.experiments.parallel.effective_workers` (explicit arg >
+    ``REPRO_MAX_WORKERS`` > cpu count).  ``faults`` arms the fault plan
+    for every tenant (``None`` keeps the plane out of the code path
+    entirely); ``checkpoint`` names a JSON file that persists completed
+    outcomes after each arrival and is consulted on the next run, so a
+    killed fleet resumes where it stopped.
+
+    ``breaker`` arms per-fault-site circuit breakers: after the policy's
+    threshold of consecutive quarantines on one site, later tenants (in
+    tenant list order) run with that site fail-fast.  Breaker decisions
+    fold over outcomes in canonical (list) order regardless of how the
+    pool parallelised execution — tenants whose speculative run used the
+    wrong mode are deterministically re-run — so results stay worker-count
+    invariant.  ``None`` (the default) keeps behaviour identical to the
+    pre-breaker scheduler.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        seed: int = 0,
+        max_workers: int | None = None,
+        use_cache: bool = True,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint: str | Path | None = None,
+        batching: bool = True,
+        breaker: BreakerPolicy | None = None,
+    ):
+        ids = [spec.tenant_id for spec in tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tenant ids in {ids}")
+        self.tenants = list(tenants)
+        self.seed = seed
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.batching = batching
+        self.breaker = breaker
+        self._breaker_state: BreakerState | None = None
+        self._catalog = ArtifactCatalog(seed)
+
+    # ------------------------------------------------------------------
+    def cluster_for(self, spec: TenantSpec) -> ClusterSpec:
+        """The tenant's testbed (delegates to the shared catalog)."""
+        return self._catalog.cluster_for(spec)
+
+    def extraction_for(self, spec: TenantSpec) -> ExtractionResult:
+        """The tenant's shared offline extraction (catalog delegate)."""
+        return self._catalog.extraction_for(spec)
+
+    def _artifact_payload(self, spec: TenantSpec) -> "ArtifactRef | OfflineArtifacts":
+        return self._catalog.payload_for(spec)
+
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
         """Run every tenant's queue; results in tenant submission order."""
-        restored = self._load_checkpoint()
+        store = (
+            CheckpointStore(
+                self.checkpoint,
+                fleet_stamp(
+                    [spec.tenant_id for spec in self.tenants],
+                    self.seed,
+                    self.faults,
+                ),
+                self.retry,
+                self.faults,
+            )
+            if self.checkpoint is not None
+            else None
+        )
+        restored = self._load_checkpoint(store)
         pending = [
             spec for spec in self.tenants if spec.tenant_id not in restored
         ]
@@ -440,52 +714,43 @@ class FleetScheduler:
         ]
         workers = effective_workers(self.max_workers, max(len(jobs), 1))
         start = perf_counter()
-        outcomes_by_id = dict(restored)
-        # Checkpoint fragments: each outcome is JSON-encoded exactly once
-        # (restored ones at load, fresh ones on arrival); every save joins
-        # the precomputed fragments instead of re-serializing the fleet.
-        fragments: dict[str, str] = (
-            {
-                tenant_id: json.dumps(_outcome_to_json(outcome))
-                for tenant_id, outcome in restored.items()
-            }
-            if self.checkpoint is not None
-            else {}
-        )
-        write_failures = 0
+        outcomes_by_id = {
+            tenant_id: outcome for tenant_id, (outcome, _) in restored.items()
+        }
+        ran_modes = {
+            tenant_id: mode for tenant_id, (_, mode) in restored.items()
+        }
 
-        def arrive(spec: TenantSpec, outcome) -> None:
-            nonlocal write_failures
+        def arrive(spec: TenantSpec, outcome, mode: frozenset) -> None:
             outcomes_by_id[spec.tenant_id] = outcome
-            if self.checkpoint is not None:
-                fragments[spec.tenant_id] = json.dumps(_outcome_to_json(outcome))
-                write_failures += self._save_checkpoint(
-                    fragments, key=spec.tenant_id
+            ran_modes[spec.tenant_id] = mode
+            if store is not None:
+                store.record(
+                    spec.tenant_id,
+                    _outcome_to_json(
+                        outcome,
+                        spec_fingerprint=spec_digest(spec),
+                        degraded_sites=mode,
+                    ),
                 )
 
-        if self.batching and len(jobs) > 1:
-            # Tenants co-locate round-robin: worker g gets jobs g, g+W,
-            # g+2W, ... so heterogeneous queues spread evenly.  Each group
-            # job runs its tenants as threads over one shared eval broker.
-            group_jobs = [jobs[g::workers] for g in range(workers)]
-            spec_groups = [pending[g::workers] for g in range(workers)]
-            group_jobs = [group for group in group_jobs if group]
-            spec_groups = [group for group in spec_groups if group]
-            for specs, outcomes in zip(
-                spec_groups,
-                imap(
-                    _tenant_group_job,
-                    group_jobs,
-                    max_workers=max(len(group_jobs), 1),
-                ),
-            ):
-                for spec, outcome in zip(specs, outcomes):
-                    arrive(spec, outcome)
-        else:
-            for spec, outcome in zip(
-                pending, imap(_tenant_job, jobs, max_workers=workers)
-            ):
-                arrive(spec, outcome)
+        for index, outcome in execute_jobs(
+            jobs, max_workers=self.max_workers, batching=self.batching
+        ):
+            arrive(pending[index], outcome, frozenset())
+
+        if self.breaker is not None:
+            # Canonical breaker walk: fold outcomes in tenant list order,
+            # re-running (deterministically, inline) any tenant whose
+            # speculative mode disagrees with the canonical one.
+            state = BreakerState(self.breaker)
+            for spec in self.tenants:
+                mode = state.open_sites()
+                if mode != ran_modes[spec.tenant_id]:
+                    arrive(spec, self._rerun_tenant(spec, mode), mode)
+                state.observe(outcomes_by_id[spec.tenant_id])
+            self._breaker_state = state
+
         elapsed = perf_counter() - start
         outcomes = [outcomes_by_id[spec.tenant_id] for spec in self.tenants]
         journal = RuleJournal.merged(
@@ -496,73 +761,77 @@ class FleetScheduler:
             journal=journal,
             elapsed=elapsed,
             workers=workers,
-            checkpoint_write_failures=write_failures,
+            checkpoint_write_failures=(
+                store.write_failures if store is not None else 0
+            ),
+        )
+
+    def breaker_report(self) -> dict[str, dict[str, int | str]]:
+        """Canonical per-site breaker states after the last :meth:`run`."""
+        if self._breaker_state is None:
+            return {}
+        return self._breaker_state.report()
+
+    def _rerun_tenant(
+        self, spec: TenantSpec, mode: frozenset
+    ) -> TenantResult | TenantFailure:
+        """One tenant, inline, under the canonical degraded mode.
+
+        :func:`run_tenant` depends only on its arguments, so the inline
+        re-run is byte-identical to what a pooled run under ``mode`` would
+        have produced.
+        """
+        bundle = _resolve_payload(self._artifact_payload(spec))
+        return run_tenant(
+            spec,
+            bundle.cluster,
+            bundle.extraction,
+            self.use_cache,
+            self.faults,
+            self.retry.with_fail_fast(mode),
         )
 
     # ------------------------------------------------------------------
-    def _load_checkpoint(self) -> dict[str, TenantResult | TenantFailure]:
-        """Outcomes persisted by a previous (killed) run of this fleet."""
-        if self.checkpoint is None or not self.checkpoint.exists():
+    def _load_checkpoint(
+        self, store: CheckpointStore | None
+    ) -> dict[str, tuple[TenantResult | TenantFailure, frozenset]]:
+        """Outcomes persisted by a previous (killed) run of this fleet.
+
+        Returns ``tenant_id -> (outcome, degraded_sites)`` — the mode each
+        outcome ran under feeds the canonical breaker walk on resume.
+        Every restored entry's spec digest must match this fleet's spec
+        for that id; a mismatch means the checkpoint belongs to a
+        different fleet and raises :class:`JournalCorruptError`.
+        """
+        if store is None:
             return {}
-        try:
-            raw = json.loads(self.checkpoint.read_text())
-        except json.JSONDecodeError as exc:
-            raise JournalCorruptError(
-                f"fleet checkpoint at {self.checkpoint} is not valid JSON "
-                f"({exc}); the file is truncated or corrupt"
-            ) from exc
-        if raw.get("format") != CHECKPOINT_FORMAT:
-            raise JournalCorruptError(
-                f"fleet checkpoint at {self.checkpoint} has format "
-                f"{raw.get('format')!r}, expected {CHECKPOINT_FORMAT}"
-            )
         specs = {spec.tenant_id: spec for spec in self.tenants}
         restored = {}
-        for tenant_id, outcome_raw in raw.get("outcomes", {}).items():
+        for tenant_id, outcome_raw in store.load().items():
             spec = specs.get(tenant_id)
-            if spec is None:  # a tenant no longer in this fleet
+            if spec is None:
+                # A dynamic-fleet (service) checkpoint may hold tenants
+                # outside this batch fleet; they are simply not restored.
                 continue
+            expected = spec_digest(spec)
+            recorded = outcome_raw.get("spec_digest")
+            if recorded != expected:
+                raise JournalCorruptError(
+                    f"fleet checkpoint entry for tenant {tenant_id!r} was "
+                    f"written by a different spec (digest {recorded!r}, "
+                    f"this fleet expects {expected!r}); the checkpoint "
+                    "belongs to a different fleet"
+                )
             try:
-                restored[tenant_id] = _outcome_from_json(outcome_raw, spec)
+                outcome = _outcome_from_json(outcome_raw, spec)
             except (KeyError, TypeError, ValueError) as exc:
                 raise JournalCorruptError(
                     f"fleet checkpoint entry for tenant {tenant_id!r} is "
                     f"malformed ({type(exc).__name__}: {exc})"
                 ) from exc
-        return restored
-
-    def _save_checkpoint(self, fragments: dict[str, str], key: str) -> int:
-        """Persist fleet state; returns 1 if the write budget ran dry.
-
-        ``fragments`` maps tenant id to its already-encoded outcome JSON —
-        each outcome is serialized once when it arrives, so a fleet of T
-        tenants encodes T outcomes total instead of re-encoding every prior
-        outcome on each arrival (the old O(T²) write amplification).  The
-        assembled payload is plain JSON, unchanged on the read side.
-
-        Writes go through the armed ``journal.write`` fault site with the
-        shared retry policy.  An exhausted write budget leaves the previous
-        (complete, atomic) checkpoint on disk and never fails the fleet —
-        the resume just re-runs one more tenant.
-        """
-        body = ", ".join(
-            f"{json.dumps(tenant_id)}: {fragment}"
-            for tenant_id, fragment in fragments.items()
-        )
-        payload = (
-            f'{{"format": {CHECKPOINT_FORMAT}, "outcomes": {{{body}}}}}'
-        )
-        plan = self.faults if self.faults is not None else FaultPlan.none()
-
-        def attempt(n: int) -> int:
-            if plan.should_fire("journal.write", f"checkpoint:{key}:a{n}"):
-                raise TransientFault("journal.write", key=f"checkpoint:{key}:a{n}")
-            atomic_write_text(self.checkpoint, payload)
-            return 0
-
-        try:
-            return self.retry.execute(
-                attempt, site="journal.write", key=f"checkpoint:{key}", plan=plan
+            restored[tenant_id] = (
+                outcome,
+                frozenset(outcome_raw.get("degraded_sites", ())),
             )
-        except FaultBudgetExhausted:
-            return 1
+            store.restore_fragment(tenant_id, outcome_raw)
+        return restored

@@ -151,6 +151,80 @@ class TestRetryPolicy:
             policy.execute(always, site="probe.run", key="op", plan=FaultPlan.none())
         assert exc_info.value.attempts < 51
 
+    def test_exhaustion_excludes_unspent_final_backoff(self):
+        """The delay before a retry that never runs is never charged.
+
+        With ``max_retries=2`` the operation gets attempts 0, 1, 2; only
+        the delays *between* attempts (after 0 and after 1) are waited, so
+        ``backoff_spent`` and the recorded ledger delays must cover exactly
+        those two — the backoff the third attempt would have preceded is
+        pure fiction.
+        """
+
+        def always(n):
+            raise TransientFault("llm.transient", key=f"op:a{n}")
+
+        plan = FaultPlan.none()
+        policy = RetryPolicy(max_retries=2)
+        recorded = []
+        with pytest.raises(FaultBudgetExhausted) as exc_info:
+            policy.execute(
+                always,
+                site="llm",
+                key="op",
+                plan=plan,
+                record=lambda fault, n, delay: recorded.append((n, delay)),
+            )
+        waited = [policy.backoff(plan, "op", n) for n in range(2)]
+        assert exc_info.value.backoff_spent == pytest.approx(sum(waited))
+        # Every attempt is recorded once; the exhausting attempt charges
+        # zero delay because its backoff is never waited.
+        assert [n for n, _ in recorded] == [0, 1, 2]
+        assert recorded[0][1] == pytest.approx(waited[0])
+        assert recorded[1][1] == pytest.approx(waited[1])
+        assert recorded[2][1] == 0.0
+
+    def test_fail_fast_sites_exhaust_immediately(self):
+        def always(n):
+            raise TransientFault("llm.transient", key="op")
+
+        policy = RetryPolicy(max_retries=4).with_fail_fast({"llm.transient"})
+        recorded = []
+        with pytest.raises(FaultBudgetExhausted) as exc_info:
+            policy.execute(
+                always,
+                site="llm",
+                key="op",
+                plan=FaultPlan.none(),
+                record=lambda fault, n, delay: recorded.append((n, delay)),
+            )
+        exc = exc_info.value
+        assert exc.fail_fast
+        assert exc.attempts == 1
+        assert exc.backoff_spent == 0.0
+        assert recorded == [(0, 0.0)]
+        # Other sites still retry normally under the same policy.
+        attempts = []
+
+        def flaky(n):
+            attempts.append(n)
+            if n < 2:
+                raise TransientFault("probe.run", key="op")
+            return "ok"
+
+        assert (
+            policy.execute(flaky, site="probe.run", key="op", plan=FaultPlan.none())
+            == "ok"
+        )
+        assert attempts == [0, 1, 2]
+
+    def test_with_deadline_caps_timeout_budget(self):
+        policy = RetryPolicy(timeout_budget=120.0)
+        assert policy.with_deadline(None) is policy
+        assert policy.with_deadline(30.0).timeout_budget == 30.0
+        # A generous deadline never loosens the policy.
+        assert policy.with_deadline(500.0).timeout_budget == 120.0
+
 
 class TestResilientClient:
     def _ask(self, client):
@@ -433,11 +507,21 @@ class TestFleetCheckpoint:
         assert fleet_fingerprint(resumed) == fleet_fingerprint(first)
 
     def test_partial_checkpoint_runs_only_missing_tenants(self, tmp_path, monkeypatch):
+        import json
+
         checkpoint = tmp_path / "fleet.ckpt.json"
-        # Persist only the first two tenants, as a killed run would have.
+        # A genuine kill mid-fleet: the file carries this fleet's stamp but
+        # only the first two arrivals.  Simulate by running the full fleet,
+        # then dropping the later outcomes from the persisted file.
         FleetScheduler(
-            SMALL_FLEET[:2], seed=0, max_workers=1, checkpoint=checkpoint
+            SMALL_FLEET, seed=0, max_workers=1, checkpoint=checkpoint
         ).run()
+        raw = json.loads(checkpoint.read_text())
+        keep = {s.tenant_id for s in SMALL_FLEET[:2]}
+        raw["outcomes"] = {
+            tid: out for tid, out in raw["outcomes"].items() if tid in keep
+        }
+        checkpoint.write_text(json.dumps(raw))
 
         import repro.service.scheduler as scheduler_module
 
@@ -455,6 +539,50 @@ class TestFleetCheckpoint:
         assert calls == [s.tenant_id for s in SMALL_FLEET[2:]]
         baseline = FleetScheduler(SMALL_FLEET, seed=0, max_workers=1).run()
         assert fleet_fingerprint(full) == fleet_fingerprint(baseline)
+
+    def test_checkpoint_from_different_fleet_is_rejected(self, tmp_path):
+        from repro.rules.store import JournalCorruptError
+
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        FleetScheduler(
+            SMALL_FLEET[:2], seed=0, max_workers=1, checkpoint=checkpoint
+        ).run()
+        # Other tenant ids -> rejected, not silently partially applied.
+        with pytest.raises(JournalCorruptError, match="different fleet"):
+            FleetScheduler(
+                SMALL_FLEET, seed=0, max_workers=1, checkpoint=checkpoint
+            ).run()
+        # Other seed -> rejected.
+        with pytest.raises(JournalCorruptError, match="different fleet"):
+            FleetScheduler(
+                SMALL_FLEET[:2], seed=7, max_workers=1, checkpoint=checkpoint
+            ).run()
+        # Other fault plan -> rejected.
+        with pytest.raises(JournalCorruptError, match="different fleet"):
+            FleetScheduler(
+                SMALL_FLEET[:2],
+                seed=0,
+                max_workers=1,
+                faults=FaultPlan.uniform(0.3, seed=1),
+                checkpoint=checkpoint,
+            ).run()
+
+    def test_checkpoint_spec_drift_is_rejected(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.rules.store import JournalCorruptError
+
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        FleetScheduler(
+            SMALL_FLEET[:2], seed=0, max_workers=1, checkpoint=checkpoint
+        ).run()
+        # Same ids/seed/plan, but one tenant's spec changed underneath the
+        # checkpoint: the stale outcome must not be silently adopted.
+        drifted = [replace(SMALL_FLEET[0], max_attempts=2), SMALL_FLEET[1]]
+        with pytest.raises(JournalCorruptError, match="different spec"):
+            FleetScheduler(
+                drifted, seed=0, max_workers=1, checkpoint=checkpoint
+            ).run()
 
     def test_corrupt_checkpoint_is_descriptive(self, tmp_path):
         from repro.rules.store import JournalCorruptError

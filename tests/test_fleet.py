@@ -149,10 +149,12 @@ class TestFleetScheduler:
 
     def test_service_layer_never_imports_pfs_params(self):
         import repro.service as service
+        import repro.service.admission as admission
+        import repro.service.daemon as daemon
         import repro.service.scheduler as scheduler
         import repro.service.tenant as tenant
 
-        for module in (service, scheduler, tenant):
+        for module in (service, admission, daemon, scheduler, tenant):
             source = open(module.__file__).read()
             assert "pfs.params" not in source, module.__name__
 

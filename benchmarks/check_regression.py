@@ -23,7 +23,8 @@ from pathlib import Path
 #: plus the PR-4 candidate-sweep and cached-rerun figures, the PR-5
 #: fleet-scheduler figure, the PR-6 degraded-fleet (fault plan) figure,
 #: the PR-7 cross-tenant batched-fleet figure, the PR-8 per-policy
-#: session figures and the PR-9 tuning-service drain figure.
+#: session figures, the PR-9 tuning-service drain figure and the PR-10
+#: sharded-fleet and streaming-first-result figures.
 TRACKED = (
     "batched_runs_per_sec",
     "sequential_runs_per_sec",
@@ -32,12 +33,19 @@ TRACKED = (
     "cached_rerun_runs_per_sec",
     "fleet_sessions_per_sec",
     "fleet_batched_sessions_per_sec",
+    "fleet_sharded_sessions_per_sec",
     "service_sessions_per_sec",
+    "service_first_result_sessions",
     "degraded_sessions_per_sec",
     "policy_sessions_per_sec_reflection",
     "policy_sessions_per_sec_react",
     "policy_sessions_per_sec_propose_critic",
 )
+
+#: Tracked figures where *lower* is better — time-to-first-result style
+#: latency proxies rather than throughput rates.  The gate inverts the
+#: ratio so "current grew past the threshold" is the regression.
+LOWER_IS_BETTER = frozenset({"service_first_result_sessions"})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,17 +87,21 @@ def main(argv: list[str] | None = None) -> int:
             continue
         base = float(baseline[key])
         now = float(current[key])
-        if base <= 0.0:
-            # A zero/negative baseline would make every candidate "pass"
-            # (now/base -> inf); that is a broken measurement, not a pass.
+        if base <= 0.0 or (key in LOWER_IS_BETTER and now <= 0.0):
+            # A zero/negative figure on the dividing side would make every
+            # candidate "pass" (ratio -> inf); that is a broken
+            # measurement, not a pass.
             print(
                 f"ERROR: baseline {key} is {base:g} "
-                f"(current {now:g}); a non-positive baseline rate means the "
-                "benchmark run is broken and the gate cannot be evaluated",
+                f"(current {now:g}); a non-positive rate on the dividing "
+                "side means the benchmark run is broken and the gate "
+                "cannot be evaluated",
                 file=sys.stderr,
             )
             return 2
-        ratio = now / base
+        # For lower-is-better figures the ratio is inverted so that, either
+        # way, "ratio below 1 - threshold" reads "got worse".
+        ratio = base / now if key in LOWER_IS_BETTER else now / base
         status = "ok"
         if ratio < 1.0 - args.threshold:
             status = f"REGRESSION (> {args.threshold:.0%} below baseline)"

@@ -176,6 +176,20 @@ def test_throughput(benchmark, cluster):
             batched_fleet_elapsed, batched_fleet = result.elapsed, result
     fleet_batched_sps = batched_fleet.total_sessions / batched_fleet_elapsed
 
+    # -- sharded fleet: the same tenants split across two worker groups -----
+    # Each shard owns its own warm pool slice and eval broker; the merge is
+    # byte-identical to the single-pool arm, so the arm isolates what shard
+    # partitioning costs (or buys, on multi-core runners) at equal work.
+    sharded_scheduler = FleetScheduler(
+        fleet_tenants, seed=0, use_cache=False, shards=2
+    )
+    sharded_fleet_elapsed, sharded_fleet = None, None
+    for _ in range(2):
+        result = sharded_scheduler.run()
+        if sharded_fleet_elapsed is None or result.elapsed < sharded_fleet_elapsed:
+            sharded_fleet_elapsed, sharded_fleet = result.elapsed, result
+    fleet_sharded_sps = sharded_fleet.total_sessions / sharded_fleet_elapsed
+
     # -- tuning service: the same tenants through the daemon front door -----
     # Submit the whole fleet to a TuningService and drain: measures what the
     # long-lived path (admission, per-wave pumping, checkpoint-free here)
@@ -193,6 +207,20 @@ def test_throughput(benchmark, cluster):
         if service_elapsed is None or result.elapsed < service_elapsed:
             service_elapsed, service_fleet = result.elapsed, result
     service_sps = service_fleet.total_sessions / service_elapsed
+
+    # -- streaming service: time-to-first-result, in sessions not seconds ---
+    # `iter_results` yields each tenant the moment its canonical prefix is
+    # complete.  `first_result_sessions` counts the sessions that had
+    # completed anywhere in the fleet when the first result streamed out —
+    # a wall-clock-free latency proxy (lower is better; a batch drain would
+    # score the whole fleet).
+    streaming_service = TuningService(
+        seed=0, use_cache=False, pump_interval=None, shards=2
+    )
+    for spec in fleet_tenants:
+        assert streaming_service.submit(spec).accepted
+    streamed = list(streaming_service.iter_results())
+    first_result_sessions = streaming_service.first_result_sessions
 
     # -- degraded fleet: the same pool absorbing a 10% fault plan -----------
     # Measures resilience overhead: retries, backoff accounting and (rarely)
@@ -256,8 +284,10 @@ def test_throughput(benchmark, cluster):
         "sessions_per_sec": round(sessions_ps, 2),
         "fleet_sessions_per_sec": round(fleet_sps, 2),
         "fleet_batched_sessions_per_sec": round(fleet_batched_sps, 2),
+        "fleet_sharded_sessions_per_sec": round(fleet_sharded_sps, 2),
         "fleet_sequential_sessions_per_sec": round(fleet_sequential_sps, 2),
         "service_sessions_per_sec": round(service_sps, 2),
+        "service_first_result_sessions": first_result_sessions,
         "degraded_sessions_per_sec": round(degraded_sps, 2),
         "degraded_quarantined_tenants": len(degraded.failures),
         **{
@@ -303,13 +333,29 @@ def test_throughput(benchmark, cluster):
     assert [
         [s.best_speedup for s in t.sessions] for t in batched_fleet.tenants
     ] == [[s.best_speedup for s in t.sessions] for t in fleet.tenants]
+    # And so is sharding: two worker groups, same bytes.
+    assert [
+        [s.best_speedup for s in t.sessions] for t in sharded_fleet.tenants
+    ] == [[s.best_speedup for s in t.sessions] for t in fleet.tenants]
     # And so is the daemon: a drained service is the batch fleet (seeds are
     # strictly increasing, so canonical drain order is submission order).
     assert [
         [s.best_speedup for s in t.sessions] for t in service_fleet.tenants
     ] == [[s.best_speedup for s in t.sessions] for t in fleet.tenants]
+    # The stream yields the canonical (= submission) order, and the first
+    # result leaves before the whole fleet has run.
+    assert [o.tenant_id for o in streamed] == [
+        s.tenant_id for s in fleet_tenants
+    ]
+    assert first_result_sessions is not None
+    assert 0 < first_result_sessions <= fleet.total_sessions
     if fleet.workers > 1:
         assert fleet_sps > fleet_sequential_sps
+    else:
+        # Single core runs every path inline: adaptive batching must route
+        # around the grouped machinery, so the batched arm tracks the
+        # ungrouped pooled arm instead of regressing behind it.
+        assert fleet_batched_sps >= 0.95 * fleet_sps
     # The degraded fleet never aborts: every tenant either completed or was
     # quarantined with a report, and the plan really injected faults.
     assert len(degraded.outcomes) == N_FLEET_TENANTS

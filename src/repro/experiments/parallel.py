@@ -25,6 +25,13 @@ builds a fresh one; :func:`shutdown_pool` retires it explicitly, and an
 pool reuse — jobs are pure functions of their arguments, and per-job state
 like ``RUN_CACHE`` enablement is entered and exited inside the job body,
 so nothing leaks between waves (guarded by ``tests/test_fleet_batch.py``).
+
+Pools live in a *registry* keyed by group name (:data:`DEFAULT_GROUP` for
+every classic caller).  A sharded fleet warms one pool per shard
+(``"shard-0"``, ``"shard-1"``, ...) and the groups are independent: a
+worker-count change or a ``BrokenProcessPool`` in one group retires only
+that group's executor, never its siblings' — which is what confines a
+crashed shard's blast radius to its own tenants.
 """
 
 from __future__ import annotations
@@ -79,11 +86,14 @@ def effective_workers(max_workers: int | None = None, n_items: int | None = None
 
 
 # ---------------------------------------------------------------------------
-# The warm persistent pool.
+# The warm persistent pool registry (one executor per named group).
 # ---------------------------------------------------------------------------
 
-_POOL: ProcessPoolExecutor | None = None
-_POOL_WORKERS: int = 0
+#: The pool group every classic (un-sharded) caller shares.
+DEFAULT_GROUP = ""
+
+_POOLS: dict[str, ProcessPoolExecutor] = {}
+_POOL_WORKERS: dict[str, int] = {}
 
 
 def _init_worker(refs: list) -> None:
@@ -104,41 +114,53 @@ def _published_refs() -> list:
     return artifacts.published_refs()
 
 
-def warm_pool(workers: int) -> ProcessPoolExecutor:
-    """The shared executor with ``workers`` workers, created lazily.
+def warm_pool(workers: int, group: str = DEFAULT_GROUP) -> ProcessPoolExecutor:
+    """The group's shared executor with ``workers`` workers, created lazily.
 
-    Reused across calls with the same count; a different count retires the
-    old pool first (two live pools would double resident workers).  New
-    workers resolve the artifact refs published so far in their
-    initializer; refs published later still resolve per job.
+    Reused across calls with the same (group, count); a different count for
+    the *same* group retires that group's old pool first (two live pools in
+    one group would double its resident workers).  Distinct groups coexist —
+    one per fleet shard — and never retire each other.  New workers resolve
+    the artifact refs published so far in their initializer; refs published
+    later still resolve per job.
     """
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS != workers:
-        shutdown_pool()
-    if _POOL is None:
-        _POOL = ProcessPoolExecutor(
+    pool = _POOLS.get(group)
+    if pool is not None and _POOL_WORKERS[group] != workers:
+        shutdown_pool(group)
+        pool = None
+    if pool is None:
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(_published_refs(),),
         )
-        _POOL_WORKERS = workers
-    return _POOL
+        _POOLS[group] = pool
+        _POOL_WORKERS[group] = workers
+    return pool
 
 
-def shutdown_pool() -> None:
-    """Retire the warm pool (no-op when none is live)."""
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None:
-        _POOL.shutdown(wait=True, cancel_futures=True)
-        _POOL = None
-        _POOL_WORKERS = 0
+def shutdown_pool(group: str | None = None) -> None:
+    """Retire one warm pool group — or every group when ``group`` is None.
+
+    No-op for groups that are not live, so callers (and the ``atexit``
+    hook) never need to know what was warmed.
+    """
+    names = list(_POOLS) if group is None else [group]
+    for name in names:
+        pool = _POOLS.pop(name, None)
+        if pool is not None:
+            _POOL_WORKERS.pop(name, None)
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 atexit.register(shutdown_pool)
 
 
 def pmap(
-    fn: Callable[[T], R], items: Iterable[T], max_workers: int | None = None
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+    group: str = DEFAULT_GROUP,
 ) -> list[R]:
     """Map ``fn`` over ``items`` preserving order, in parallel when it pays.
 
@@ -151,16 +173,20 @@ def pmap(
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     try:
-        return list(warm_pool(workers).map(fn, items))
+        return list(warm_pool(workers, group).map(fn, items))
     except BrokenProcessPool:
         # A worker died (OOM kill, hard crash): retire the poisoned pool so
-        # the next call starts clean, then surface the failure.
-        shutdown_pool()
+        # the group's next call starts clean, then surface the failure.
+        shutdown_pool(group)
         raise
 
 
 def imap(
-    fn: Callable[[T], R], items: Iterable[T], max_workers: int | None = None
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+    group: str = DEFAULT_GROUP,
+    force_pool: bool = False,
 ) -> Iterable[R]:
     """Like :func:`pmap`, but yields each result as it becomes *next*.
 
@@ -169,17 +195,32 @@ def imap(
     one instead of after the whole batch — which is what lets the fleet
     scheduler checkpoint after every completed tenant instead of only at
     the end.
+
+    Pooled work is submitted *eagerly*, at call time rather than at first
+    ``next()``: a sharded fleet builds one ``imap`` stream per shard and
+    interleaves them, and lazy submission would serialize the shards.
+    ``force_pool`` routes even a 1-worker/1-item call through the group's
+    pool — how each shard of a multi-shard fleet gets a real process of
+    its own instead of running inline in the parent.
     """
     items = list(items)
     workers = effective_workers(max_workers, len(items))
-    if workers <= 1 or len(items) <= 1:
-        for item in items:
-            yield fn(item)
-        return
+    if not force_pool and (workers <= 1 or len(items) <= 1):
+        return (fn(item) for item in items)
+    if not items:
+        return iter(())
+
+    def stream(results: Iterable[R]) -> Iterable[R]:
+        try:
+            yield from results
+        except BrokenProcessPool:
+            shutdown_pool(group)
+            raise
+
     try:
-        yield from warm_pool(workers).map(fn, items)
+        return stream(warm_pool(workers, group).map(fn, items))
     except BrokenProcessPool:
-        shutdown_pool()
+        shutdown_pool(group)
         raise
 
 

@@ -35,6 +35,17 @@ may speculate about breaker modes (waves run in parallel); the drain
 walk re-folds every outcome in canonical order and deterministically
 re-runs any tenant whose speculative mode disagrees, which is what makes
 the final result independent of how the queue happened to be paced.
+
+The streaming front end rides the same machinery: wave execution is a
+generator over :func:`~repro.service.scheduler.execute_jobs` arrivals
+(shard-by-shard through :mod:`repro.experiments.parallel`'s ``imap``
+streams), so outcomes, checkpoints and :meth:`status`/:meth:`results`
+update per completed tenant, not only at pump boundaries — and
+:meth:`iter_results` yields finished tenants in the canonical drain
+order as soon as their canonical prefix is complete, folding breaker
+decisions incrementally with exactly drain's semantics.  ``shards``
+partitions wave execution across per-shard pools (see
+:mod:`repro.service.shards`) without changing a byte of any result.
 """
 
 from __future__ import annotations
@@ -87,7 +98,9 @@ class TuningService:
     (``None`` disables them); ``pump_interval`` auto-runs a wave whenever
     that many submissions are queued (``None`` defers all execution to
     :meth:`pump`/:meth:`drain`).  Higher ``priority`` submissions run
-    earlier within a wave; ties break by submission order.
+    earlier within a wave; ties break by submission order.  ``shards``
+    spreads wave execution across that many per-shard worker pools (see
+    :mod:`repro.service.shards`) without changing any result byte.
     """
 
     def __init__(
@@ -102,9 +115,12 @@ class TuningService:
         admission: AdmissionPolicy | None = None,
         breaker: BreakerPolicy | None = BreakerPolicy(),
         pump_interval: int | None = 4,
+        shards: int = 1,
     ):
         if pump_interval is not None and pump_interval < 1:
             raise ValueError(f"pump_interval={pump_interval} must be >= 1")
+        if shards < 1:
+            raise ValueError(f"shards={shards} must be a positive shard count")
         self.seed = seed
         self.max_workers = max_workers
         self.use_cache = use_cache
@@ -113,6 +129,7 @@ class TuningService:
         self.batching = batching
         self.breaker = breaker
         self.pump_interval = pump_interval
+        self.shards = shards
         self.admission = AdmissionController(admission)
         self._catalog = ArtifactCatalog(seed)
         self._queue: list[_Submission] = []
@@ -125,6 +142,21 @@ class TuningService:
         self._elapsed = 0.0
         self._drained: FleetResult | None = None
         self._abandoned = 0
+        #: The in-flight wave generator a streaming consumer left unfinished.
+        self._live_wave = None
+        #: Tenant ids taken into the live wave but not yet arrived.
+        self._inflight: set[str] = set()
+        # -- streaming (iter_results) state --------------------------------
+        self._streamed: set[str] = set()
+        self._stream_state = (
+            BreakerState(breaker) if breaker is not None else None
+        )
+        self._stream_last: tuple[int, str] | None = None
+        self._arrived_sessions = 0
+        #: Completed sessions that had arrived when the first canonical
+        #: result streamed out — the wall-clock-free time-to-first-result
+        #: proxy the throughput bench records.
+        self.first_result_sessions: int | None = None
         self._store = (
             CheckpointStore(
                 checkpoint,
@@ -207,21 +239,54 @@ class TuningService:
 
     # -- execution ------------------------------------------------------
     def pump(self) -> int:
-        """Run every queued submission as one wave over the warm pool.
+        """Run every queued submission as one wave over the warm pool(s).
 
         Returns the number of submissions taken off the queue.  Wave
         execution is speculative with respect to breaker modes (the
         canonical fold happens at :meth:`drain`); outcomes and
-        checkpoints are still recorded per arrival.
+        checkpoints are still recorded per arrival.  A wave a streaming
+        consumer (:meth:`iter_results`) left in flight is finished first.
         """
         if self._drained is not None:
             raise RuntimeError("service already drained")
-        if not self._queue:
-            return 0
-        wave = sorted(self._queue, key=lambda s: (-s.priority, s.seq))
-        self._queue = []
-        self.admission.release(len(wave))
+        taken = len(self._queue)
+        while self._advance():
+            pass
+        return taken
+
+    def _advance(self) -> bool:
+        """Advance execution by one step: one arrival, or one wave closed.
+
+        Starts a wave from the queue when none is in flight.  Returns
+        False only when there is nothing left to execute — no live wave
+        and an empty queue.  The single-step granularity is what lets
+        :meth:`iter_results` interleave canonical yields with execution
+        instead of waiting out whole pump waves.
+        """
+        if self._live_wave is None:
+            if not self._queue:
+                return False
+            wave = sorted(self._queue, key=lambda s: (-s.priority, s.seq))
+            self._queue = []
+            self.admission.release(len(wave))
+            self._live_wave = self._wave_stream(wave)
         start = perf_counter()
+        try:
+            next(self._live_wave)
+        except StopIteration:
+            self._live_wave = None
+        self._elapsed += perf_counter() - start
+        return True
+
+    def _wave_stream(self, wave: list[_Submission]):
+        """One wave as a generator: yields a tenant id per arrival.
+
+        Restored submissions are adopted up front (their execution is the
+        checkpoint read); the rest run through
+        :func:`~repro.service.scheduler.execute_jobs` — outcomes, online
+        breaker observations and checkpoints land per completed tenant,
+        while the pool is still working on the others.
+        """
         jobs: list[tuple] = []
         modes: list[tuple[_Submission, frozenset]] = []
         for sub in wave:
@@ -244,13 +309,20 @@ class TuningService:
                 )
             )
             modes.append((sub, mode))
-        for index, outcome in execute_jobs(
-            jobs, max_workers=self.max_workers, batching=self.batching
-        ):
-            sub, mode = modes[index]
-            self._arrive(sub.spec, outcome, mode)
-        self._elapsed += perf_counter() - start
-        return len(wave)
+        self._inflight = {sub.spec.tenant_id for sub, _ in modes}
+        try:
+            for index, outcome in execute_jobs(
+                jobs,
+                max_workers=self.max_workers,
+                batching=self.batching,
+                shards=self.shards,
+            ):
+                sub, mode = modes[index]
+                self._inflight.discard(sub.spec.tenant_id)
+                self._arrive(sub.spec, outcome, mode)
+                yield sub.spec.tenant_id
+        finally:
+            self._inflight = set()
 
     def _arrive(
         self,
@@ -258,6 +330,10 @@ class TuningService:
         outcome: TenantResult | TenantFailure,
         mode: frozenset,
     ) -> None:
+        if spec.tenant_id not in self._outcomes and isinstance(
+            outcome, TenantResult
+        ):
+            self._arrived_sessions += len(outcome.sessions)
         self._outcomes[spec.tenant_id] = (outcome, mode)
         if self._online is not None:
             self._online.observe(outcome)
@@ -332,17 +408,99 @@ class TuningService:
         )
         return self._drained
 
+    # -- streaming ------------------------------------------------------
+    def iter_results(self):
+        """Yield finished tenants in canonical order, as soon as possible.
+
+        The yield order is exactly :meth:`drain`'s canonical ``(seed,
+        tenant_id)`` order, and each outcome is byte-identical to the one
+        drain would return — the breaker fold (including deterministic
+        re-runs of tenants whose speculative mode disagrees) happens
+        incrementally, per canonical position, instead of all at once.
+        A tenant streams out the moment its canonical prefix is complete;
+        execution advances one arrival at a time underneath, so early
+        tenants flow back while later shards are still working.
+
+        The generator returns (without closing the service) when every
+        yieldable outcome needs a submission that has not happened yet;
+        iterating again after more submissions — or after :meth:`drain`
+        — picks up where it left off.  A late submission that sorts
+        canonically *before* an already-streamed tenant cannot be folded
+        consistently and raises ``RuntimeError``.
+        """
+        while True:
+            spec = self._next_canonical()
+            if spec is None:
+                if self._drained is None and self._advance():
+                    continue
+                return
+            key = (spec.seed, spec.tenant_id)
+            if self._stream_last is not None and key < self._stream_last:
+                raise RuntimeError(
+                    f"tenant {spec.tenant_id!r} (seed {spec.seed}) was "
+                    "submitted after later canonical positions already "
+                    "streamed out; the canonical prefix cannot be reopened "
+                    "— drain() or a fresh service handles such streams"
+                )
+            if spec.tenant_id not in self._outcomes:
+                if self._drained is None and self._advance():
+                    continue
+                return
+            start = perf_counter()
+            outcome = self._stream_fold(spec)
+            self._streamed.add(spec.tenant_id)
+            self._stream_last = key
+            self._elapsed += perf_counter() - start
+            if self.first_result_sessions is None:
+                self.first_result_sessions = self._arrived_sessions
+            yield outcome
+
+    def _next_canonical(self) -> TenantSpec | None:
+        """The lowest canonical (seed, tenant_id) spec not yet streamed."""
+        remaining = [
+            spec
+            for spec in self._specs.values()
+            if spec.tenant_id not in self._streamed
+        ]
+        if not remaining:
+            return None
+        return min(remaining, key=lambda s: (s.seed, s.tenant_id))
+
+    def _stream_fold(self, spec: TenantSpec) -> TenantResult | TenantFailure:
+        """Fold one canonical position through the streaming breaker state.
+
+        The same walk :meth:`drain` performs, one tenant at a time: if
+        the outcome's recorded mode disagrees with the canonical mode at
+        this position, the tenant re-runs (inline, deterministically)
+        under the canonical mode — so the streamed outcome is the drained
+        outcome, whatever the waves speculated.
+        """
+        outcome, ran_mode = self._outcomes[spec.tenant_id]
+        if self._stream_state is None:
+            return outcome
+        mode = self._stream_state.open_sites()
+        if mode != ran_mode:
+            outcome = self._rerun_tenant(spec, mode)
+            self._arrive(spec, outcome, mode)
+        self._stream_state.observe(outcome)
+        return outcome
+
     def shutdown(self) -> dict[str, int]:
         """Stop admission and abandon the queue (no further execution).
 
         Returns a summary of what the service got done.  Unlike
         :meth:`drain`, queued-but-unexecuted submissions are dropped —
         with a checkpoint armed their completed peers survive for the
-        next incarnation.
+        next incarnation.  A wave a streaming consumer left in flight is
+        abandoned with the queue.
         """
         if not self.admission.closed:
             self.admission.close("shutdown: service stopped")
-        self._abandoned += len(self._queue)
+        self._abandoned += len(self._queue) + len(self._inflight)
+        if self._live_wave is not None:
+            self._live_wave.close()
+            self._live_wave = None
+        self._inflight = set()
         self._queue = []
         completed = sum(
             1
@@ -366,7 +524,9 @@ class TuningService:
             return (
                 "completed" if isinstance(outcome, TenantResult) else "quarantined"
             )
-        if any(sub.spec.tenant_id == tenant_id for sub in self._queue):
+        if tenant_id in self._inflight or any(
+            sub.spec.tenant_id == tenant_id for sub in self._queue
+        ):
             return "queued"
         decision = self.admission.last_decision(tenant_id)
         if decision is not None and not decision.accepted:

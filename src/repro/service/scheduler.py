@@ -55,7 +55,7 @@ from repro.core.runner import EvaluationBroker
 from repro.core.session import TuningSession
 from repro.corpus import render_hardware_doc, render_manual
 from repro.experiments.harness import shared_extraction
-from repro.experiments.parallel import effective_workers, imap
+from repro.experiments.parallel import effective_workers
 from repro.faults.breaker import BreakerPolicy, BreakerState
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import FaultBudgetExhausted, RetryPolicy, TransientFault
@@ -282,44 +282,36 @@ def execute_jobs(
     jobs: Sequence[tuple],
     max_workers: int | None = None,
     batching: bool = True,
+    shards: int = 1,
 ) -> Iterator[tuple[int, TenantResult | TenantFailure]]:
-    """THE tenant-execution core: run job tuples over the warm pool.
+    """THE tenant-execution core: run job tuples over the warm pool(s).
 
     ``jobs`` are :func:`run_tenant` payload tuples
     ``(spec, payload, use_cache, faults, retry)`` — each entry carries its
     *own* retry policy, which is how the service daemon applies per-tenant
     deadlines and degraded modes without forking the execution path.
     Yields ``(index, outcome)`` as each tenant becomes next; the yield
-    order is deterministic for a fixed (jobs, worker count, batching) and
-    every outcome is deterministic for its job tuple alone, so consumers
-    may checkpoint incrementally and reorder freely.
+    order is deterministic for a fixed (jobs, worker count, batching,
+    shard count) and every outcome is deterministic for its job tuple
+    alone, so consumers may checkpoint incrementally and reorder freely.
+
+    ``shards`` partitions the tenant space across that many worker groups
+    (see :mod:`repro.service.shards`); ``shards=1`` is the classic
+    single-pool schedule.  With several workers the grouped path
+    co-locates tenants round-robin over shared eval brokers; with one
+    worker (or one tenant per group) the scalar path runs instead — an
+    adaptive, bit-identical routing choice.
 
     Both :class:`FleetScheduler` and the service daemon route through this
     one generator — the daemon owns no tuning logic of its own.
     """
-    jobs = list(jobs)
-    if not jobs:
-        return
-    workers = effective_workers(max_workers, len(jobs))
-    if batching and len(jobs) > 1:
-        # Tenants co-locate round-robin: worker g gets jobs g, g+W, g+2W,
-        # ... so heterogeneous queues spread evenly.  Each group job runs
-        # its tenants as threads over one shared eval broker.
-        indices = [list(range(len(jobs)))[g::workers] for g in range(workers)]
-        group_jobs = [jobs[g::workers] for g in range(workers)]
-        indices = [group for group in indices if group]
-        group_jobs = [group for group in group_jobs if group]
-        for group_indices, outcomes in zip(
-            indices,
-            imap(_tenant_group_job, group_jobs, max_workers=max(len(group_jobs), 1)),
-        ):
-            for index, outcome in zip(group_indices, outcomes):
-                yield index, outcome
-    else:
-        for index, outcome in enumerate(
-            imap(_tenant_job, jobs, max_workers=workers)
-        ):
-            yield index, outcome
+    # Imported lazily: shards.py needs this module's job adapters at its
+    # import time, so a top-level import here would cycle.
+    from repro.service.shards import ShardedExecutor
+
+    yield from ShardedExecutor(
+        shards, max_workers=max_workers, batching=batching
+    ).execute(jobs)
 
 
 @dataclass
@@ -640,6 +632,11 @@ class FleetScheduler:
     wrong mode are deterministically re-run — so results stay worker-count
     invariant.  ``None`` (the default) keeps behaviour identical to the
     pre-breaker scheduler.
+
+    ``shards`` partitions the tenant space across that many worker groups
+    (stable principal hash, one warm pool + eval broker per shard — see
+    :mod:`repro.service.shards`); the merged result is byte-identical to
+    the single-pool schedule at any shard count.
     """
 
     def __init__(
@@ -653,10 +650,13 @@ class FleetScheduler:
         checkpoint: str | Path | None = None,
         batching: bool = True,
         breaker: BreakerPolicy | None = None,
+        shards: int = 1,
     ):
         ids = [spec.tenant_id for spec in tenants]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate tenant ids in {ids}")
+        if shards < 1:
+            raise ValueError(f"shards={shards} must be a positive shard count")
         self.tenants = list(tenants)
         self.seed = seed
         self.max_workers = max_workers
@@ -666,6 +666,7 @@ class FleetScheduler:
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.batching = batching
         self.breaker = breaker
+        self.shards = shards
         self._breaker_state: BreakerState | None = None
         self._catalog = ArtifactCatalog(seed)
 
@@ -735,7 +736,10 @@ class FleetScheduler:
                 )
 
         for index, outcome in execute_jobs(
-            jobs, max_workers=self.max_workers, batching=self.batching
+            jobs,
+            max_workers=self.max_workers,
+            batching=self.batching,
+            shards=self.shards,
         ):
             arrive(pending[index], outcome, frozenset())
 

@@ -1,0 +1,266 @@
+"""Sharded fleet execution: N worker groups, one canonical merge.
+
+:class:`ShardedExecutor` partitions the tenant space into ``n_shards``
+worker groups and runs each group over its *own* warm pool slice (a named
+group in the :mod:`repro.experiments.parallel` registry), its own
+:class:`~repro.service.broker.FleetEvalBroker` rendezvous (brokers are
+per tenant group, so co-scheduling follows the shard) and the shared
+offline artifacts (published once, installed per worker regardless of
+which shard's pool forked it).
+
+Shard assignment is a pure function of the tenant id: the stable SHA-256
+hash of the id's ``account/`` principal (the same derivation the
+admission controller uses for rate limiting) modulo the shard count.
+Hashing the *principal* rather than the full id keeps one account's
+tenants co-resident — they share a broker and their batched sweeps stay
+co-scheduled, exactly like their admission shares a rate bucket.
+
+Determinism contract (guarded by ``tests/test_shards.py``): the merged
+outcome stream — and therefore the :class:`~repro.service.scheduler.
+FleetResult` folded from it — is byte-identical to the single-pool
+``FleetScheduler`` at any (shard count × worker count × submission order
+× fault plan).  Three properties make that hold:
+
+- every outcome is a pure function of its job tuple (the standing
+  :func:`~repro.service.scheduler.run_tenant` contract), so *where* a
+  tenant runs cannot change *what* it produces;
+- within a shard, jobs keep their fleet submission order, and the grouped
+  (broker) and scalar paths are already bit-identical;
+- the merge interleaves shard streams round-robin in shard order — a
+  deterministic schedule over deterministic per-shard streams.
+
+Fault domains compose with sharding: a ``BrokenProcessPool`` in one
+shard retires only that shard's pool (the registry is per group) and
+quarantines only that shard's unfinished tenants with structured
+``site="pool.broken"`` reports; sibling shards drain to completion.
+
+Adaptive batching lives here too: a shard routes through the grouped
+broker path only when it really has concurrency to win (``workers > 1``
+and more tenants than workers); a 1-worker or 1-tenant-per-group shard
+takes the scalar path, skipping thread + rendezvous overhead that
+measured *slower* than scalar on single-core boxes.  Pure routing — both
+paths are bit-identical — so the choice can never change results.
+
+Import-graph rule: this module sits between the scheduler's picklable
+job adapters (imported here) and the pool registry; the scheduler's
+``execute_jobs`` imports :class:`ShardedExecutor` lazily so the layering
+stays acyclic and ``service/`` still never imports the legacy parameter
+shim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterator, Sequence
+
+from repro.experiments.parallel import DEFAULT_GROUP, effective_workers, imap
+from repro.service.scheduler import _tenant_group_job, _tenant_job
+from repro.service.tenant import TenantFailure, TenantResult
+
+#: Pool-registry group name for shard ``k`` of a multi-shard fleet.
+POOL_GROUP_PREFIX = "shard-"
+
+
+def shard_of(tenant_id: str, n_shards: int) -> int:
+    """The shard owning ``tenant_id``: stable hash of its principal.
+
+    The principal is the id's leading ``"account/"`` segment (a flat id
+    is its own principal), mirroring
+    :meth:`~repro.service.admission.AdmissionController.principal_of` —
+    one account's tenants always land on one shard.  Stable across
+    processes and Python versions (SHA-256, not ``hash()``), so shard
+    membership is part of the deterministic schedule, not runtime state.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards={n_shards} must be a positive shard count")
+    if n_shards == 1:
+        return 0
+    principal = tenant_id.split("/", 1)[0]
+    digest = hashlib.sha256(principal.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def split_workers(total: int, n_groups: int) -> list[int]:
+    """Split ``total`` workers across ``n_groups`` shards, min 1 each.
+
+    Remainders go to the lowest-numbered groups; a shard never gets zero
+    workers (a populated shard must always make progress, even when
+    shards outnumber cores).
+    """
+    if n_groups < 1:
+        raise ValueError(f"n_groups={n_groups} must be >= 1")
+    base, extra = divmod(total, n_groups)
+    return [max(1, base + (1 if k < extra else 0)) for k in range(n_groups)]
+
+
+def use_grouped_path(batching: bool, workers: int, n_jobs: int) -> bool:
+    """Whether a shard should batch tenants over a shared broker.
+
+    The grouped path wins only when groups genuinely co-locate several
+    tenants on several workers; with one worker — or so few tenants that
+    every group would hold exactly one — the threads + rendezvous
+    machinery is pure overhead (the measured single-core regression), so
+    the shard runs tenants scalar.  Both paths are bit-identical, so
+    this is a routing decision, never a semantic one.
+    """
+    return batching and workers > 1 and n_jobs > workers
+
+
+def _broken_pool_failure(spec) -> TenantFailure:
+    """The quarantine report for a tenant stranded by its shard's pool."""
+    return TenantFailure(
+        spec=spec,
+        site="pool.broken",
+        error=(
+            "worker pool broke (BrokenProcessPool); the shard's pool was "
+            "retired and its unfinished tenants quarantined"
+        ),
+    )
+
+
+class ShardedExecutor:
+    """Run job tuples across ``n_shards`` worker groups, merged canonically.
+
+    ``jobs`` are the scheduler's :func:`~repro.service.scheduler.run_tenant`
+    payload tuples ``(spec, payload, use_cache, faults, retry)``;
+    :meth:`execute` yields ``(index, outcome)`` exactly like
+    :func:`~repro.service.scheduler.execute_jobs` (which delegates here).
+    ``n_shards=1`` with the default group *is* the classic single-pool
+    schedule; more shards split the effective worker budget across
+    per-shard pools and interleave their arrival streams round-robin.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 1,
+        max_workers: int | None = None,
+        batching: bool = True,
+    ):
+        if n_shards < 1:
+            raise ValueError(
+                f"n_shards={n_shards} must be a positive shard count"
+            )
+        self.n_shards = n_shards
+        self.max_workers = max_workers
+        self.batching = batching
+
+    def execute(
+        self, jobs: Sequence[tuple]
+    ) -> Iterator[tuple[int, TenantResult | TenantFailure]]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        total = effective_workers(self.max_workers, len(jobs))
+        buckets: list[list[int]] = [[] for _ in range(self.n_shards)]
+        for index, job in enumerate(jobs):
+            buckets[shard_of(job[0].tenant_id, self.n_shards)].append(index)
+        live = [
+            (shard, indices) for shard, indices in enumerate(buckets) if indices
+        ]
+        shares = split_workers(total, len(live))
+        # Give every shard a real worker process only when there is genuine
+        # parallelism to buy (several cores, several shards); a single-core
+        # box keeps the classic inline path and pays zero fork overhead.
+        force_pool = total > 1 and len(live) > 1
+        streams = [
+            self._shard_stream(
+                shard, indices, jobs, min(share, len(indices)), force_pool
+            )
+            for (shard, indices), share in zip(live, shares)
+        ]
+        # Canonical merge: one arrival per live shard per round, in shard
+        # order — a deterministic interleave of deterministic streams, so
+        # the merged order depends only on (jobs, shard count, workers).
+        while streams:
+            still_live = []
+            for stream in streams:
+                item = next(stream, None)
+                if item is not None:
+                    yield item
+                    still_live.append(stream)
+            streams = still_live
+
+    # ------------------------------------------------------------------
+    def _shard_stream(
+        self,
+        shard: int,
+        indices: list[int],
+        jobs: list[tuple],
+        workers: int,
+        force_pool: bool,
+    ) -> Iterator[tuple[int, TenantResult | TenantFailure]]:
+        """One shard's arrival stream: ``(fleet index, outcome)`` pairs.
+
+        Work is submitted to the shard's pool *here*, eagerly, so building
+        every shard's stream starts every shard's pool before the merge
+        blocks on any of them.
+        """
+        group = (
+            f"{POOL_GROUP_PREFIX}{shard}" if self.n_shards > 1 else DEFAULT_GROUP
+        )
+        shard_jobs = [jobs[index] for index in indices]
+        try:
+            if use_grouped_path(self.batching, workers, len(shard_jobs)):
+                # Tenants co-locate round-robin inside the shard: group g
+                # gets the shard's jobs g, g+W, g+2W, ... and runs them as
+                # threads over one shared eval broker.
+                slices = [indices[g::workers] for g in range(workers)]
+                slices = [chunk for chunk in slices if chunk]
+                arrivals = imap(
+                    _tenant_group_job,
+                    [[jobs[i] for i in chunk] for chunk in slices],
+                    max_workers=len(slices),
+                    group=group,
+                    force_pool=force_pool,
+                )
+                plan: list = slices
+                grouped = True
+            else:
+                arrivals = imap(
+                    _tenant_job,
+                    shard_jobs,
+                    max_workers=workers,
+                    group=group,
+                    force_pool=force_pool,
+                )
+                plan = indices
+                grouped = False
+        except BrokenProcessPool:
+            # The shard's pool was already poisoned at submission time;
+            # the registry retired it — quarantine the whole shard.
+            return self._quarantined(indices, jobs, set())
+        return self._drain_shard(indices, jobs, plan, arrivals, grouped)
+
+    def _drain_shard(
+        self,
+        indices: list[int],
+        jobs: list[tuple],
+        plan: list,
+        arrivals,
+        grouped: bool,
+    ) -> Iterator[tuple[int, TenantResult | TenantFailure]]:
+        yielded: set[int] = set()
+        try:
+            if grouped:
+                for chunk, outcomes in zip(plan, arrivals):
+                    for index, outcome in zip(chunk, outcomes):
+                        yielded.add(index)
+                        yield index, outcome
+            else:
+                for index, outcome in zip(plan, arrivals):
+                    yielded.add(index)
+                    yield index, outcome
+        except BrokenProcessPool:
+            # One shard's worker died: its pool group is already retired
+            # (imap's handler); only *this* shard's unfinished tenants are
+            # quarantined — sibling shards keep draining.
+            yield from self._quarantined(indices, jobs, yielded)
+
+    @staticmethod
+    def _quarantined(
+        indices: list[int], jobs: list[tuple], yielded: set[int]
+    ) -> Iterator[tuple[int, TenantFailure]]:
+        for index in indices:
+            if index not in yielded:
+                yield index, _broken_pool_failure(jobs[index][0])

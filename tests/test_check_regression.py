@@ -78,10 +78,45 @@ class TestCheckRegression:
         base = _write(tmp_path, "base.json", {k: 0.0 for k in GOOD})
         now = _write(tmp_path, "now.json", {k: 0.0 for k in GOOD})
         assert check_regression.main([base, now]) == 2
-        assert "non-positive baseline" in capsys.readouterr().err
+        assert "non-positive" in capsys.readouterr().err
 
     def test_zero_baseline_with_nonzero_current_still_errors(self, tmp_path, capsys):
         base = _write(tmp_path, "base.json", {k: 0.0 for k in GOOD})
         now = _write(tmp_path, "now.json", GOOD)
         assert check_regression.main([base, now]) == 2
-        assert "non-positive baseline" in capsys.readouterr().err
+        assert "non-positive" in capsys.readouterr().err
+
+
+LATENCY_KEY = "service_first_result_sessions"
+
+
+class TestLowerIsBetter:
+    """Latency-proxy figures gate on growth, not shrinkage."""
+
+    def test_tracked_set_contains_the_latency_figure(self):
+        assert LATENCY_KEY in check_regression.TRACKED
+        assert LATENCY_KEY in check_regression.LOWER_IS_BETTER
+
+    def test_shrinking_first_result_passes(self, tmp_path):
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", {**GOOD, LATENCY_KEY: 10.0})
+        assert check_regression.main([base, now]) == 0
+
+    def test_growing_first_result_is_a_regression(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", {**GOOD, LATENCY_KEY: 200.0})
+        assert check_regression.main([base, now]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and LATENCY_KEY in out
+
+    def test_growth_within_threshold_passes(self, tmp_path):
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", {**GOOD, LATENCY_KEY: 110.0})
+        assert check_regression.main([base, now]) == 0
+
+    def test_zero_current_latency_is_hard_error(self, tmp_path, capsys):
+        """now == 0 would invert to ratio inf and silently pass."""
+        base = _write(tmp_path, "base.json", GOOD)
+        now = _write(tmp_path, "now.json", {**GOOD, LATENCY_KEY: 0.0})
+        assert check_regression.main([base, now]) == 2
+        assert "non-positive" in capsys.readouterr().err

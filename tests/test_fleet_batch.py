@@ -270,7 +270,7 @@ class TestWarmPool:
         first = warm_pool(2)
         second = warm_pool(3)
         assert second is not first
-        assert parallel._POOL_WORKERS == 3
+        assert parallel._POOL_WORKERS[parallel.DEFAULT_GROUP] == 3
 
     def test_cache_enablement_does_not_leak_between_waves(self):
         # Wave 1: jobs enter (and exit) the run-cache scope in the worker.
@@ -286,8 +286,8 @@ class TestWarmPool:
     def test_fleet_waves_reuse_pool_bit_identically(self):
         fleet = _mixed_fleet(4)
         first = FleetScheduler(fleet, seed=0, max_workers=2).run()
-        pool = parallel._POOL
+        pool = parallel._POOLS.get(parallel.DEFAULT_GROUP)
         second = FleetScheduler(fleet, seed=0, max_workers=2, use_cache=False).run()
         if pool is not None:
-            assert parallel._POOL is pool
+            assert parallel._POOLS.get(parallel.DEFAULT_GROUP) is pool
         assert fleet_fingerprint(first) == fleet_fingerprint(second)
